@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every experiment writes its regenerated table to ``benchmarks/out/`` (so
+EXPERIMENTS.md can reference concrete artefacts) and prints it (visible
+with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit_table(experiment_id: str, text: str) -> None:
+    """Persist and print one experiment's table."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

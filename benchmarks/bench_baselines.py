@@ -1,0 +1,124 @@
+"""E9 — cross-cutting comparison: the paper's algorithms vs baselines.
+
+Regenerates: one table per machine environment comparing, on a shared
+suite, Algorithm 1 against the [3]-style identical-machine 2-approximation,
+the graph-aware greedy heuristic (which can fail), the trivial two-machine
+split, and the infeasible graph-free LPT (the "price of incompatibility"
+reference point).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.suites import standard_uniform_suite
+from repro.analysis.tables import format_table
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.scheduling.baselines import (
+    bjw_identical_approx,
+    two_machine_split,
+    unconstrained_lpt,
+)
+from repro.scheduling.bounds import min_cover_time
+from repro.scheduling.list_scheduling import graph_aware_greedy
+
+from benchmarks._common import emit_table
+
+
+def test_e9_uniform_comparison(benchmark):
+    def build():
+        suite = standard_uniform_suite(n=20, m=4, weight_kind="uniform", seed=90)
+        totals = {"alg1": [], "greedy": [], "split2": [], "lpt_free": []}
+        greedy_failures = 0
+        for _, inst in suite:
+            lower = min_cover_time(inst.speeds, inst.total_p)
+            if lower == 0:
+                continue
+            res = sqrt_approx_schedule(inst, s1_solver="two_approx")
+            totals["alg1"].append(float(res.schedule.makespan / lower))
+            g = graph_aware_greedy(inst)
+            if g is None:
+                greedy_failures += 1
+            else:
+                totals["greedy"].append(float(g.makespan / lower))
+            totals["split2"].append(float(two_machine_split(inst).makespan / lower))
+            totals["lpt_free"].append(float(unconstrained_lpt(inst).makespan / lower))
+        rows = [
+            [name, len(vals), float(np.mean(vals)), float(np.max(vals))]
+            for name, vals in totals.items()
+        ]
+        rows.append(["greedy (failed)", greedy_failures, "-", "-"])
+        return rows, totals
+
+    (rows, totals) = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E9_uniform_comparison",
+        format_table(
+            ["algorithm", "instances", "mean Cmax/C**", "max"],
+            rows,
+            title="E9: algorithms vs baselines on the standard uniform suite",
+        ),
+    )
+    # shape: Algorithm 1 dominates the trivial two-machine split on average
+    assert np.mean(totals["alg1"]) <= np.mean(totals["split2"]) + 1e-9
+
+
+def test_e9_identical_machines(benchmark):
+    """On identical machines the [3] baseline and Algorithm 1 both carry a
+    2-approx style guarantee; compare them head to head."""
+
+    def build():
+        suite = standard_uniform_suite(n=20, m=4, weight_kind="uniform", seed=91)
+        rows = []
+        a1_vals, bjw_vals = [], []
+        for name, inst in suite:
+            if not inst.is_identical:
+                continue
+            lower = min_cover_time(inst.speeds, inst.total_p)
+            if lower == 0:
+                continue
+            a1 = sqrt_approx_schedule(inst, s1_solver="two_approx").schedule
+            bw = bjw_identical_approx(inst)
+            a1_vals.append(float(a1.makespan / lower))
+            bjw_vals.append(float(bw.makespan / lower))
+            rows.append([name, a1_vals[-1], bjw_vals[-1]])
+        rows.append(["MEAN", float(np.mean(a1_vals)), float(np.mean(bjw_vals))])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E9_identical_comparison",
+        format_table(
+            ["instance", "Alg 1 ratio", "BJW [3] ratio"],
+            rows,
+            title="E9: Algorithm 1 vs the [3] 2-approx on identical machines",
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "weight_kind", ["unit", "uniform", "heavy_tailed", "one_giant"]
+)
+def test_e9_weight_profiles(benchmark, weight_kind):
+    """Algorithm 1 across job-size distributions (heavy tails stress the
+    independent-set step; 'one_giant' stresses the p_max condition)."""
+
+    def build():
+        suite = standard_uniform_suite(n=18, m=4, weight_kind=weight_kind, seed=92)
+        ratios = []
+        for _, inst in suite:
+            lower = min_cover_time(inst.speeds, inst.total_p)
+            if lower == 0:
+                continue
+            res = sqrt_approx_schedule(inst, s1_solver="two_approx")
+            ratios.append(float(res.schedule.makespan / lower))
+        return ratios
+
+    ratios = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        f"E9_weights_{weight_kind}",
+        format_table(
+            ["weight profile", "instances", "mean ratio", "max ratio"],
+            [[weight_kind, len(ratios), float(np.mean(ratios)), float(np.max(ratios))]],
+            title="E9: Algorithm 1 vs C** across job-size distributions",
+        ),
+    )

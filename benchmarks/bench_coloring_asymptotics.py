@@ -1,0 +1,82 @@
+"""E4 — Section 4.1 asymptotics: Corollary 11, Lemmas 12-14.
+
+Regenerates: the series comparing Monte-Carlo estimates of
+``|V'_2|/n`` (inequitable-coloring smaller class), ``mu/n`` (maximum
+matching) and the Lemma 14 ratio ``|V'_2|/mu`` against the paper's
+closed-form curves, across the critical-regime parameter ``a``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.random_graphs.statistics import graph_statistics, sample_statistics
+from repro.random_graphs.gilbert import gnnp
+from repro.random_graphs.theory import (
+    matching_fraction_lower_bound,
+    ratio_bound_lemma14,
+    ratio_limit_constant,
+    smaller_class_fraction_bound,
+)
+
+from benchmarks._common import emit_table
+
+N_SIDE = 150
+SAMPLES = 8
+
+
+def test_e4_a_sweep(benchmark):
+    def build():
+        rows = []
+        for a in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+            stats = sample_statistics(N_SIDE, a / N_SIDE, SAMPLES, seed=int(100 * a))
+            frac_v2 = float(np.mean([s.smaller_class_fraction for s in stats]))
+            frac_mu = float(np.mean([s.matching_fraction for s in stats]))
+            ratios = [s.lemma14_ratio for s in stats if s.lemma14_ratio is not None]
+            ratio = float(np.mean(ratios)) if ratios else float("nan")
+            rows.append(
+                [
+                    a,
+                    frac_v2,
+                    smaller_class_fraction_bound(N_SIDE, a),
+                    frac_mu,
+                    matching_fraction_lower_bound(a),
+                    ratio,
+                    ratio_bound_lemma14(a),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E4_coloring_asymptotics",
+        format_table(
+            [
+                "a",
+                "|V'2|/n emp",
+                "Lem12 bound",
+                "mu/n emp",
+                "Lem13 bound",
+                "|V'2|/mu emp",
+                "Lem14 bound",
+            ],
+            rows,
+            title=(
+                f"E4 (Cor 11, Lem 12-14): G(n,n,a/n) at n={N_SIDE}, "
+                f"{SAMPLES} samples; limit constant e/(e-1) = "
+                f"{ratio_limit_constant():.4f}"
+            ),
+        ),
+    )
+    for row in rows:
+        a, v2_emp, v2_bound, mu_emp, mu_bound, r_emp, r_bound = row
+        assert v2_emp <= v2_bound + 0.05   # Lemma 12 (a.a.s. upper bound)
+        assert mu_emp >= mu_bound - 0.05   # Lemma 13 (a.a.s. lower bound)
+        assert r_emp <= ratio_limit_constant() + 0.1  # Lemma 14
+
+
+@pytest.mark.parametrize("n", [100, 400])
+def test_e4_statistics_speed(benchmark, n):
+    graph = gnnp(n, 2.0 / n, seed=40)
+    stats = benchmark(lambda: graph_statistics(graph, n))
+    assert stats.matching_size <= n

@@ -1,0 +1,118 @@
+"""E13 — the exact unary algorithm for complete bipartite conflicts ([20]/[24]).
+
+Regenerates: (a) optimality cross-check of the unary capacity algorithm
+against brute force on small ``K_{a,b}`` instances; (b) the quality gap
+between the exact algorithm and Algorithm 1 (which only promises
+``sqrt(sum p_j)``) on larger ``K_{a,b}`` sweeps; (c) runtime scaling of
+the exact algorithm, which is polynomial under unary encoding.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.complete_multipartite import (
+    complete_multipartite_min_time,
+    schedule_complete_bipartite_unit,
+)
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.graphs.generators import complete_bipartite
+from repro.machines.profiles import geometric_speeds, random_integer_speeds
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import unit_uniform_instance
+
+from benchmarks._common import emit_table
+
+F = Fraction
+
+
+def test_e13_exactness_table(benchmark):
+    def build():
+        rows = []
+        rng = np.random.default_rng(13)
+        for a, b, m in [(2, 2, 2), (3, 2, 3), (3, 3, 3), (4, 2, 4), (4, 3, 3)]:
+            speeds = random_integer_speeds(m, high=4, seed=rng)
+            inst = unit_uniform_instance(complete_bipartite(a, b), speeds)
+            exact = schedule_complete_bipartite_unit(inst)
+            opt = brute_force_makespan(inst)
+            assert exact.makespan == opt
+            rows.append([f"K_{{{a},{b}}}", m, float(opt), "exact match"])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E13_exactness",
+        format_table(
+            ["graph", "m", "optimum Cmax", "check"],
+            rows,
+            title="E13: unary algorithm vs brute force on K_{a,b}, unit jobs",
+        ),
+    )
+
+
+def test_e13_vs_algorithm1(benchmark):
+    """The exact algorithm never loses to Algorithm 1 on its home turf."""
+
+    def build():
+        rows = []
+        for a, b in [(10, 10), (20, 10), (30, 30), (50, 25), (60, 60)]:
+            inst = unit_uniform_instance(
+                complete_bipartite(a, b), geometric_speeds(5, ratio=2)
+            )
+            exact = schedule_complete_bipartite_unit(inst)
+            approx = sqrt_approx_schedule(inst, s1_solver="two_approx").schedule
+            rows.append(
+                [
+                    f"K_{{{a},{b}}}",
+                    float(exact.makespan),
+                    float(approx.makespan),
+                    float(approx.makespan / exact.makespan),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E13_vs_algorithm1",
+        format_table(
+            ["graph", "exact Cmax", "Algorithm 1 Cmax", "ratio"],
+            rows,
+            title="E13: exact unary algorithm vs Algorithm 1 on K_{a,b}",
+        ),
+    )
+    for row in rows:
+        assert row[3] >= 1.0 - 1e-9  # exact is optimal, ratio >= 1
+
+
+@pytest.mark.parametrize("n_side", [20, 80, 200])
+def test_e13_scaling(benchmark, n_side):
+    speeds = geometric_speeds(6, ratio=2)
+    solution = benchmark(
+        lambda: complete_multipartite_min_time([n_side, n_side // 2], speeds)
+    )
+    assert solution.makespan > 0
+
+
+def test_e13_three_parts(benchmark):
+    """Beyond the paper: three mutually conflicting groups (the [24]
+    complete multipartite generalisation), exact by the k-part DP."""
+
+    def build():
+        rows = []
+        for parts in [(6, 5, 4), (10, 8, 2), (12, 12, 12)]:
+            speeds = geometric_speeds(4, ratio=2)
+            sol = complete_multipartite_min_time(list(parts), speeds)
+            rows.append([str(parts), 4, float(sol.makespan)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E13_three_parts",
+        format_table(
+            ["part sizes", "m", "optimal Cmax"],
+            rows,
+            title="E13: exact makespans for complete tripartite conflicts",
+        ),
+    )

@@ -1,0 +1,124 @@
+"""E7 — Theorem 8: the YES/NO makespan gap of the Qm reduction.
+
+Regenerates:
+
+* the k-sweep of the certified gap (``no_bound / yes_bound``) on faithful
+  paper-sized instances, with the YES-side schedule constructed from an
+  actual coloring extension;
+* the exact verification on small-scale NO instances (brute force);
+* the capacity-bound blindness: C**max stays near the YES level on NO
+  instances, showing why no capacity argument can see the gap the
+  reduction certifies (the whole point of the inapproximability proof).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.graphs.precoloring import claw_no_instance, planted_yes_instance, solve_prext
+from repro.hardness.q_reduction import theorem8_reduction
+from repro.scheduling.bounds import min_cover_time
+from repro.scheduling.brute_force import brute_force_makespan
+
+from benchmarks._common import emit_table
+
+
+def test_e7_k_sweep(benchmark):
+    def build():
+        prext = planted_yes_instance(6, seed=70)
+        coloring = solve_prext(prext)
+        assert coloring is not None
+        rows = []
+        for k in (1, 2, 3, 5):
+            q = theorem8_reduction(prext, k=k)
+            s = q.schedule_from_extension(coloring)
+            assert s.is_feasible()
+            assert s.makespan <= q.yes_makespan_bound
+            rows.append(
+                [
+                    k,
+                    q.instance.n,
+                    float(s.makespan),
+                    float(q.yes_makespan_bound),
+                    float(q.no_makespan_lower_bound),
+                    float(q.gap),
+                ]
+            )
+        # the certified gap must grow with k (this is what defeats any
+        # O(n^{1/2-eps}) approximation after choosing k large enough)
+        gaps = [r[-1] for r in rows]
+        assert gaps == sorted(gaps) and gaps[-1] > gaps[0]
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E7_theorem8_gap",
+        format_table(
+            ["k", "n' jobs", "YES Cmax", "YES bound", "NO bound", "gap"],
+            rows,
+            title="E7 (Thm 8): YES/NO separation of the Qm reduction",
+        ),
+    )
+
+
+def test_e7_no_side_exact(benchmark):
+    def build():
+        rows = []
+        no = claw_no_instance()
+        assert solve_prext(no) is None
+        for sizes in ((1, 1, 1), (2, 1, 1), (2, 2, 1)):
+            q = theorem8_reduction(no, k=1, gadget_sizes=sizes)
+            opt = brute_force_makespan(q.instance)
+            assert opt >= q.no_makespan_lower_bound
+            rows.append(
+                [str(sizes), q.instance.n, float(opt), float(q.no_makespan_lower_bound)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E7_no_side_exact",
+        format_table(
+            ["gadget sizes", "n'", "exact optimum", "certified bound"],
+            rows,
+            title="E7 (Thm 8): exhaustive NO-side verification (claw seed)",
+        ),
+    )
+
+
+def test_e7_capacity_bound_blindness(benchmark):
+    """C**max cannot distinguish YES from NO — only the coloring can."""
+
+    def build():
+        yes = planted_yes_instance(6, seed=71)
+        no_seed = claw_no_instance(padding=2)  # n = 6 as well
+        rows = []
+        for label, prext in (("YES", yes), ("NO", no_seed)):
+            q = theorem8_reduction(prext, k=3)
+            cap = min_cover_time(q.instance.speeds, q.instance.n)
+            rows.append(
+                [label, q.instance.n, float(cap), float(q.no_makespan_lower_bound)]
+            )
+        # capacity bounds of YES and NO instances are within a whisker
+        assert abs(rows[0][2] - rows[1][2]) / rows[0][2] < 0.05
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E7_capacity_blindness",
+        format_table(
+            ["seed", "n'", "C**max", "NO-side true bound"],
+            rows,
+            title=(
+                "E7: capacity lower bounds are blind to the gap "
+                "(NO instances cost >= the last column, C** never sees it)"
+            ),
+        ),
+    )
+
+
+@pytest.mark.parametrize("k", [2, 5])
+def test_e7_reduction_speed(benchmark, k):
+    prext = planted_yes_instance(6, seed=72)
+    q = benchmark(lambda: theorem8_reduction(prext, k=k))
+    assert q.instance.n == 6 + 48 * k * k * 6 + 4 * k * 6 + 2

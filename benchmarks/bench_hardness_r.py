@@ -1,0 +1,77 @@
+"""E8 — Theorem 24: the YES/NO gap of the Rm reduction.
+
+Regenerates: the d-sweep gap table with exact optima on small seeds, and
+the m-sweep showing extra slow machines never help (their processing time
+``d`` exceeds the NO bound).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.graphs.precoloring import claw_no_instance, planted_yes_instance, solve_prext
+from repro.hardness.r_reduction import theorem24_reduction
+from repro.scheduling.brute_force import brute_force_makespan
+
+from benchmarks._common import emit_table
+
+
+def test_e8_d_sweep(benchmark):
+    def build():
+        yes = planted_yes_instance(7, seed=80)
+        coloring = solve_prext(yes)
+        assert coloring is not None
+        no = claw_no_instance(padding=3)  # same n = 7
+        assert solve_prext(no) is None
+        rows = []
+        for d in (10, 50, 250, 1000):
+            r_yes = theorem24_reduction(yes, d=d)
+            yes_opt = brute_force_makespan(r_yes.instance)
+            s = r_yes.schedule_from_extension(coloring)
+            assert s.makespan <= r_yes.yes_makespan_bound
+            r_no = theorem24_reduction(no, d=d)
+            no_opt = brute_force_makespan(r_no.instance)
+            assert yes_opt <= r_yes.yes_makespan_bound  # YES world: <= n
+            assert no_opt >= r_no.no_makespan_lower_bound  # NO world: >= d
+            rows.append([d, float(yes_opt), float(no_opt), float(no_opt / yes_opt)])
+        # the measured gap scales linearly with d: who wins is unambiguous
+        assert rows[-1][3] > rows[0][3]
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E8_theorem24_gap",
+        format_table(
+            ["d", "YES optimum", "NO optimum", "measured gap"],
+            rows,
+            title="E8 (Thm 24): exact YES/NO separation of the Rm reduction",
+        ),
+    )
+
+
+def test_e8_extra_machines_useless(benchmark):
+    def build():
+        yes = planted_yes_instance(6, seed=81)
+        rows = []
+        for m in (3, 4, 5):
+            r = theorem24_reduction(yes, d=40, m=m)
+            opt = brute_force_makespan(r.instance)
+            rows.append([m, float(opt)])
+        assert len({v for _, v in rows}) == 1  # identical optima
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E8_machines_sweep",
+        format_table(
+            ["m", "YES optimum"],
+            rows,
+            title="E8 (Thm 24): slow machines beyond the first three never help",
+        ),
+    )
+
+
+@pytest.mark.parametrize("n", [20, 100])
+def test_e8_reduction_speed(benchmark, n):
+    prext = planted_yes_instance(n, seed=82)
+    r = benchmark(lambda: theorem24_reduction(prext, d=1000))
+    assert r.instance.n == n

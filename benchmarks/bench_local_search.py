@@ -1,0 +1,93 @@
+"""E18 — local-search polishing on top of the paper's algorithms.
+
+Regenerates: a table of makespan ratios before/after polishing for
+Algorithm 1, the BJW baseline and the trivial two-machine split.  The
+guarantees carry over (polishing never regresses); the table shows how
+much constant-factor slack each algorithm leaves in practice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.suites import standard_uniform_suite
+from repro.analysis.tables import format_table
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.scheduling.baselines import bjw_identical_approx, two_machine_split
+from repro.scheduling.bounds import min_cover_time
+from repro.scheduling.local_search import improve_schedule
+
+from benchmarks._common import emit_table
+
+
+def test_e18_polish_table(benchmark):
+    def build():
+        suite = [
+            inst
+            for _, inst in standard_uniform_suite(
+                n=18, m=4, weight_kind="uniform", seed=180
+            )
+        ]
+        algorithms = {
+            "alg1": lambda inst: sqrt_approx_schedule(
+                inst, s1_solver="two_approx"
+            ).schedule,
+            "split2": two_machine_split,
+            "bjw": lambda inst: (
+                bjw_identical_approx(inst) if inst.is_identical else None
+            ),
+        }
+        rows = []
+        for name, run in algorithms.items():
+            before, after, steps = [], [], 0
+            for inst in suite:
+                schedule = run(inst)
+                if schedule is None:
+                    continue
+                lower = min_cover_time(inst.speeds, inst.total_p)
+                if lower == 0:
+                    continue
+                polished = improve_schedule(schedule)
+                assert polished.schedule.makespan <= schedule.makespan
+                before.append(float(schedule.makespan / lower))
+                after.append(float(polished.schedule.makespan / lower))
+                steps += polished.moves + polished.swaps
+            rows.append(
+                [
+                    name,
+                    len(before),
+                    float(np.mean(before)),
+                    float(np.mean(after)),
+                    float(np.mean(before) / np.mean(after)),
+                    steps,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E18_local_search",
+        format_table(
+            ["algorithm", "instances", "mean ratio", "polished", "gain", "steps"],
+            rows,
+            title="E18: local-search polishing on the standard uniform suite",
+        ),
+    )
+    # shape: polishing never regresses, and the sloppy baseline (split2)
+    # gains the most
+    gains = {row[0]: row[4] for row in rows}
+    for gain in gains.values():
+        assert gain >= 1.0 - 1e-9
+    assert gains["split2"] >= gains["alg1"] - 1e-9
+
+
+@pytest.mark.parametrize("n", [20, 60])
+def test_e18_polish_speed(benchmark, n):
+    from repro.machines.profiles import geometric_speeds
+    from repro.random_graphs.gilbert import gnnp
+    from repro.scheduling.instance import unit_uniform_instance
+
+    graph = gnnp(n // 2, 2.0 / n, seed=n)
+    inst = unit_uniform_instance(graph, geometric_speeds(4))
+    start = two_machine_split(inst)
+    result = benchmark(lambda: improve_schedule(start))
+    assert result.schedule.makespan <= start.makespan

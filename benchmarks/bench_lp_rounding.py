@@ -1,0 +1,104 @@
+"""E12 — the Lenstra–Shmoys–Tardos baseline ([18]) on unrelated machines.
+
+Regenerates: (a) the certified ratio ``Cmax / T*`` of LP rounding on
+graph-free ``R`` instances, confirming the factor-2 shape of [18];
+(b) the price-of-incompatibility table on ``R2``: LST (graph-blind)
+versus the paper's Algorithm 4 / Algorithm 5, which respect the graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.suites import random_r2_instance
+from repro.analysis.tables import format_table
+from repro.core.r2_fptas import r2_fptas
+from repro.core.r2_two_approx import r2_two_approx
+from repro.graphs.generators import empty_graph
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UnrelatedInstance
+from repro.scheduling.lp_rounding import lst_two_approx
+
+from benchmarks._common import emit_table
+
+
+def _graph_free_r(n, m, seed, high=30):
+    rng = np.random.default_rng(seed)
+    times = rng.integers(1, high, size=(m, n)).tolist()
+    return UnrelatedInstance(empty_graph(n), times)
+
+
+def test_e12_certified_factor_two(benchmark):
+    def build():
+        rows = []
+        worst = 0.0
+        for n, m in [(8, 2), (12, 3), (16, 4), (24, 4), (30, 5)]:
+            ratios = []
+            for seed in range(5):
+                inst = _graph_free_r(n, m, seed=1000 * n + seed)
+                result = lst_two_approx(inst)
+                ratios.append(result.certified_ratio)
+            rows.append(
+                [n, m, float(np.mean(ratios)), float(np.max(ratios))]
+            )
+            worst = max(worst, max(ratios))
+        return rows, worst
+
+    rows, worst = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E12_lst_certified",
+        format_table(
+            ["n", "m", "mean Cmax/T*", "max"],
+            rows,
+            title="E12: LST rounding, certified ratio vs the LP deadline",
+        ),
+    )
+    # shape: [18] guarantees a factor 2 (plus search tolerance)
+    assert worst <= 2.0 + 1e-6
+
+
+def test_e12_price_of_incompatibility_r2(benchmark):
+    """Against the exact constrained optimum, LST shows what ignoring the
+    graph would cost (or illegally save)."""
+
+    def build():
+        rows = []
+        for seed in range(6):
+            inst = random_r2_instance(n=12, seed=200 + seed)
+            opt = brute_force_makespan(inst)
+            lst = lst_two_approx(inst)
+            alg4 = r2_two_approx(inst)
+            alg5 = r2_fptas(inst, eps="1/10")
+            rows.append(
+                [
+                    seed,
+                    float(opt),
+                    float(alg4.makespan / opt),
+                    float(alg5.makespan / opt),
+                    float(lst.schedule.makespan / opt),
+                    lst.schedule.is_feasible(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E12_r2_price_of_incompatibility",
+        format_table(
+            ["seed", "opt Cmax", "Alg4/opt", "Alg5/opt", "LST/opt", "LST feasible"],
+            rows,
+            title="E12: graph-respecting algorithms vs graph-blind LST on R2",
+        ),
+    )
+    # shape: the paper's guarantees hold against the exact optimum
+    for row in rows:
+        assert row[2] <= 2.0 + 1e-9      # Algorithm 4 is 2-approximate
+        assert row[3] <= 1.1 + 1e-9      # Algorithm 5 at eps = 1/10
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_e12_lst_speed(benchmark, n):
+    inst = _graph_free_r(n, 3, seed=n)
+    result = benchmark.pedantic(
+        lambda: lst_two_approx(inst), rounds=2, iterations=1
+    )
+    assert result.certified_ratio <= 2.0 + 1e-6

@@ -1,0 +1,94 @@
+"""E15 — Theorem 17 ([26]): small maximal matchings in ``G(n,n,p)``.
+
+Regenerates: the bracket ``Zito bound < beta <= small-heuristic <= mu``
+measured over seeded samples in the ``p = omega(1/n)`` regime the
+theorem covers, plus an exact-beta cross-check at tiny sizes.  The
+theorem feeds Corollary 18, which is what lets Algorithm 2 assume a
+near-perfect matching a.a.s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.graphs.matching import maximum_matching_size
+from repro.graphs.maximal_matching import (
+    matching_size,
+    minimum_maximal_matching_size,
+    small_maximal_matching,
+)
+from repro.random_graphs.gilbert import gnnp
+from repro.random_graphs.theory import zito_min_maximal_matching_bound
+
+from benchmarks._common import emit_table
+
+
+def test_e15_bracket_table(benchmark):
+    def build():
+        rows = []
+        violations = 0
+        for n, p in [(50, 0.2), (100, 0.1), (200, 0.05), (400, 0.05), (400, 0.1)]:
+            smalls, mus = [], []
+            for seed in range(5):
+                g = gnnp(n, p, seed=10_000 + 31 * n + seed)
+                smalls.append(matching_size(small_maximal_matching(g)))
+                mus.append(maximum_matching_size(g))
+            bound = zito_min_maximal_matching_bound(n, p)
+            mean_small = float(np.mean(smalls))
+            mean_mu = float(np.mean(mus))
+            if mean_small <= bound:
+                violations += 1
+            rows.append(
+                [n, p, round(bound, 1), mean_small, mean_mu, mean_mu / n]
+            )
+        return rows, violations
+
+    rows, violations = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E15_zito_bracket",
+        format_table(
+            ["n", "p", "Zito bound", "beta (heuristic)", "mu", "mu/n"],
+            rows,
+            title="E15 (Thm 17): smallest maximal matching vs the a.a.s. bound",
+        ),
+    )
+    # shape: the heuristic beta estimate sits above Zito's lower bound
+    # (the bound is asymptotic; at these sizes it already holds)
+    assert violations == 0
+    # shape: mu/n -> 1 in this regime (Corollary 18)
+    assert rows[-1][5] > 0.9
+
+
+def test_e15_exact_beta_cross_check(benchmark):
+    """At tiny sizes the heuristic is audited against exact beta."""
+
+    def build():
+        gaps = []
+        for seed in range(12):
+            g = gnnp(5, 0.4, seed=seed)
+            exact = minimum_maximal_matching_size(g)
+            heuristic = matching_size(small_maximal_matching(g))
+            assert heuristic >= exact
+            gaps.append(heuristic - exact)
+        return gaps
+
+    gaps = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E15_exact_cross_check",
+        format_table(
+            ["statistic", "value"],
+            [
+                ["samples", len(gaps)],
+                ["mean heuristic - beta", float(np.mean(gaps))],
+                ["max gap", int(np.max(gaps))],
+            ],
+            title="E15: small-matching heuristic audited against exact beta",
+        ),
+    )
+
+
+@pytest.mark.parametrize("n", [100, 400, 800])
+def test_e15_heuristic_speed(benchmark, n):
+    g = gnnp(n, 10.0 / n, seed=n)
+    mate = benchmark(lambda: small_maximal_matching(g))
+    assert matching_size(mate) > 0

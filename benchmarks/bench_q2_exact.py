@@ -1,0 +1,73 @@
+"""E1 — Theorem 4: the exact algorithm for Q2|G=bipartite, p_j=1|Cmax.
+
+Regenerates: optimality cross-check of both split-feasibility methods
+(the paper's FPTAS construction and the direct subset-sum) against brute
+force, plus runtime scaling of the practical method.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.q2_unit_exact import q2_unit_exact
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import unit_uniform_instance
+
+from benchmarks._common import emit_table
+
+SPEEDS = (Fraction(3), Fraction(2))
+
+
+def make_instance(n_side: int, seed: int):
+    graph = gnnp(n_side, 2.0 / n_side, seed=seed)
+    return unit_uniform_instance(graph, SPEEDS)
+
+
+def test_e1_table(benchmark):
+    rows = []
+    rng = np.random.default_rng(1)
+
+    def build():
+        out = []
+        # oracle regime: compare against brute force
+        for n_side in (3, 4, 5):
+            inst = make_instance(n_side, seed=int(rng.integers(1 << 30)))
+            sub = q2_unit_exact(inst, method="subset_sum").makespan
+            fpt = q2_unit_exact(inst, method="fptas").makespan
+            opt = brute_force_makespan(inst)
+            assert sub == fpt == opt
+            out.append([inst.n, "both vs brute force", float(opt), "exact match"])
+        # self-consistency regime: the two methods at larger n
+        for n_side in (20, 60, 150):
+            inst = make_instance(n_side, seed=int(rng.integers(1 << 30)))
+            sub = q2_unit_exact(inst, method="subset_sum").makespan
+            out.append([inst.n, "subset_sum", float(sub), "reference"])
+        return out
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E1_q2_exact",
+        format_table(
+            ["n jobs", "method", "optimum Cmax", "check"],
+            rows,
+            title="E1 (Theorem 4): exact Q2 unit-job algorithm",
+        ),
+    )
+
+
+@pytest.mark.parametrize("n_side", [25, 100, 300])
+def test_e1_subset_sum_speed(benchmark, n_side):
+    inst = make_instance(n_side, seed=7)
+    result = benchmark(lambda: q2_unit_exact(inst, method="subset_sum"))
+    assert result.is_feasible()
+
+
+def test_e1_paper_fptas_method_speed(benchmark):
+    inst = make_instance(12, seed=9)
+    result = benchmark.pedantic(
+        lambda: q2_unit_exact(inst, method="fptas"), rounds=1, iterations=1
+    )
+    assert result.is_feasible()

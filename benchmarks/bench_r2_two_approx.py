@@ -1,0 +1,66 @@
+"""E5 — Algorithm 4 / Theorem 21: 2-approximation on two unrelated machines.
+
+Regenerates: measured ratio vs the exact DP optimum across instance sizes
+and conflict densities, plus the O(n) runtime scaling claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratio import collect_ratio_stats
+from repro.analysis.suites import random_r2_instance
+from repro.analysis.tables import format_table
+from repro.core.r2_fptas import r2_fptas
+from repro.core.r2_reduction import reduce_r2
+from repro.core.r2_two_approx import r2_two_approx
+from repro.scheduling.dp_unrelated import solve_r2_dp
+
+from benchmarks._common import emit_table
+
+
+def exact_optimum(instance):
+    """Exact optimum via Algorithm 3 + untrimmed DP on the components."""
+    red = reduce_r2(instance)
+    rows = red.dummy_matrix()
+    rows[0].extend([red.private_load_m1, None])
+    rows[1].extend([None, red.private_load_m2])
+    return solve_r2_dp(rows).makespan
+
+
+def test_e5_ratio_table(benchmark):
+    def build():
+        rows = []
+        rng = np.random.default_rng(50)
+        for n in (20, 60, 150):
+            for density in (0.05, 0.2, 0.5):
+                ratios = []
+                for _ in range(6):
+                    inst = random_r2_instance(
+                        n, edge_probability=density, seed=int(rng.integers(1 << 30))
+                    )
+                    s = r2_two_approx(inst)
+                    opt = exact_optimum(inst)
+                    ratio = float(s.makespan / opt)
+                    assert s.makespan <= 2 * opt  # Theorem 21
+                    ratios.append(ratio)
+                stats = collect_ratio_stats(ratios)
+                rows.append([n, density, stats.mean, stats.maximum])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E5_r2_two_approx",
+        format_table(
+            ["n jobs", "edge density", "mean ratio", "max ratio"],
+            rows,
+            title="E5 (Thm 21): Algorithm 4 vs exact optimum (bound: 2)",
+        ),
+    )
+
+
+@pytest.mark.parametrize("n", [50, 200, 800, 3200])
+def test_e5_linear_time_scaling(benchmark, n):
+    """Theorem 21 claims O(n); the per-size medians should scale ~linearly."""
+    inst = random_r2_instance(n, edge_probability=min(0.2, 20.0 / n), seed=51)
+    s = benchmark(lambda: r2_two_approx(inst))
+    assert s.is_feasible()

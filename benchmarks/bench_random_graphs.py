@@ -1,0 +1,74 @@
+"""E3 — Algorithm 2 / Theorem 19: a.a.s. 2-approximation on G(n, n, p).
+
+Regenerates: the ratio series makespan / C**max over growing n in the
+three p(n) regimes (the finite-n shape of the theorem's asymptotic
+promise), for two speed profiles.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.random_graph_scheduler import random_graph_schedule
+from repro.random_graphs.gilbert import gnnp
+from repro.random_graphs.regimes import Regime, probability_for_regime
+from repro.scheduling.bounds import min_cover_time
+from repro.scheduling.instance import unit_uniform_instance
+
+from benchmarks._common import emit_table
+
+PROFILES = {
+    "mixed": (Fraction(8), Fraction(4), Fraction(2), Fraction(1), Fraction(1)),
+    "identical": (Fraction(1),) * 5,
+}
+SAMPLES = 5
+
+
+def worst_ratio(n: int, regime: Regime, speeds, rng) -> float:
+    p = probability_for_regime(regime, n)
+    worst = 0.0
+    for _ in range(SAMPLES):
+        graph = gnnp(n, p, seed=rng)
+        inst = unit_uniform_instance(graph, speeds)
+        schedule = random_graph_schedule(inst)
+        lower = min_cover_time(inst.speeds, inst.n)
+        worst = max(worst, float(schedule.makespan / lower))
+    return worst
+
+
+def test_e3_regime_series(benchmark):
+    def build():
+        rng = np.random.default_rng(30)
+        rows = []
+        for pname, speeds in PROFILES.items():
+            for n in (50, 100, 200, 400):
+                row = [pname, n]
+                for regime in Regime:
+                    row.append(worst_ratio(n, regime, speeds, rng))
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E3_random_graph_ratio",
+        format_table(
+            ["speeds", "n/side", "subcritical", "critical a=2", "supercritical"],
+            rows,
+            title=(
+                "E3 (Thm 19): Algorithm 2 worst Cmax/C**max over "
+                f"{SAMPLES} samples — the paper promises a.a.s. <= 2"
+            ),
+        ),
+    )
+    # the theorem's shape: no regime drifts above 2 by more than finite-n noise
+    assert all(r[2] <= 2.6 and r[3] <= 2.6 and r[4] <= 2.6 for r in rows)
+
+
+@pytest.mark.parametrize("n", [100, 400, 1000])
+def test_e3_algorithm2_speed(benchmark, n):
+    graph = gnnp(n, 2.0 / n, seed=31)
+    inst = unit_uniform_instance(graph, PROFILES["mixed"])
+    s = benchmark(lambda: random_graph_schedule(inst))
+    assert s.is_feasible()

@@ -1,0 +1,87 @@
+"""E10 — Lemma 10: runtime scaling of Algorithm 1 and its components.
+
+The paper claims ``O(|J|^2 + |J||E| + |M| log |M|)``.  This harness times
+the three dominant pieces (heavy-set screening + max-weight independent
+set via flow, inequitable coloring, C**max computation) and the whole
+algorithm across a size sweep; pytest-benchmark's per-size medians expose
+the growth rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.graphs.coloring import inequitable_two_coloring
+from repro.graphs.independent_set import max_weight_independent_set
+from repro.machines.profiles import power_law_speeds
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.bounds import uniform_capacity_lower_bound
+from repro.scheduling.instance import UniformInstance
+
+from benchmarks._common import emit_table
+
+
+def make_instance(n_side: int, m: int, seed: int) -> UniformInstance:
+    graph = gnnp(n_side, 3.0 / n_side, seed=seed)
+    rng = np.random.default_rng(seed)
+    p = [int(x) for x in rng.integers(1, 15, graph.n)]
+    return UniformInstance(graph, p, power_law_speeds(m))
+
+
+@pytest.mark.parametrize("n_side", [50, 100, 200, 400])
+def test_e10_full_algorithm(benchmark, n_side):
+    inst = make_instance(n_side, 8, seed=100)
+    res = benchmark(lambda: sqrt_approx_schedule(inst, s1_solver="two_approx"))
+    assert res.schedule.is_feasible()
+
+
+@pytest.mark.parametrize("n_side", [100, 400, 1600])
+def test_e10_mwis_component(benchmark, n_side):
+    inst = make_instance(n_side, 4, seed=101)
+    s = benchmark(lambda: max_weight_independent_set(inst.graph, inst.p))
+    assert inst.graph.is_independent_set(s)
+
+
+@pytest.mark.parametrize("n_side", [100, 400, 1600])
+def test_e10_coloring_component(benchmark, n_side):
+    inst = make_instance(n_side, 4, seed=102)
+    c1, c2 = benchmark(lambda: inequitable_two_coloring(inst.graph, inst.p))
+    assert len(c1) + len(c2) == inst.n
+
+
+@pytest.mark.parametrize("m", [8, 64, 512])
+def test_e10_capacity_bound_component(benchmark, m):
+    inst = make_instance(100, m, seed=103)
+    bound = benchmark(lambda: uniform_capacity_lower_bound(inst, inst.total_p // 2))
+    assert bound > 0
+
+
+def test_e10_growth_table(benchmark):
+    """One-shot wall-clock growth table (medians are in the benchmark
+    output; this table gives the at-a-glance shape)."""
+    import time
+
+    def build():
+        rows = []
+        for n_side in (50, 100, 200, 400, 800):
+            inst = make_instance(n_side, 8, seed=104)
+            t0 = time.perf_counter()
+            sqrt_approx_schedule(inst, s1_solver="two_approx")
+            dt = time.perf_counter() - t0
+            rows.append([inst.n, inst.graph.edge_count, dt * 1e3])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    # sanity on the growth shape: 16x jobs should cost far less than
+    # the naive cubic blowup (4096x); allow generous noise
+    t_small, t_big = rows[0][2], rows[-1][2]
+    assert t_big < t_small * 1500
+    emit_table(
+        "E10_scaling",
+        format_table(
+            ["n jobs", "|E|", "Algorithm 1 time (ms)"],
+            rows,
+            title="E10 (Lemma 10): Algorithm 1 wall-clock growth",
+        ),
+    )

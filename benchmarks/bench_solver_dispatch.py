@@ -1,0 +1,92 @@
+"""E14 — the structure-aware dispatcher picks the strongest method.
+
+Regenerates: a table showing, per graph family, which algorithm ``auto``
+dispatch selects and how its makespan compares against the exact optimum
+(small instances, brute-force oracle).  Exact-capable families must come
+out exact; approximations must stay within their guarantees.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.graphs import generators
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UnrelatedInstance, unit_uniform_instance
+from repro.solvers import _auto_choice, solve
+
+from benchmarks._common import emit_table
+
+F = Fraction
+
+
+def _cases():
+    rng = np.random.default_rng(14)
+    yield "K_{3,3} unit Q", unit_uniform_instance(
+        generators.complete_bipartite(3, 3), [F(3), F(2), F(1)]
+    ), True
+    yield "crown(4) unit Q2", unit_uniform_instance(
+        generators.crown(4), [F(2), F(1)]
+    ), True
+    yield "empty P3", unit_uniform_instance(
+        generators.empty_graph(7), [F(1), F(1), F(1)]
+    ), False
+    yield "G(5,5,0.2) unit Q3", unit_uniform_instance(
+        gnnp(5, 0.2, seed=rng), [F(3), F(2), F(1)]
+    ), False
+    graph = generators.matching_graph(4)
+    times = rng.integers(1, 15, size=(2, graph.n)).tolist()
+    yield "matching R2", UnrelatedInstance(graph, times), False
+    graph3 = generators.empty_graph(6)
+    times3 = rng.integers(1, 15, size=(3, graph3.n)).tolist()
+    yield "empty R3", UnrelatedInstance(graph3, times3), False
+
+
+def test_e14_dispatch_table(benchmark):
+    def build():
+        rows = []
+        for name, inst, must_be_exact in _cases():
+            chosen = _auto_choice(inst)
+            schedule = solve(inst)
+            opt = brute_force_makespan(inst)
+            ratio = float(schedule.makespan / opt)
+            if must_be_exact:
+                assert schedule.makespan == opt, name
+            rows.append(
+                [name, chosen, float(opt), float(schedule.makespan), ratio]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E14_dispatch",
+        format_table(
+            ["instance", "auto choice", "opt Cmax", "auto Cmax", "ratio"],
+            rows,
+            title="E14: structure-aware dispatch vs brute-force optimum",
+        ),
+    )
+    # shape: dispatch never exceeds twice the optimum on this suite and
+    # the exact-capable rows are exact
+    for row in rows:
+        assert row[4] <= 2.0 + 1e-9
+
+
+@pytest.mark.parametrize(
+    "family,builder",
+    [
+        ("complete_bipartite", lambda: unit_uniform_instance(
+            generators.complete_bipartite(12, 8), [F(3), F(2), F(1)])),
+        ("crown", lambda: unit_uniform_instance(
+            generators.crown(10), [F(2), F(1)])),
+        ("gnnp", lambda: unit_uniform_instance(
+            gnnp(12, 0.1, seed=5), [F(3), F(2), F(1)])),
+    ],
+)
+def test_e14_dispatch_speed(benchmark, family, builder):
+    inst = builder()
+    schedule = benchmark(lambda: solve(inst))
+    assert schedule.is_feasible()

@@ -1,0 +1,98 @@
+"""E2 — Algorithm 1 / Theorem 9: ratio of the sqrt(sum p_j)-approximation.
+
+Regenerates: measured ratio (vs exact C**max lower bound; vs brute-force
+optimum at oracle sizes) per graph family and speed profile, against the
+theoretical sqrt(sum p_j) envelope.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratio import collect_ratio_stats
+from repro.analysis.suites import (
+    job_weight_profile,
+    speed_profile_suite,
+    standard_graph_families,
+)
+from repro.analysis.tables import format_table
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.scheduling.bounds import min_cover_time
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance
+
+from benchmarks._common import emit_table
+
+from tests.conftest import random_uniform_instance
+
+
+def test_e2_family_table(benchmark):
+    def build():
+        rows = []
+        rng = np.random.default_rng(2)
+        for gname, graph in standard_graph_families(24, seed=3):
+            p = job_weight_profile(graph.n, "uniform", seed=rng)
+            for sname, speeds in speed_profile_suite(5, seed=rng):
+                inst = UniformInstance(graph, p, speeds)
+                res = sqrt_approx_schedule(inst, s1_solver="two_approx")
+                lower = res.capacity_bound or min_cover_time(
+                    inst.speeds, inst.total_p
+                )
+                ratio = float(res.schedule.makespan / lower)
+                envelope = math.sqrt(inst.total_p)
+                assert res.schedule.is_feasible()
+                rows.append([gname, sname, res.chosen, ratio, envelope])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    worst = max(r[3] for r in rows)
+    emit_table(
+        "E2_sqrt_approx_families",
+        format_table(
+            ["graph", "speeds", "chosen", "Cmax/C**", "sqrt(sum p)"],
+            rows,
+            title=(
+                "E2 (Thm 9): Algorithm 1 measured ratio vs capacity bound "
+                f"(worst {worst:.2f}, all far below the envelope)"
+            ),
+        ),
+    )
+
+
+def test_e2_exact_ratio_small(benchmark):
+    """Oracle-size run: ratio vs the true optimum."""
+
+    def build():
+        rng = np.random.default_rng(4)
+        ratios = []
+        for _ in range(25):
+            inst = random_uniform_instance(rng, max_jobs=8, max_machines=4)
+            res = sqrt_approx_schedule(inst)
+            opt = brute_force_makespan(inst)
+            ratios.append(float(res.schedule.makespan / opt))
+            assert res.schedule.makespan**2 <= inst.total_p * opt**2
+        return collect_ratio_stats(ratios)
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "E2_sqrt_approx_exact",
+        format_table(
+            ["instances", "mean ratio", "min", "max"],
+            [[stats.count, stats.mean, stats.minimum, stats.maximum]],
+            title="E2 (Thm 9): Algorithm 1 vs exact optimum (oracle sizes)",
+        ),
+    )
+    assert stats.maximum < 2.5  # empirically far below the sqrt envelope
+
+
+@pytest.mark.parametrize("n", [40, 120])
+def test_e2_algorithm1_speed(benchmark, n):
+    rng = np.random.default_rng(5)
+    from repro.random_graphs.gilbert import gnnp
+
+    graph = gnnp(n // 2, 3.0 / n, seed=rng)
+    p = job_weight_profile(graph.n, "uniform", seed=rng)
+    inst = UniformInstance(graph, p, speed_profile_suite(6, seed=rng)[1][1])
+    res = benchmark(lambda: sqrt_approx_schedule(inst, s1_solver="two_approx"))
+    assert res.schedule.is_feasible()

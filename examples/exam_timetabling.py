@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Complete bipartite conflicts: exam seating across two cohorts.
+
+Two cohorts sit different exams; *any* cross-cohort pair in the same
+room enables answer sharing, so the conflict graph is complete
+bipartite: each room (machine) may seat students of one cohort only.
+Rooms differ in invigilation throughput (uniform speeds), students are
+unit jobs — precisely ``Q|G = complete bipartite, p_j = 1|Cmax``, the
+case [20]/[24] solve exactly in polynomial time under unary encoding.
+
+The example also shows the structure-aware dispatcher recognising the
+instance and routing it to the exact method on its own, and compares
+against Algorithm 1, which only promises a ``sqrt(sum p_j)`` factor.
+
+Run:  python examples/exam_timetabling.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    analyze_structure,
+    schedule_complete_bipartite_unit,
+    solve,
+    sqrt_approx_schedule,
+    unit_uniform_instance,
+)
+from repro.analysis.gantt import render_schedule_summary
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import complete_bipartite
+
+
+def main() -> None:
+    cohort_a, cohort_b = 120, 75
+    conflicts = complete_bipartite(cohort_a, cohort_b)
+
+    # a handful of students with separate accommodations conflict with
+    # no one — isolated vertices the exact algorithm slots into surplus
+    isolated = BipartiteGraph(9)
+    conflicts = conflicts.disjoint_union(isolated)
+
+    # room throughputs: students processed per hour
+    speeds = [Fraction(40), Fraction(30), Fraction(20), Fraction(12), Fraction(6)]
+    instance = unit_uniform_instance(conflicts, speeds)
+
+    structure = analyze_structure(instance.graph)
+    print("structure:", structure.describe())
+
+    exact = schedule_complete_bipartite_unit(instance)
+    print(f"\nexact unary algorithm: Cmax = {float(exact.makespan):.2f} hours")
+    print(render_schedule_summary(exact))
+
+    auto = solve(instance)  # the dispatcher should find the same optimum
+    assert auto.makespan == exact.makespan
+    print("\nauto dispatch reproduces the exact makespan "
+          f"({float(auto.makespan):.2f} h)")
+
+    approx = sqrt_approx_schedule(instance, s1_solver="two_approx").schedule
+    print(
+        f"Algorithm 1 (general-purpose) on the same instance: "
+        f"{float(approx.makespan):.2f} h "
+        f"({float(approx.makespan / exact.makespan):.2f}x the optimum)"
+    )
+    assert approx.makespan >= exact.makespan
+
+
+if __name__ == "__main__":
+    main()

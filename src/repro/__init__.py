@@ -1,0 +1,160 @@
+"""repro — reproduction of *"Scheduling on uniform and unrelated machines
+with bipartite incompatibility graphs"* (Pikies & Furmańczyk, IPPS 2022,
+arXiv:2106.14354).
+
+The model: jobs with a bipartite *incompatibility graph* must be assigned
+to machines so that each machine's job set is an independent set, while
+minimising makespan.  This package provides
+
+* the paper's algorithms — Algorithm 1 (:func:`sqrt_approx_schedule`),
+  Algorithm 2 (:func:`random_graph_schedule`), Algorithms 3-5 for two
+  unrelated machines (:func:`reduce_r2`, :func:`r2_two_approx`,
+  :func:`r2_fptas`) and the exact ``Q2`` unit-job algorithm of Theorem 4
+  (:func:`q2_unit_exact`);
+* the substrate they need — bipartite graph algorithms (matching,
+  König covers, max-weight independent sets, inequitable colorings),
+  exact capacity lower bounds, list scheduling, exact solvers;
+* the hardness constructions of Theorems 8 and 24 as executable
+  reductions; and
+* the Section 4.1 random-graph theory with Monte-Carlo estimators.
+
+Quickstart::
+
+    from fractions import Fraction
+    from repro import BipartiteGraph, UniformInstance, sqrt_approx_schedule
+
+    graph = BipartiteGraph(4, [(0, 2), (1, 3)])      # two incompatible pairs
+    inst = UniformInstance(graph, p=[5, 3, 4, 2], speeds=[3, 2, 1])
+    result = sqrt_approx_schedule(inst)
+    print(result.schedule.assignment, result.schedule.makespan)
+"""
+
+from repro.exceptions import (
+    ReproError,
+    NotBipartiteError,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+)
+from repro.graphs import (
+    BipartiteGraph,
+    connected_components,
+    proper_two_coloring,
+    inequitable_two_coloring,
+    hopcroft_karp,
+    maximum_matching_size,
+    konig_vertex_cover,
+    min_weight_vertex_cover,
+    max_weight_independent_set,
+    max_weight_independent_set_containing,
+    independence_number,
+    PrExtInstance,
+    solve_prext,
+)
+from repro.scheduling import (
+    UniformInstance,
+    UnrelatedInstance,
+    identical_instance,
+    unit_uniform_instance,
+    make_uniform_instance,
+    Schedule,
+    schedule_from_groups,
+    min_cover_time,
+    uniform_capacity_lower_bound,
+    brute_force_optimal,
+    solve_r2_dp,
+    graph_aware_greedy,
+    bjw_identical_approx,
+)
+from repro.core import (
+    sqrt_approx_schedule,
+    satisfies_sqrt_guarantee,
+    SqrtApproxResult,
+    random_graph_schedule,
+    reduce_r2,
+    r2_two_approx,
+    r2_fptas,
+    q2_unit_exact,
+    feasible_first_machine_counts,
+)
+from repro.hardness import theorem8_reduction, theorem24_reduction
+from repro.random_graphs import gnnp
+
+__version__ = "1.0.0"
+
+# imported below the paper-facing API so the registry sees every algorithm
+from repro.core import (
+    MultipartiteSolution,
+    complete_multipartite_min_time,
+    schedule_complete_bipartite_unit,
+)
+from repro.graphs import GraphStructure, analyze_structure
+from repro.scheduling import (
+    DualApproxResult,
+    LpRoundingResult,
+    dual_approx_identical,
+    lst_two_approx,
+    r_color_split,
+)
+from repro.solvers import ALGORITHMS, AlgorithmSpec, available_algorithms, solve
+
+__all__ = [
+    "ReproError",
+    "NotBipartiteError",
+    "InfeasibleInstanceError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "BipartiteGraph",
+    "connected_components",
+    "proper_two_coloring",
+    "inequitable_two_coloring",
+    "hopcroft_karp",
+    "maximum_matching_size",
+    "konig_vertex_cover",
+    "min_weight_vertex_cover",
+    "max_weight_independent_set",
+    "max_weight_independent_set_containing",
+    "independence_number",
+    "PrExtInstance",
+    "solve_prext",
+    "UniformInstance",
+    "UnrelatedInstance",
+    "identical_instance",
+    "unit_uniform_instance",
+    "make_uniform_instance",
+    "Schedule",
+    "schedule_from_groups",
+    "min_cover_time",
+    "uniform_capacity_lower_bound",
+    "brute_force_optimal",
+    "solve_r2_dp",
+    "graph_aware_greedy",
+    "bjw_identical_approx",
+    "sqrt_approx_schedule",
+    "satisfies_sqrt_guarantee",
+    "SqrtApproxResult",
+    "random_graph_schedule",
+    "reduce_r2",
+    "r2_two_approx",
+    "r2_fptas",
+    "q2_unit_exact",
+    "feasible_first_machine_counts",
+    "theorem8_reduction",
+    "theorem24_reduction",
+    "gnnp",
+    "MultipartiteSolution",
+    "complete_multipartite_min_time",
+    "schedule_complete_bipartite_unit",
+    "GraphStructure",
+    "analyze_structure",
+    "DualApproxResult",
+    "LpRoundingResult",
+    "dual_approx_identical",
+    "lst_two_approx",
+    "r_color_split",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "available_algorithms",
+    "solve",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Experiment infrastructure: ratio measurement, parameter sweeps,
+plain-text table rendering, and the named instance suites every benchmark
+draws from (so results are comparable across experiments)."""
+
+from repro.analysis.ratio import RatioStats, ratio_of, collect_ratio_stats
+from repro.analysis.tables import format_table, render_number
+from repro.analysis.experiments import run_grid, ExperimentRow
+from repro.analysis.gantt import render_gantt, render_schedule_summary
+from repro.analysis.speed_probe import (
+    ProbeResult,
+    worst_ratio_exhaustive,
+    worst_ratio_sampled,
+)
+from repro.analysis.suites import (
+    standard_graph_families,
+    job_weight_profile,
+    speed_profile_suite,
+    random_r2_instance,
+    standard_uniform_suite,
+)
+
+__all__ = [
+    "RatioStats",
+    "ratio_of",
+    "collect_ratio_stats",
+    "format_table",
+    "render_number",
+    "run_grid",
+    "ExperimentRow",
+    "render_gantt",
+    "render_schedule_summary",
+    "ProbeResult",
+    "worst_ratio_exhaustive",
+    "worst_ratio_sampled",
+    "standard_graph_families",
+    "job_weight_profile",
+    "speed_profile_suite",
+    "random_r2_instance",
+    "standard_uniform_suite",
+]

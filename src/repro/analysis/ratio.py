@@ -1,0 +1,52 @@
+"""Approximation-ratio bookkeeping.
+
+Ratios compare a schedule's makespan against a *reference*: the exact
+optimum where affordable, otherwise an exact lower bound (``C**max`` et
+al.), in which case the reported number upper-bounds the true ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+__all__ = ["RatioStats", "ratio_of", "collect_ratio_stats"]
+
+
+def ratio_of(value: Fraction, reference: Fraction) -> float:
+    """``value / reference`` as a float; 1.0 when both are zero."""
+    if reference == 0:
+        if value == 0:
+            return 1.0
+        raise ZeroDivisionError("positive makespan against a zero reference")
+    return float(value / reference)
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Summary statistics over a set of measured ratios."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def collect_ratio_stats(ratios: Iterable[float]) -> RatioStats:
+    """Aggregate an iterable of ratios (must be non-empty)."""
+    values = list(ratios)
+    if not values:
+        raise ValueError("no ratios to aggregate")
+    return RatioStats(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,79 @@
+"""Aggregate regenerated experiment tables into one report.
+
+Every benchmark writes its table to ``benchmarks/out/<id>.txt``
+(:mod:`benchmarks._common`); :func:`collect_tables` gathers them,
+:func:`render_report` produces a single markdown document grouping
+tables by experiment id, and the CLI exposes it as
+``python -m repro report``.  The report is regenerable evidence — the
+reproduction's equivalent of the paper's (absent) results section.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ExperimentTable", "collect_tables", "render_report"]
+
+_ID_RE = re.compile(r"^(E\d+)", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ExperimentTable:
+    """One emitted table: its experiment id, name and text content."""
+
+    experiment: str
+    name: str
+    content: str
+    path: Path
+
+
+def collect_tables(out_dir: str | Path) -> list[ExperimentTable]:
+    """Read every ``*.txt`` table under ``out_dir``, sorted by id.
+
+    Files whose names do not start with an experiment id (``E<number>``)
+    are grouped under ``"misc"``.
+    """
+    directory = Path(out_dir)
+    tables: list[ExperimentTable] = []
+    for path in sorted(directory.glob("*.txt")):
+        match = _ID_RE.match(path.stem)
+        experiment = match.group(1).upper() if match else "misc"
+        tables.append(
+            ExperimentTable(
+                experiment=experiment,
+                name=path.stem,
+                content=path.read_text(encoding="utf-8").rstrip(),
+                path=path,
+            )
+        )
+    tables.sort(key=lambda t: (_sort_key(t.experiment), t.name))
+    return tables
+
+
+def _sort_key(experiment: str) -> tuple[int, int]:
+    if experiment == "misc":
+        return (1, 0)
+    return (0, int(experiment[1:]))
+
+
+def render_report(tables: list[ExperimentTable], title: str | None = None) -> str:
+    """Render collected tables as one markdown document."""
+    lines: list[str] = [f"# {title or 'Regenerated experiment tables'}", ""]
+    if not tables:
+        lines.append("*(no tables found — run `pytest benchmarks/ --benchmark-only`)*")
+        return "\n".join(lines) + "\n"
+    current = None
+    for table in tables:
+        if table.experiment != current:
+            current = table.experiment
+            lines.append(f"## {current}")
+            lines.append("")
+        lines.append(f"### {table.name}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(table.content)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Empirical probe for the paper's first open problem (Section 6).
+
+The paper asks: *for a given, fixed sequence of machine speeds, what is
+the best achievable approximation ratio?*  (For equal speeds [3] proves
+the answer is exactly 2.)  No method for computing this is known; this
+module provides the measurement harness such a study needs:
+
+* :func:`worst_ratio_exhaustive` — enumerate **every** bipartite
+  incompatibility graph on ``n`` unit jobs (up to the bipartition sizes)
+  and report the worst ``Cmax(alg) / C*max`` an algorithm attains on the
+  fixed speeds.  Exact and exhaustive, so feasible only for small ``n``;
+  it yields true lower bounds on the algorithm's approximation ratio for
+  those speeds.
+* :func:`worst_ratio_sampled` — the same probe over seeded random
+  instances for larger ``n``.
+
+Both return the witness instance achieving the worst ratio, so hard
+cases can be inspected, saved (:mod:`repro.io`) and minimised by hand —
+the workflow the open problem invites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError, ReproError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance, unit_uniform_instance
+from repro.scheduling.schedule import Schedule
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ProbeResult", "worst_ratio_exhaustive", "worst_ratio_sampled"]
+
+Algorithm = Callable[[UniformInstance], Schedule]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Worst case found by a probe.
+
+    ``ratio`` is exact (``Fraction``); ``witness`` is the instance
+    achieving it and ``witness_makespan`` / ``witness_optimum`` its two
+    sides.  ``instances_tried`` counts instances actually evaluated
+    (infeasible or degenerate candidates are skipped and not counted).
+    """
+
+    ratio: Fraction
+    witness: UniformInstance | None
+    witness_makespan: Fraction
+    witness_optimum: Fraction
+    instances_tried: int
+
+
+def _probe(
+    instances,
+    algorithm: Algorithm,
+) -> ProbeResult:
+    worst = Fraction(0)
+    witness = None
+    w_mk = w_opt = Fraction(0)
+    tried = 0
+    for inst in instances:
+        try:
+            schedule = algorithm(inst)
+        except ReproError:
+            continue  # algorithm declines this instance (e.g. m too small)
+        if not schedule.is_feasible():
+            raise InvalidInstanceError(
+                "probed algorithm returned an infeasible schedule"
+            )
+        optimum = brute_force_makespan(inst)
+        tried += 1
+        if optimum == 0:
+            continue
+        ratio = schedule.makespan / optimum
+        if ratio > worst:
+            worst, witness = ratio, inst
+            w_mk, w_opt = schedule.makespan, optimum
+    return ProbeResult(worst, witness, w_mk, w_opt, tried)
+
+
+def _all_bipartite_graphs(left: int, right: int):
+    """Every spanning subgraph of ``K_{left,right}`` (by edge subset)."""
+    cells = [(i, j) for i in range(left) for j in range(right)]
+    for k in range(len(cells) + 1):
+        for subset in combinations(cells, k):
+            yield BipartiteGraph.from_parts(left, right, list(subset))
+
+
+def worst_ratio_exhaustive(
+    speeds: Sequence[Fraction],
+    left: int,
+    right: int,
+    algorithm: Algorithm,
+    weights: Sequence[int] | None = None,
+) -> ProbeResult:
+    """Exhaustive probe over all bipartite graphs on the given parts.
+
+    ``weights`` fixes the processing requirements (default: unit jobs;
+    pass weights with ``sum > 16`` to exercise Algorithm 1's
+    approximation path rather than its exact base case).  The number of
+    instances is ``2^(left*right)``; keep ``left * right`` at 16 or
+    below.  The returned ratio is a certified lower bound on the
+    algorithm's worst-case ratio for these speeds.
+    """
+    if left * right > 16:
+        raise InvalidInstanceError(
+            f"exhaustive probe over 2^{left * right} graphs is not sensible; "
+            "use worst_ratio_sampled"
+        )
+    if weights is not None and len(weights) != left + right:
+        raise InvalidInstanceError(
+            f"{len(weights)} weights for {left + right} jobs"
+        )
+
+    def gen():
+        for g in _all_bipartite_graphs(left, right):
+            if weights is None:
+                yield unit_uniform_instance(g, speeds)
+            else:
+                yield UniformInstance(g, weights, speeds)
+
+    return _probe(gen(), algorithm)
+
+
+def worst_ratio_sampled(
+    speeds: Sequence[Fraction],
+    n_side: int,
+    algorithm: Algorithm,
+    samples: int = 50,
+    edge_probability: float | None = None,
+    max_p: int = 1,
+    seed=None,
+) -> ProbeResult:
+    """Randomised probe: seeded ``G(n,n,p)`` graphs, optional random
+    integer weights up to ``max_p`` (``1`` keeps jobs unit).
+
+    ``edge_probability=None`` samples a fresh ``p`` per instance
+    (log-uniform between ``1/(4n)`` and ``1``) so all three density
+    regimes are visited.
+    """
+    rng = ensure_rng(seed)
+
+    def gen():
+        for _ in range(samples):
+            p = (
+                edge_probability
+                if edge_probability is not None
+                else float(np.exp(rng.uniform(np.log(0.25 / n_side), 0.0)))
+            )
+            graph = gnnp(n_side, p, seed=rng)
+            if max_p <= 1:
+                yield unit_uniform_instance(graph, speeds)
+            else:
+                weights = [int(x) for x in rng.integers(1, max_p + 1, size=graph.n)]
+                yield UniformInstance(graph, weights, speeds)
+
+    return _probe(gen(), algorithm)

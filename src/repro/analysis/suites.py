@@ -1,0 +1,133 @@
+"""Named instance suites shared by the benchmarks.
+
+Keeping the workloads in one place makes experiment tables comparable:
+E2 (Algorithm 1 ratios), E5/E6 (R2 algorithms) and E9 (baseline
+comparison) all draw from these families.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.machines.profiles import (
+    geometric_speeds,
+    identical_speeds,
+    power_law_speeds,
+    random_integer_speeds,
+    two_fast_speeds,
+)
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "standard_graph_families",
+    "job_weight_profile",
+    "speed_profile_suite",
+    "random_r2_instance",
+    "standard_uniform_suite",
+]
+
+WeightKind = Literal["unit", "uniform", "heavy_tailed", "one_giant"]
+
+
+def standard_graph_families(
+    n: int, seed=None
+) -> list[tuple[str, BipartiteGraph]]:
+    """The graph families used across experiment tables.
+
+    ``n`` is a *target* vertex count; each family hits it approximately
+    (exact counts depend on the family's structure).
+    """
+    rng = ensure_rng(seed)
+    half = max(1, n // 2)
+    return [
+        ("empty", generators.empty_graph(n)),
+        ("matching", generators.matching_graph(half)),
+        ("path", generators.path_graph(n)),
+        ("cycle", generators.even_cycle(n if n % 2 == 0 else n + 1)),
+        ("star", generators.star(n - 1)),
+        ("double_star", generators.double_star(half - 1, n - half - 1)),
+        ("caterpillar", generators.caterpillar(max(1, n // 4), 3)),
+        ("tree", generators.random_tree(n, rng)),
+        ("forest", generators.random_forest(n, max(1, n // 8), rng)),
+        ("complete_bipartite", generators.complete_bipartite(half, n - half)),
+        ("crown", generators.crown(half)),
+        ("degree_bounded_3", generators.random_bipartite_degree_bounded(half, n - half, 3, rng)),
+        ("gilbert_sparse", gnnp(half, min(1.0, 1.5 / half), rng)),
+        ("gilbert_dense", gnnp(half, min(1.0, 0.3), rng)),
+    ]
+
+
+def job_weight_profile(n: int, kind: WeightKind, seed=None) -> tuple[int, ...]:
+    """Processing requirements for ``n`` jobs.
+
+    * ``unit`` — all 1 (the ``p_j = 1`` restriction);
+    * ``uniform`` — iid uniform ``{1..20}``;
+    * ``heavy_tailed`` — Pareto-like (many small, few large): stresses
+      Algorithm 1's heavy-job independent set;
+    * ``one_giant`` — one job of weight ``~n`` among units: forces the
+      ``p_max`` condition of ``C**max``.
+    """
+    rng = ensure_rng(seed)
+    if kind == "unit":
+        return tuple(1 for _ in range(n))
+    if kind == "uniform":
+        return tuple(int(x) for x in rng.integers(1, 21, size=n))
+    if kind == "heavy_tailed":
+        raw = rng.pareto(1.2, size=n) + 1.0
+        return tuple(int(min(x, 50 * n)) for x in np.ceil(raw))
+    if kind == "one_giant":
+        p = [1] * n
+        p[int(rng.integers(0, n))] = max(2, n)
+        return tuple(p)
+    raise ValueError(f"unknown weight profile {kind!r}")
+
+
+def speed_profile_suite(m: int, seed=None) -> list[tuple[str, tuple]]:
+    """The machine-speed profiles used across experiment tables."""
+    rng = ensure_rng(seed)
+    profiles: list[tuple[str, tuple]] = [
+        ("identical", identical_speeds(m)),
+        ("power_law", power_law_speeds(m)),
+        ("random_int", random_integer_speeds(m, 1, 10, rng)),
+    ]
+    if m >= 2:
+        profiles.append(("two_fast", two_fast_speeds(m, 4)))
+    if m <= 12:
+        profiles.append(("geometric", geometric_speeds(m, 2)))
+    return profiles
+
+
+def standard_uniform_suite(
+    n: int = 24, m: int = 4, weight_kind: WeightKind = "uniform", seed=None
+) -> list[tuple[str, UniformInstance]]:
+    """Cross product of graph families with one weight/speed draw each."""
+    rng = ensure_rng(seed)
+    out: list[tuple[str, UniformInstance]] = []
+    for gname, graph in standard_graph_families(n, rng):
+        p = job_weight_profile(graph.n, weight_kind, rng)
+        for sname, speeds in speed_profile_suite(m, rng):
+            out.append((f"{gname}/{sname}", UniformInstance(graph, p, speeds)))
+    return out
+
+
+def random_r2_instance(
+    n: int,
+    edge_probability: float = 0.15,
+    time_range: tuple[int, int] = (1, 30),
+    seed=None,
+) -> UnrelatedInstance:
+    """A random two-machine unrelated instance on a Gilbert-style graph."""
+    rng = ensure_rng(seed)
+    half = max(1, n // 2)
+    graph = gnnp(half, edge_probability, rng)
+    lo, hi = time_range
+    times = [
+        [int(x) for x in rng.integers(lo, hi + 1, size=graph.n)] for _ in range(2)
+    ]
+    return UnrelatedInstance(graph, times)

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every benchmark prints the table or series it regenerates in a stable,
+diff-friendly format; EXPERIMENTS.md embeds these outputs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = ["format_table", "render_number"]
+
+
+def render_number(value: object, digits: int = 3) -> str:
+    """Human-friendly rendering: ints verbatim, rationals/floats rounded."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{float(value):.{digits}f}"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[render_number(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

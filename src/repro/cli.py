@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package version and the algorithm registry.
+``generate``
+    Build an instance from a named graph family plus machine data and
+    write it as JSON.
+``solve``
+    Load an instance JSON, run one algorithm (default: auto dispatch),
+    print the outcome, optionally a Gantt chart, optionally save the
+    schedule JSON.
+``structure``
+    Print the structural fingerprint of an instance's graph.
+``experiment``
+    Re-run one experiment (E1..) by invoking its benchmark file through
+    pytest.
+
+Every command is importable and unit-testable through :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Sequence
+
+from repro import __version__
+from repro.analysis.gantt import render_gantt, render_schedule_summary
+from repro.analysis.tables import format_table, render_number
+from repro.exceptions import ReproError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.structure import analyze_structure
+from repro.io import (
+    instance_to_dict,
+    load_instance,
+    save_json,
+    schedule_to_dict,
+)
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.instance import UniformInstance
+from repro.solvers import available_algorithms, solve
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = (
+    "gnnp",
+    "complete_bipartite",
+    "crown",
+    "path",
+    "cycle",
+    "star",
+    "matching",
+    "tree",
+    "forest",
+    "empty",
+    "degree_bounded",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for doc generation/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scheduling with bipartite incompatibility graphs "
+            "(Pikies & Furmańczyk, IPPS 2022) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package version and algorithm registry")
+
+    gen = sub.add_parser("generate", help="generate an instance JSON")
+    gen.add_argument("--family", choices=_FAMILIES, required=True)
+    gen.add_argument("--n", type=int, default=20, help="size parameter")
+    gen.add_argument("--b", type=int, default=None, help="second size (K_{a,b}, degree_bounded)")
+    gen.add_argument("--p", type=float, default=0.1, help="edge probability (gnnp)")
+    gen.add_argument("--max-degree", type=int, default=4, help="degree bound (degree_bounded)")
+    gen.add_argument("--trees", type=int, default=3, help="tree count (forest)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--speeds",
+        type=str,
+        default="1,1,1",
+        help="comma-separated machine speeds (fractions allowed: '3,3/2,1')",
+    )
+    gen.add_argument(
+        "--jobs",
+        type=str,
+        default="unit",
+        help="'unit', or comma-separated integer processing requirements",
+    )
+    gen.add_argument("--out", type=str, required=True, help="output JSON path")
+
+    slv = sub.add_parser("solve", help="solve an instance JSON")
+    slv.add_argument("instance", type=str, help="instance JSON path")
+    slv.add_argument("--algorithm", type=str, default="auto")
+    slv.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    slv.add_argument(
+        "--polish",
+        action="store_true",
+        help="apply local-search moves/swaps after solving (never regresses)",
+    )
+    slv.add_argument("--out", type=str, default=None, help="write schedule JSON here")
+
+    st = sub.add_parser("structure", help="analyze an instance's graph structure")
+    st.add_argument("instance", type=str, help="instance JSON path")
+
+    exp = sub.add_parser("experiment", help="re-run one experiment (E1, E2, ...)")
+    exp.add_argument("experiment_id", type=str, help="experiment id, e.g. E3")
+
+    rep = sub.add_parser("report", help="aggregate benchmarks/out into one document")
+    rep.add_argument("--out", type=str, default=None, help="write markdown here (default: stdout)")
+
+    return parser
+
+
+def _make_graph(args: argparse.Namespace) -> BipartiteGraph:
+    n = args.n
+    b = args.b if args.b is not None else n
+    if args.family == "gnnp":
+        return gnnp(n, args.p, seed=args.seed)
+    if args.family == "complete_bipartite":
+        return generators.complete_bipartite(n, b)
+    if args.family == "crown":
+        return generators.crown(n)
+    if args.family == "path":
+        return generators.path_graph(n)
+    if args.family == "cycle":
+        return generators.even_cycle(n)
+    if args.family == "star":
+        return generators.star(n)
+    if args.family == "matching":
+        return generators.matching_graph(n)
+    if args.family == "tree":
+        return generators.random_tree(n, seed=args.seed)
+    if args.family == "forest":
+        return generators.random_forest(n, args.trees, seed=args.seed)
+    if args.family == "empty":
+        return generators.empty_graph(n)
+    if args.family == "degree_bounded":
+        return generators.random_bipartite_degree_bounded(
+            n, b, args.max_degree, seed=args.seed
+        )
+    raise ReproError(f"unhandled family {args.family}")  # pragma: no cover
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__} — Pikies & Furmańczyk (IPPS 2022), arXiv:2106.14354")
+    rows = [
+        [spec.name, spec.guarantee, spec.anchor]
+        for spec in available_algorithms()
+    ]
+    print(format_table(["algorithm", "guarantee", "paper anchor"], rows))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = _make_graph(args)
+    speeds = sorted(
+        (Fraction(s.strip()) for s in args.speeds.split(",")), reverse=True
+    )
+    if args.jobs == "unit":
+        p = [1] * graph.n
+    else:
+        p = [int(x) for x in args.jobs.split(",")]
+    instance = UniformInstance(graph, p, speeds)
+    path = save_json(instance_to_dict(instance), args.out)
+    print(
+        f"wrote {path}: n={instance.n}, m={instance.m}, "
+        f"|E|={graph.edge_count}, sum p={instance.total_p}"
+    )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    schedule = solve(instance, algorithm=args.algorithm)
+    chosen = args.algorithm
+    if args.polish and schedule.is_feasible():
+        from repro.scheduling.local_search import improve_schedule
+
+        result = improve_schedule(schedule)
+        if result.improvement > 0:
+            print(
+                f"polish: {render_number(result.initial_makespan)} -> "
+                f"{render_number(result.schedule.makespan)} "
+                f"({result.moves} moves, {result.swaps} swaps)"
+            )
+        schedule = result.schedule
+    print(
+        f"algorithm={chosen}  Cmax={render_number(schedule.makespan)} "
+        f"({schedule.makespan})  feasible={schedule.is_feasible()}"
+    )
+    print(render_schedule_summary(schedule))
+    if args.gantt:
+        print(render_gantt(schedule))
+    if args.out:
+        save_json(schedule_to_dict(schedule), args.out)
+        print(f"schedule written to {args.out}")
+    return 0
+
+
+def _cmd_structure(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    structure = analyze_structure(instance.graph)
+    print(structure.describe())
+    env = "uniform (Q)" if isinstance(instance, UniformInstance) else "unrelated (R)"
+    print(f"machine environment: {env}, m={instance.m}")
+    applicable = [s.name for s in available_algorithms(instance)]
+    print("applicable algorithms: " + ", ".join(applicable))
+    return 0
+
+
+def _cmd_experiment(experiment_id: str) -> int:
+    import subprocess
+    from pathlib import Path
+
+    import re
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    matches = sorted(bench_dir.glob("bench_*.py"))
+    wanted = experiment_id.lower()
+    hits = []
+    for p in matches:
+        first_line = p.read_text(encoding="utf-8").split("\n", 1)[0].lower()
+        declared = re.findall(r"\be\d+\b", first_line)
+        if wanted in declared or wanted == p.stem:
+            hits.append(p)
+    if not hits:
+        ids = ", ".join(p.stem for p in matches)
+        print(f"no benchmark file mentions {experiment_id!r}; available: {ids}")
+        return 1
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[str(p) for p in hits],
+        "--benchmark-only",
+        "-q",
+        "-s",
+    ]
+    print("running: " + " ".join(cmd))
+    return subprocess.call(cmd)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import collect_tables, render_report
+
+    out_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "out"
+    tables = collect_tables(out_dir) if out_dir.is_dir() else []
+    text = render_report(
+        tables, title="Regenerated experiment tables (Pikies & Furmańczyk, IPPS 2022)"
+    )
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"report with {len(tables)} tables written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "structure":
+            return _cmd_structure(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args.experiment_id)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""The paper's primary contributions.
+
+* :mod:`repro.core.sqrt_approx` — Algorithm 1, the ``sqrt(sum p_j)``-
+  approximation for ``Q|G = bipartite|Cmax`` (Theorem 9, Lemma 10).
+* :mod:`repro.core.random_graph_scheduler` — Algorithm 2, a.a.s.
+  2-approximate on Gilbert random bipartite graphs (Theorem 19).
+* :mod:`repro.core.r2_reduction` — Algorithm 3, per-component job merging
+  for two unrelated machines.
+* :mod:`repro.core.r2_two_approx` — Algorithm 4, the linear-time
+  2-approximation for ``R2|G = bipartite|Cmax`` (Theorem 21).
+* :mod:`repro.core.r2_fptas` — Algorithm 5, the FPTAS for
+  ``R2|G = bipartite|Cmax`` (Theorem 22).
+* :mod:`repro.core.q2_unit_exact` — Theorem 4, the polynomial exact
+  algorithm for ``Q2|G = bipartite, p_j = 1|Cmax``.
+"""
+
+from repro.core.r2_reduction import ComponentRecord, R2Reduction, reduce_r2
+from repro.core.r2_two_approx import r2_two_approx
+from repro.core.r2_fptas import r2_fptas
+from repro.core.q2_unit_exact import (
+    q2_unit_exact,
+    feasible_first_machine_counts,
+    q2_split_cost,
+)
+from repro.core.sqrt_approx import (
+    SqrtApproxResult,
+    sqrt_approx_schedule,
+    satisfies_sqrt_guarantee,
+)
+from repro.core.random_graph_scheduler import (
+    random_graph_schedule,
+    random_graph_schedule_balanced,
+)
+from repro.core.complete_multipartite import (
+    MultipartiteSolution,
+    complete_multipartite_min_time,
+    schedule_complete_bipartite_unit,
+)
+from repro.core.ablations import (
+    ABLATION_VARIANTS,
+    AblationKnobs,
+    sqrt_approx_ablation,
+)
+
+__all__ = [
+    "ComponentRecord",
+    "R2Reduction",
+    "reduce_r2",
+    "r2_two_approx",
+    "r2_fptas",
+    "q2_unit_exact",
+    "feasible_first_machine_counts",
+    "q2_split_cost",
+    "SqrtApproxResult",
+    "sqrt_approx_schedule",
+    "satisfies_sqrt_guarantee",
+    "random_graph_schedule",
+    "random_graph_schedule_balanced",
+    "MultipartiteSolution",
+    "complete_multipartite_min_time",
+    "schedule_complete_bipartite_unit",
+    "ABLATION_VARIANTS",
+    "AblationKnobs",
+    "sqrt_approx_ablation",
+]

@@ -1,0 +1,217 @@
+"""Ablation variants of Algorithm 1 (design-choice experiments).
+
+Algorithm 1 makes three non-obvious design choices whose value the paper
+argues but never measures:
+
+* **exact max-weight independent set** (step 2, via min-cut) instead of a
+  greedy independent set containing the heavy jobs;
+* **weighted inequitable coloring** (Definition 1) of ``J \\ I`` instead
+  of an arbitrary proper 2-coloring;
+* **taking the better of S1 and S2** (step 12) instead of committing to
+  the capacity-based schedule whenever it exists.
+
+Each knob can be switched off independently; experiment E11
+(``benchmarks/bench_ablation_sqrt.py``) sweeps the variants over the
+standard instance suite.  With all knobs at their paper settings the
+variant reproduces :func:`repro.core.sqrt_approx.sqrt_approx_schedule`
+exactly (asserted by tests).
+
+The ablated algorithms keep Algorithm 1's *feasibility* (every variant
+returns a proper schedule); only the quality guarantee degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.core.sqrt_approx import _brute_force_fastest, _two_fastest_schedule
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.coloring import inequitable_two_coloring, proper_two_coloring
+from repro.graphs.independent_set import max_weight_independent_set_containing
+from repro.scheduling.bounds import uniform_capacity_lower_bound
+from repro.scheduling.instance import UniformInstance
+from repro.scheduling.list_scheduling import schedule_job_classes
+from repro.scheduling.schedule import Schedule
+from repro.utils.rationals import floor_fraction
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "AblationKnobs",
+    "greedy_independent_set_containing",
+    "sqrt_approx_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationKnobs:
+    """The switchable design choices of Algorithm 1."""
+
+    exact_mwis: bool = True
+    weighted_coloring: bool = True
+    build_s2: bool = True
+    prefer: Literal["min", "s1", "s2"] = "min"
+
+
+ABLATION_VARIANTS: dict[str, AblationKnobs] = {
+    "paper": AblationKnobs(),
+    "greedy_mis": AblationKnobs(exact_mwis=False),
+    "unweighted_coloring": AblationKnobs(weighted_coloring=False),
+    "s1_only": AblationKnobs(build_s2=False, prefer="s1"),
+    "s2_preferred": AblationKnobs(prefer="s2"),
+}
+
+
+def greedy_independent_set_containing(
+    graph: BipartiteGraph,
+    weights: Sequence[int],
+    must_contain: Sequence[int],
+) -> set[int] | None:
+    """Greedy stand-in for step 2's exact max-weight independent set.
+
+    Starts from ``must_contain`` (``None`` if those are not pairwise
+    independent — same contract as the exact routine) and greedily adds
+    the heaviest remaining non-adjacent vertex.  No optimality: this is
+    the ablation comparator, expected to shrink ``w(I)`` and hence
+    degrade ``S2``.
+    """
+    chosen = set(must_contain)
+    if not graph.is_independent_set(chosen):
+        return None
+    blocked = graph.closed_neighborhood(chosen) - chosen
+    for v in sorted(range(graph.n), key=lambda v: (-weights[v], v)):
+        if v in chosen or v in blocked:
+            continue
+        chosen.add(v)
+        blocked |= graph.neighbors(v)
+    return chosen
+
+
+def _two_coloring_classes(
+    graph: BipartiteGraph,
+    ids: list[int],
+    weights: Sequence[int],
+    weighted: bool,
+) -> tuple[list[int], list[int]]:
+    """Color classes of ``J \\ I``, in original job ids.
+
+    ``weighted=True`` is Definition 1 (heavier class first);
+    ``weighted=False`` takes the canonical proper coloring verbatim —
+    the ablation drops the "inequitable" guarantee the analysis leans on.
+    """
+    sub_weights = [weights[v] for v in ids]
+    if weighted:
+        c1_local, c2_local = inequitable_two_coloring(
+            graph, sub_weights
+        )
+    else:
+        colors = proper_two_coloring(graph)
+        c1_local = [v for v in range(graph.n) if colors[v] == 0]
+        c2_local = [v for v in range(graph.n) if colors[v] == 1]
+    return [ids[v] for v in c1_local], [ids[v] for v in c2_local]
+
+
+def sqrt_approx_ablation(
+    instance: UniformInstance,
+    variant: str = "paper",
+) -> Schedule:
+    """Algorithm 1 with one design choice switched off.
+
+    ``variant`` is a key of :data:`ABLATION_VARIANTS`.  The ``"paper"``
+    variant is the unmodified algorithm (kept here so ablation sweeps
+    have an in-suite control).
+    """
+    knobs = ABLATION_VARIANTS.get(variant)
+    if knobs is None:
+        known = ", ".join(sorted(ABLATION_VARIANTS))
+        raise InvalidInstanceError(f"unknown variant {variant!r}; known: {known}")
+    n, m = instance.n, instance.m
+    if n == 0:
+        return Schedule(instance, [])
+    if m == 1:
+        if instance.graph.edge_count > 0:
+            raise InfeasibleInstanceError(
+                "a single machine cannot separate incompatible jobs"
+            )
+        return Schedule(instance, [0] * n)
+
+    total = instance.total_p
+    if total <= 16:  # same widened base case as repro.core.sqrt_approx
+        return _brute_force_fastest(instance)
+
+    heavy = [j for j in range(n) if instance.p[j] * instance.p[j] >= total]
+    if knobs.exact_mwis:
+        independent = max_weight_independent_set_containing(
+            instance.graph, instance.p, heavy
+        )
+    else:
+        independent = greedy_independent_set_containing(
+            instance.graph, instance.p, heavy
+        )
+
+    s1 = _two_fastest_schedule(instance, "fptas")
+
+    s2: Schedule | None = None
+    if knobs.build_s2 and independent is not None and m >= 3:
+        s2 = _build_s2(instance, set(independent), knobs)
+
+    if knobs.prefer == "s1" or s2 is None:
+        return s1
+    if knobs.prefer == "s2":
+        return s2
+    return s2 if s2.makespan < s1.makespan else s1
+
+
+def _build_s2(
+    instance: UniformInstance, independent: set[int], knobs: AblationKnobs
+) -> Schedule:
+    """Steps 5-10 of Algorithm 1 with the coloring knob applied."""
+    n, m = instance.n, instance.m
+    rest = [j for j in range(n) if j not in independent]
+    if not rest:
+        # edgeless instance: nothing to separate, use every machine
+        # (same special case as repro.core.sqrt_approx)
+        return schedule_job_classes(
+            instance, [(sorted(independent), list(range(m)))]
+        )
+    rest_weight = sum(instance.p[j] for j in rest)
+    cap_bound = uniform_capacity_lower_bound(instance, rest_weight)
+    caps = [floor_fraction(s * cap_bound) for s in instance.speeds]
+
+    prefix = 0
+    k = m
+    for i in range(1, m):
+        prefix += caps[i]
+        if prefix >= rest_weight and (i + 1) >= 3:
+            k = i + 1
+            break
+
+    sub, ids = instance.graph.induced_subgraph(rest)
+    class1, class2 = _two_coloring_classes(sub, ids, instance.p, knobs.weighted_coloring)
+    w_class1 = sum(instance.p[j] for j in class1)
+
+    k_prime = 2
+    prefix = 0
+    for i in range(1, k):
+        prefix += caps[i]
+        if prefix <= w_class1:
+            k_prime = i + 1
+        else:
+            break
+    if class2 and k_prime >= k:
+        # an arbitrary coloring can make J'_1 heavy enough to swallow all
+        # of M_2..M_k; keep one machine for J'_2 (k >= 3 so k - 1 >= 2)
+        k_prime = k - 1
+
+    group_class1 = list(range(1, k_prime))
+    group_class2 = list(range(k_prime, k))
+    group_ind = [0] + list(range(k, m))
+    return schedule_job_classes(
+        instance,
+        [
+            (class1, group_class1),
+            (class2, group_class2),
+            (sorted(independent), group_ind),
+        ],
+    )

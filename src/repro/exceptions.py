@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotBipartiteError",
+    "InfeasibleInstanceError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NotBipartiteError(ReproError):
+    """Raised when a graph expected to be bipartite is not.
+
+    The paper's model requires ``G`` to be bipartite (all algorithms rely on
+    a proper 2-coloring existing); odd cycles make every algorithm here
+    undefined rather than merely suboptimal.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """Raised when no feasible schedule exists.
+
+    For a bipartite incompatibility graph this can only happen when fewer
+    than two machines are available while ``G`` contains at least one edge
+    (a single machine must hold an independent set).
+    """
+
+
+class InvalidInstanceError(ReproError):
+    """Raised when instance data is malformed (shapes, signs, ranges)."""
+
+
+class InvalidScheduleError(ReproError):
+    """Raised when a schedule fails validation against its instance."""

@@ -1,0 +1,49 @@
+"""Connected-component decomposition.
+
+Algorithms 3-5 of the paper operate *per connected component* of the
+incompatibility graph; Algorithm 1's inequitable coloring likewise chooses
+an orientation per component.  Both consume the helpers here.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["connected_components", "component_subgraphs"]
+
+
+def connected_components(graph: BipartiteGraph) -> list[list[int]]:
+    """Vertex lists of the connected components, each sorted ascending.
+
+    Components are ordered by their smallest vertex, so the decomposition is
+    deterministic.  Isolated vertices form singleton components.
+    """
+    seen = [False] * graph.n
+    components: list[list[int]] = []
+    for start in range(graph.n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        stack = [start]
+        comp = [start]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    stack.append(v)
+        comp.sort()
+        components.append(comp)
+    return components
+
+
+def component_subgraphs(
+    graph: BipartiteGraph,
+) -> list[tuple[BipartiteGraph, list[int]]]:
+    """Each component as ``(subgraph, original_vertex_ids)``.
+
+    The second element maps subgraph vertex ``i`` back to its id in the
+    parent graph, which the R2 reduction uses to reconstruct schedules.
+    """
+    return [graph.induced_subgraph(comp) for comp in connected_components(graph)]

@@ -1,0 +1,185 @@
+"""Deterministic and random bipartite instance families.
+
+These are the workload generators for the experiment suite: classical
+families (complete bipartite graphs, crowns, paths, even cycles, stars,
+double stars, caterpillars), random trees/forests, and random
+bounded-degree bipartite graphs.  The Gilbert model ``G(n, n, p)`` of
+Section 4.1 lives in :mod:`repro.random_graphs.gilbert`.
+
+All random generators accept ``seed`` (int or :class:`numpy.random.Generator`)
+and are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "empty_graph",
+    "complete_bipartite",
+    "crown",
+    "path_graph",
+    "even_cycle",
+    "star",
+    "double_star",
+    "caterpillar",
+    "matching_graph",
+    "random_tree",
+    "random_forest",
+    "random_bipartite_degree_bounded",
+    "random_subgraph",
+]
+
+
+def empty_graph(n: int) -> BipartiteGraph:
+    """``n`` isolated vertices — the classical ``alpha||Cmax`` special case."""
+    return BipartiteGraph(n, [])
+
+
+def complete_bipartite(a: int, b: int) -> BipartiteGraph:
+    """``K_{a,b}``; the family behind Theorem 23's inapproximability."""
+    return BipartiteGraph.from_parts(a, b, [(i, j) for i in range(a) for j in range(b)])
+
+
+def crown(k: int) -> BipartiteGraph:
+    """The crown ``S_k^0``: ``K_{k,k}`` minus a perfect matching.
+
+    Dense but with large independent sets spanning both parts — a stress
+    case for Algorithm 1's independent-set step.
+    """
+    if k < 1:
+        raise InvalidInstanceError(f"crown size must be >= 1, got {k}")
+    edges = [(i, j) for i in range(k) for j in range(k) if i != j]
+    return BipartiteGraph.from_parts(k, k, edges)
+
+
+def path_graph(n: int) -> BipartiteGraph:
+    """The path ``P_n`` on ``n`` vertices (a tree, as in [3]'s 5/3 result)."""
+    return BipartiteGraph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def even_cycle(n: int) -> BipartiteGraph:
+    """The cycle ``C_n`` for even ``n >= 4``."""
+    if n < 4 or n % 2:
+        raise InvalidInstanceError(f"cycle must have even length >= 4, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return BipartiteGraph(n, edges)
+
+
+def star(leaves: int) -> BipartiteGraph:
+    """The star ``K_{1,leaves}``: vertex 0 is the centre."""
+    if leaves < 0:
+        raise InvalidInstanceError(f"leaf count must be >= 0, got {leaves}")
+    return BipartiteGraph(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def double_star(a: int, b: int) -> BipartiteGraph:
+    """Two adjacent centres (0 and 1) with ``a`` and ``b`` leaves."""
+    edges = [(0, 1)]
+    edges += [(0, 2 + i) for i in range(a)]
+    edges += [(1, 2 + a + i) for i in range(b)]
+    return BipartiteGraph(2 + a + b, edges)
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> BipartiteGraph:
+    """A caterpillar: path of length ``spine`` with ``legs_per_vertex`` leaves
+    hanging off each spine vertex."""
+    if spine < 1:
+        raise InvalidInstanceError(f"spine must have >= 1 vertex, got {spine}")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            edges.append((s, nxt))
+            nxt += 1
+    return BipartiteGraph(nxt, edges)
+
+
+def matching_graph(k: int) -> BipartiteGraph:
+    """``k`` disjoint edges (a perfect matching on ``2k`` vertices)."""
+    return BipartiteGraph(2 * k, [(2 * i, 2 * i + 1) for i in range(k)])
+
+
+def random_tree(n: int, seed=None) -> BipartiteGraph:
+    """A uniformly random labelled tree on ``n`` vertices (Prüfer decode).
+
+    Trees are the subclass of bipartite graphs for which [3] gives a 5/3
+    approximation; they appear in the experiment suites as an "easy" family.
+    """
+    if n < 1:
+        raise InvalidInstanceError(f"tree needs >= 1 vertex, got {n}")
+    if n == 1:
+        return BipartiteGraph(1, [])
+    if n == 2:
+        return BipartiteGraph(2, [(0, 1)])
+    rng = ensure_rng(seed)
+    prufer = [int(v) for v in rng.integers(0, n, size=n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    edges: list[tuple[int, int]] = []
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    edges.append((u, w))
+    return BipartiteGraph(n, edges)
+
+
+def random_forest(n: int, trees: int, seed=None) -> BipartiteGraph:
+    """A forest: ``trees`` random trees totalling ``n`` vertices."""
+    if trees < 1 or trees > n:
+        raise InvalidInstanceError(f"need 1 <= trees <= n, got trees={trees}, n={n}")
+    rng = ensure_rng(seed)
+    # sample sizes summing to n, each >= 1
+    cuts = np.sort(rng.choice(np.arange(1, n), size=trees - 1, replace=False)) if trees > 1 else np.array([], dtype=int)
+    sizes = np.diff(np.concatenate(([0], cuts, [n])))
+    graph = BipartiteGraph(0, [])
+    for size in sizes:
+        graph = graph.disjoint_union(random_tree(int(size), rng))
+    return graph
+
+
+def random_bipartite_degree_bounded(
+    left: int, right: int, max_degree: int, seed=None
+) -> BipartiteGraph:
+    """Random bipartite graph where every vertex has degree ``<= max_degree``.
+
+    Greedy edge sampling; covers the bounded-degree regimes studied in
+    [7], [8] and [23] (e.g. ``max_degree=3`` cubic-ish, ``=4`` bisubquartic).
+    """
+    rng = ensure_rng(seed)
+    deg_l = [0] * left
+    deg_r = [0] * right
+    edges: list[tuple[int, int]] = []
+    present: set[tuple[int, int]] = set()
+    candidates = [(i, j) for i in range(left) for j in range(right)]
+    rng.shuffle(candidates)
+    for i, j in candidates:
+        if deg_l[i] < max_degree and deg_r[j] < max_degree and (i, j) not in present:
+            present.add((i, j))
+            edges.append((i, j))
+            deg_l[i] += 1
+            deg_r[j] += 1
+    return BipartiteGraph.from_parts(left, right, edges)
+
+
+def random_subgraph(graph: BipartiteGraph, keep_probability: float, seed=None) -> BipartiteGraph:
+    """Keep each edge independently with probability ``keep_probability``."""
+    if not (0.0 <= keep_probability <= 1.0):
+        raise InvalidInstanceError(f"keep_probability must be in [0,1], got {keep_probability}")
+    rng = ensure_rng(seed)
+    edges = [e for e in graph.edges() if rng.random() < keep_probability]
+    return BipartiteGraph(graph.n, edges, side=graph.side)

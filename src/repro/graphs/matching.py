@@ -1,0 +1,96 @@
+"""Maximum matching in bipartite graphs (Hopcroft–Karp).
+
+Matching size ``mu(G)`` drives the random-graph analysis of Section 4.1:
+by König's theorem ``alpha(G) = n - mu(G)`` for bipartite ``G`` on ``n``
+vertices, which Lemma 14 and Theorem 19 use to lower-bound the work that
+must leave machine ``M_1``.
+
+Runs in ``O(E sqrt(V))``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = ["hopcroft_karp", "maximum_matching_size", "is_matching"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(graph: BipartiteGraph) -> list[int]:
+    """Maximum matching as a mate array.
+
+    Returns ``mate`` with ``mate[v]`` the partner of ``v`` or ``-1`` when
+    ``v`` is exposed.  The declared bipartition witness provides the two
+    sides; left = side 0.
+    """
+    left = graph.vertices_on_side(0)
+    mate = [-1] * graph.n
+    dist: dict[int, float] = {}
+
+    def bfs() -> bool:
+        q = deque()
+        for u in left:
+            if mate[u] == -1:
+                dist[u] = 0
+                q.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while q:
+            u = q.popleft()
+            for v in graph.neighbors(u):
+                w = mate[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    q.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in graph.neighbors(u):
+            w = mate[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                mate[u] = v
+                mate[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    import sys
+
+    # Augmenting-path DFS recursion depth is bounded by the phase count of
+    # Hopcroft-Karp (O(sqrt(V))) times constant, but allow for deep paths on
+    # path-like graphs.
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, graph.n * 2 + 100))
+    try:
+        while bfs():
+            for u in left:
+                if mate[u] == -1:
+                    dfs(u)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return mate
+
+
+def maximum_matching_size(graph: BipartiteGraph) -> int:
+    """``mu(G)``: the number of edges in a maximum matching."""
+    mate = hopcroft_karp(graph)
+    return sum(1 for v in range(graph.n) if mate[v] != -1) // 2
+
+
+def is_matching(graph: BipartiteGraph, mate: list[int]) -> bool:
+    """Validate a mate array: symmetric, uses only real edges."""
+    if len(mate) != graph.n:
+        return False
+    for v in range(graph.n):
+        w = mate[v]
+        if w == -1:
+            continue
+        if not (0 <= w < graph.n) or mate[w] != v or not graph.has_edge(v, w):
+            return False
+    return True

@@ -1,0 +1,197 @@
+"""1-PrExt: precoloring extension with one precoloured vertex per colour.
+
+Definition 2 of the paper: given a graph ``G``, ``k >= 3`` and vertices
+``(v_1, ..., v_k)``, decide whether a proper ``k``-coloring ``f`` exists with
+``f(v_i) = c_i``.  Theorem 3 (from [3]) states this is NP-complete on
+bipartite graphs already for ``k = 3``; both hardness reductions of the
+paper (Theorems 8 and 24) start from it.
+
+This module provides the instance type, an exact backtracking solver (the
+ground truth for experiments at small scale), and generators for YES / NO
+instances with known answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "PrExtInstance",
+    "solve_prext",
+    "claw_no_instance",
+    "planted_yes_instance",
+    "random_prext_instance",
+]
+
+
+@dataclass(frozen=True)
+class PrExtInstance:
+    """A 1-PrExt instance with ``k = len(precolored)`` colors.
+
+    ``precolored[i]`` is the vertex that must receive color ``i``.
+    """
+
+    graph: BipartiteGraph
+    precolored: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.precolored) < 3:
+            raise InvalidInstanceError("1-PrExt needs k >= 3 precolored vertices")
+        if len(set(self.precolored)) != len(self.precolored):
+            raise InvalidInstanceError("precolored vertices must be distinct")
+        for v in self.precolored:
+            if not (0 <= v < self.graph.n):
+                raise InvalidInstanceError(f"precolored vertex {v} out of range")
+
+    @property
+    def k(self) -> int:
+        """Number of colors."""
+        return len(self.precolored)
+
+
+def solve_prext(instance: PrExtInstance) -> tuple[int, ...] | None:
+    """Exact solver: a full coloring (vertex -> color index) or ``None``.
+
+    Backtracking with forward checking over candidate-color bitmasks,
+    choosing the most-constrained vertex first.  Exponential in the worst
+    case (the problem is NP-complete) but comfortably handles the instance
+    sizes used as reduction seeds in the experiments (tens of vertices).
+    """
+    g = instance.graph
+    k = instance.k
+    full_mask = (1 << k) - 1
+    domain = [full_mask] * g.n
+    color = [-1] * g.n
+
+    def assign(v: int, c: int, trail: list[tuple[int, int]]) -> bool:
+        """Set color ``c`` on ``v`` and propagate; False on wipe-out."""
+        color[v] = c
+        bit = 1 << c
+        for u in g.neighbors(v):
+            if color[u] == c:
+                return False
+            if color[u] == -1 and domain[u] & bit:
+                trail.append((u, domain[u]))
+                domain[u] &= ~bit
+                if domain[u] == 0:
+                    return False
+        return True
+
+    # seed the precoloring
+    trail0: list[tuple[int, int]] = []
+    for c, v in enumerate(instance.precolored):
+        if color[v] != -1:
+            return None
+        if not (domain[v] >> c) & 1:
+            return None
+        if not assign(v, c, trail0):
+            return None
+
+    order = sorted(
+        (v for v in range(g.n) if color[v] == -1),
+        key=lambda v: -g.degree(v),
+    )
+
+    def backtrack(pos_hint: int) -> bool:
+        # most-constrained-vertex selection among the uncolored
+        best, best_count = -1, k + 1
+        for v in order:
+            if color[v] != -1:
+                continue
+            cnt = bin(domain[v]).count("1")
+            if cnt < best_count:
+                best, best_count = v, cnt
+                if cnt == 1:
+                    break
+        if best == -1:
+            return True
+        v = best
+        mask = domain[v]
+        while mask:
+            bit = mask & -mask
+            mask ^= bit
+            c = bit.bit_length() - 1
+            trail: list[tuple[int, int]] = []
+            if assign(v, c, trail) and backtrack(pos_hint + 1):
+                return True
+            color[v] = -1
+            for u, old in reversed(trail):
+                domain[u] = old
+        return False
+
+    if backtrack(0):
+        return tuple(color)
+    return None
+
+
+def claw_no_instance(padding: int = 0) -> PrExtInstance:
+    """The minimal NO instance: a claw ``K_{1,3}`` with the 3 leaves
+    precolored with distinct colors — the centre has no color left.
+
+    ``padding`` appends that many isolated vertices (to scale instance
+    size without changing the answer).
+    """
+    if padding < 0:
+        raise InvalidInstanceError(f"padding must be >= 0, got {padding}")
+    n = 4 + padding
+    edges = [(0, 1), (0, 2), (0, 3)]
+    graph = BipartiteGraph(n, edges)
+    return PrExtInstance(graph, (1, 2, 3))
+
+
+def planted_yes_instance(
+    n: int, edge_probability: float = 0.3, seed=None
+) -> PrExtInstance:
+    """A YES instance with a planted proper 3-coloring.
+
+    Vertices receive random sides and random colors from a side-compatible
+    palette (side 0 uses colors {0, 1}, side 1 uses {1, 2} — classes overlap
+    on color 1 but edges only join vertices with distinct planted colors).
+    Edges are then sampled only between cross-side, cross-color pairs, so
+    the planted coloring extends the precoloring by construction.
+    """
+    if n < 3:
+        raise InvalidInstanceError(f"need n >= 3, got {n}")
+    rng = ensure_rng(seed)
+    # ensure all three colors appear; v0->c0, v1->c1, v2->c2
+    planted = [0, 1, 2] + [int(c) for c in rng.integers(0, 3, size=n - 3)]
+    # pick sides compatible with bipartiteness: color 0 on side 0, color 2 on
+    # side 1, color 1 vertices on a random side
+    side = [0 if c == 0 else 1 if c == 2 else int(rng.integers(0, 2)) for c in planted]
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if side[u] != side[v] and planted[u] != planted[v]:
+                if rng.random() < edge_probability:
+                    edges.append((u, v))
+    graph = BipartiteGraph(n, edges, side=side)
+    return PrExtInstance(graph, (0, 1, 2))
+
+
+def random_prext_instance(
+    n: int, edge_probability: float = 0.25, seed=None
+) -> PrExtInstance:
+    """A random bipartite 1-PrExt instance with *unknown* answer.
+
+    Used together with :func:`solve_prext` to harvest labelled YES / NO
+    seeds for the hardness-reduction experiments.
+    """
+    if n < 3:
+        raise InvalidInstanceError(f"need n >= 3, got {n}")
+    rng = ensure_rng(seed)
+    side = [int(s) for s in rng.integers(0, 2, size=n)]
+    # ensure both sides inhabited so cross edges are possible
+    side[0], side[1] = 0, 1
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if side[u] != side[v] and rng.random() < edge_probability
+    ]
+    graph = BipartiteGraph(n, edges, side=side)
+    verts = rng.choice(n, size=3, replace=False)
+    return PrExtInstance(graph, tuple(int(v) for v in verts))

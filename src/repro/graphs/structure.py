@@ -1,0 +1,227 @@
+"""Structural recognition of bipartite graph classes.
+
+The literature around the paper attaches better algorithms to restricted
+graph classes: complete (multi)partite graphs get exact unary-encoding
+algorithms ([20], [24]), trees get a 5/3-approximation ([3]), cubic and
+bisubquartic graphs get dedicated uniform-machine results ([8], [23]).
+This module recognises those classes so :mod:`repro.solvers` can dispatch
+to the strongest applicable method, and so tests can assert that
+generators produce what they claim.
+
+All predicates run in ``O(|V| + |E|)`` except complete-bipartite
+recognition which is ``O(|V| + |E|)`` with an ``O(a*b)`` edge-count check
+(it never enumerates non-edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.components import connected_components
+
+__all__ = [
+    "is_empty",
+    "is_perfect_matching_graph",
+    "is_forest",
+    "is_path",
+    "is_regular",
+    "is_cubic",
+    "is_bisubquartic",
+    "complete_bipartite_parts",
+    "complete_bipartite_parts_with_free",
+    "GraphStructure",
+    "analyze_structure",
+]
+
+
+def is_empty(graph: BipartiteGraph) -> bool:
+    """Whether the graph has no edges (``alpha||Cmax``: no constraint)."""
+    return graph.edge_count == 0
+
+
+def is_perfect_matching_graph(graph: BipartiteGraph) -> bool:
+    """Whether every vertex has degree exactly 1 (disjoint edges only)."""
+    return graph.n > 0 and all(graph.degree(v) == 1 for v in range(graph.n))
+
+
+def is_forest(graph: BipartiteGraph) -> bool:
+    """Whether the graph is acyclic.
+
+    A graph is a forest iff every connected component on ``c`` vertices has
+    exactly ``c - 1`` edges; trees are the class for which [3] gives an
+    ``O(n log n)`` 5/3-approximation on identical machines.
+    """
+    for comp in connected_components(graph):
+        comp_set = set(comp)
+        edges = sum(1 for v in comp for u in graph.neighbors(v) if u in comp_set)
+        if edges // 2 != len(comp) - 1:
+            return False
+    return True
+
+
+def is_path(graph: BipartiteGraph) -> bool:
+    """Whether the graph is a single simple path (possibly one vertex)."""
+    if graph.n == 0:
+        return False
+    comps = connected_components(graph)
+    if len(comps) != 1:
+        return False
+    degs = sorted(graph.degree(v) for v in range(graph.n))
+    if graph.n == 1:
+        return degs == [0]
+    return degs[0] == degs[1] == 1 and all(d == 2 for d in degs[2:])
+
+
+def is_regular(graph: BipartiteGraph, degree: int) -> bool:
+    """Whether every vertex has degree exactly ``degree``."""
+    return all(graph.degree(v) == degree for v in range(graph.n))
+
+
+def is_cubic(graph: BipartiteGraph) -> bool:
+    """Whether the graph is 3-regular (the class studied in [8])."""
+    return graph.n > 0 and is_regular(graph, 3)
+
+
+def is_bisubquartic(graph: BipartiteGraph) -> bool:
+    """Whether the maximum degree is at most 4.
+
+    Bisubquartic graphs (bipartite subgraphs of 4-regular graphs) are the
+    class for which [23] gives a 2-approximation with unit jobs.
+    """
+    return graph.max_degree() <= 4
+
+
+def complete_bipartite_parts(
+    graph: BipartiteGraph,
+) -> tuple[list[int], list[int]] | None:
+    """The two parts if the graph is exactly ``K_{a,b}``, else ``None``.
+
+    "Exactly" means every vertex is incident to every vertex of the other
+    part; in particular isolated vertices (and edgeless graphs) are
+    rejected — use :func:`complete_bipartite_parts_with_free` to tolerate
+    them.  ``K_{a,b}`` is the family behind Theorem 23's inapproximability
+    and the exact unary algorithm of [20]/[24].
+    """
+    if graph.edge_count == 0:
+        return None
+    parts = complete_bipartite_parts_with_free(graph)
+    if parts is None:
+        return None
+    left, right, free = parts
+    if free:
+        return None
+    return left, right
+
+
+def complete_bipartite_parts_with_free(
+    graph: BipartiteGraph,
+) -> tuple[list[int], list[int], list[int]] | None:
+    """Decompose into ``(left, right, free)`` when the non-isolated part of
+    the graph is complete bipartite.
+
+    ``free`` collects the isolated vertices (jobs with no conflicts, which
+    any machine may take).  Returns ``None`` when the non-isolated
+    subgraph is not a complete join of two independent sets.  Edgeless
+    graphs decompose as ``([], [], all_vertices)``.
+    """
+    free = [v for v in range(graph.n) if graph.degree(v) == 0]
+    active = [v for v in range(graph.n) if graph.degree(v) > 0]
+    if not active:
+        return [], [], free
+    # a complete bipartite graph is connected, so all active vertices must
+    # share one component and the two parts are the two coloring classes
+    comps = [c for c in connected_components(graph) if len(c) > 1]
+    if len(comps) != 1:
+        return None
+    left = [v for v in comps[0] if graph.side[v] == 0]
+    right = [v for v in comps[0] if graph.side[v] == 1]
+    # completeness: every left vertex sees every right vertex.  Comparing
+    # degree to |other part| suffices (no multi-edges exist).
+    if any(graph.degree(v) != len(right) for v in left):
+        return None
+    if any(graph.degree(v) != len(left) for v in right):
+        return None
+    return left, right, free
+
+
+@dataclass(frozen=True)
+class GraphStructure:
+    """A structural fingerprint used by the solver dispatcher.
+
+    Flags are not mutually exclusive (a path is also a forest and
+    bisubquartic); :func:`repro.solvers.solve` consults them from most
+    to least specific.
+    """
+
+    n: int
+    edge_count: int
+    max_degree: int
+    components: int
+    empty: bool
+    perfect_matching: bool
+    forest: bool
+    path: bool
+    cubic: bool
+    bisubquartic: bool
+    complete_bipartite: tuple[tuple[int, ...], tuple[int, ...]] | None
+    complete_bipartite_free: (
+        tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]] | None
+    )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by the CLI)."""
+        tags: list[str] = []
+        if self.empty:
+            tags.append("empty")
+        if self.perfect_matching:
+            tags.append("perfect matching")
+        if self.path:
+            tags.append("path")
+        elif self.forest:
+            tags.append("forest")
+        if self.cubic:
+            tags.append("cubic")
+        if self.complete_bipartite is not None:
+            a = len(self.complete_bipartite[0])
+            b = len(self.complete_bipartite[1])
+            tags.append(f"complete bipartite K_{{{a},{b}}}")
+        elif self.complete_bipartite_free is not None and not self.empty:
+            a = len(self.complete_bipartite_free[0])
+            b = len(self.complete_bipartite_free[1])
+            f = len(self.complete_bipartite_free[2])
+            tags.append(f"K_{{{a},{b}}} + {f} isolated")
+        if self.bisubquartic and not self.empty:
+            tags.append("bisubquartic")
+        if not tags:
+            tags.append("general bipartite")
+        return (
+            f"n={self.n}, |E|={self.edge_count}, max_deg={self.max_degree}, "
+            f"components={self.components}: " + ", ".join(tags)
+        )
+
+
+def analyze_structure(graph: BipartiteGraph) -> GraphStructure:
+    """Compute the full :class:`GraphStructure` fingerprint of ``graph``."""
+    cb = complete_bipartite_parts(graph)
+    cbf = complete_bipartite_parts_with_free(graph)
+    return GraphStructure(
+        n=graph.n,
+        edge_count=graph.edge_count,
+        max_degree=graph.max_degree(),
+        components=len(connected_components(graph)),
+        empty=is_empty(graph),
+        perfect_matching=is_perfect_matching_graph(graph),
+        forest=is_forest(graph),
+        path=is_path(graph),
+        cubic=is_cubic(graph),
+        bisubquartic=is_bisubquartic(graph),
+        complete_bipartite=(
+            (tuple(cb[0]), tuple(cb[1])) if cb is not None else None
+        ),
+        complete_bipartite_free=(
+            (tuple(cbf[0]), tuple(cbf[1]), tuple(cbf[2]))
+            if cbf is not None
+            else None
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Minimum vertex covers in bipartite graphs.
+
+Two constructions:
+
+* :func:`konig_vertex_cover` — the cardinality version from a maximum
+  matching (König's theorem), used to compute independence numbers for the
+  random-graph experiments of Section 4.1.
+* :func:`min_weight_vertex_cover` — the weighted version via a minimum
+  s-t cut (König–Egerváry), the engine behind the maximum-*weight*
+  independent set that step 2 of Algorithm 1 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.flow import FlowNetwork, INF
+from repro.graphs.matching import hopcroft_karp
+
+__all__ = ["konig_vertex_cover", "min_weight_vertex_cover", "is_vertex_cover"]
+
+
+def konig_vertex_cover(graph: BipartiteGraph) -> set[int]:
+    """A minimum-cardinality vertex cover (König construction).
+
+    Starting from the exposed left vertices of a maximum matching, walk
+    alternating paths (unmatched edge left->right, matched edge
+    right->left); with ``Z`` the set of visited vertices the cover is
+    ``(L \\ Z) | (R & Z)`` and its size equals the matching size.
+    """
+    mate = hopcroft_karp(graph)
+    left = graph.vertices_on_side(0)
+    in_z = [False] * graph.n
+    stack = [u for u in left if mate[u] == -1]
+    for u in stack:
+        in_z[u] = True
+    while stack:
+        u = stack.pop()
+        if graph.side[u] == 0:  # move along non-matching edges
+            for v in graph.neighbors(u):
+                if v != mate[u] and not in_z[v]:
+                    in_z[v] = True
+                    stack.append(v)
+        else:  # move along the matching edge
+            w = mate[u]
+            if w != -1 and not in_z[w]:
+                in_z[w] = True
+                stack.append(w)
+    cover = {u for u in range(graph.n) if graph.side[u] == 0 and not in_z[u]}
+    cover |= {u for u in range(graph.n) if graph.side[u] == 1 and in_z[u]}
+    return cover
+
+
+def min_weight_vertex_cover(
+    graph: BipartiteGraph, weights: Sequence[int]
+) -> set[int]:
+    """A minimum-weight vertex cover for positive integer weights.
+
+    Network: ``source -> l`` with capacity ``w(l)`` for left vertices,
+    ``r -> sink`` with capacity ``w(r)`` for right vertices, and capacity
+    ``INF`` across each edge.  A minimum cut can only sever weight arcs;
+    the severed arcs identify the cover.
+    """
+    if len(weights) != graph.n:
+        raise ValueError(f"weights has length {len(weights)}, expected {graph.n}")
+    if any(w <= 0 for w in weights):
+        raise ValueError("vertex weights must be positive")
+    if graph.n == 0:
+        return set()
+    s, t = graph.n, graph.n + 1
+    net = FlowNetwork(graph.n + 2)
+    for v in range(graph.n):
+        if graph.side[v] == 0:
+            net.add_edge(s, v, weights[v])
+        else:
+            net.add_edge(v, t, weights[v])
+    for u, v in graph.edges():
+        l, r = (u, v) if graph.side[u] == 0 else (v, u)
+        net.add_edge(l, r, INF)
+    net.max_flow(s, t)
+    source_side = net.min_cut_source_side(s)
+    cover = {
+        v
+        for v in range(graph.n)
+        if (graph.side[v] == 0 and v not in source_side)
+        or (graph.side[v] == 1 and v in source_side)
+    }
+    return cover
+
+
+def is_vertex_cover(graph: BipartiteGraph, cover: Iterable[int]) -> bool:
+    """Whether every edge has at least one endpoint in ``cover``."""
+    cset = set(cover)
+    return all(u in cset or v in cset for u, v in graph.edges())

@@ -1,0 +1,47 @@
+"""Executable hardness reductions.
+
+``P != NP`` statements cannot be run; what *can* be reproduced is the
+machinery inside them: the forcing components of Figure 1 (Lemmas 5-7),
+Theorem 8's reduction from 1-PrExt to ``Qm|G=bipartite, p_j=1|Cmax`` with
+its YES/NO makespan gap, and Theorem 24's reduction to
+``Rm|G=bipartite|Cmax``.
+"""
+
+from repro.hardness.gadgets import (
+    Gadget,
+    h1,
+    h2,
+    h3,
+    attach_gadget,
+    cheap_gadget_coloring,
+    enumerate_proper_colorings,
+)
+from repro.hardness.q_reduction import (
+    QHardnessInstance,
+    theorem8_reduction,
+    theorem8_gadget_sizes,
+)
+from repro.hardness.r_reduction import RHardnessInstance, theorem24_reduction
+from repro.hardness.pipeline import (
+    PrExtDecision,
+    decide_prext_via_q,
+    decide_prext_via_r,
+)
+
+__all__ = [
+    "Gadget",
+    "h1",
+    "h2",
+    "h3",
+    "attach_gadget",
+    "cheap_gadget_coloring",
+    "enumerate_proper_colorings",
+    "QHardnessInstance",
+    "theorem8_reduction",
+    "theorem8_gadget_sizes",
+    "RHardnessInstance",
+    "theorem24_reduction",
+    "PrExtDecision",
+    "decide_prext_via_q",
+    "decide_prext_via_r",
+]

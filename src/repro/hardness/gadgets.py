@@ -1,0 +1,233 @@
+"""The forcing components ``H1``, ``H2``, ``H3`` of Figure 1 (Lemmas 5-7).
+
+Each gadget is a bipartite component that attaches to one *anchor* vertex
+``v`` of the host graph and makes a specific color expensive for ``v``:
+
+* ``H1(x)`` — an independent set of ``x`` vertices, all adjacent to the
+  anchor.  Lemma 5: if ``v`` has color ``c1`` then ``x`` vertices must
+  avoid ``c1``.
+* ``H2(x', x)`` — a path of layers ``anchor - C(x') - D(x)`` with complete
+  bipartite joins.  Lemma 6: if ``v`` has ``c2``, then either ``x'``
+  vertices avoid ``{c1, c2}`` or ``x`` vertices avoid ``c1``.
+* ``H3(x'', x', x)`` — layers ``A(x) - B(x'') - C(x') - D(x)`` joined
+  consecutively, anchor adjacent to all of ``B``.  Lemma 7: if ``v`` has
+  ``c3``, then ``x''`` vertices avoid ``{c1,c2,c3}``, or ``x'`` avoid
+  ``{c1,c2}``, or ``x`` avoid ``c1``.
+
+On the topology of ``H3``: the paper's figure lists the layers but not the
+joins; attaching the anchor to a size-``x`` layer would contradict the
+YES-case accounting in Theorem 8's proof (both size-``x`` layers must be
+colorable ``c1``, yet a layer adjacent to a ``c1`` anchor cannot).  The
+layout implemented here — anchor joined to the middle ``x''`` layer, the
+two size-``x`` layers at both ends — is the unique reading under which
+Lemmas 5-7 *and* the ``48 k^2 n / 4 k n / 2`` vertex accounting of
+Theorem 8 both check out; the property tests verify the lemmas by
+exhaustive enumeration.
+
+Cheap colorings (used to build YES-instance schedules): when the anchor
+does *not* carry the punished color, the gadget colors with almost all
+vertices on ``c1``:
+
+* ``H1``: layer -> ``c1`` (cost: nothing off ``c1``);
+* ``H2``: ``C -> c2``, ``D -> c1`` (cost: ``x'`` vertices on ``c2``);
+* ``H3``: ``B -> c3``, ``A, D -> c1``, ``C -> c2`` (cost: ``x'`` on
+  ``c2`` plus ``x''`` on ``c3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "Gadget",
+    "h1",
+    "h2",
+    "h3",
+    "attach_gadget",
+    "cheap_gadget_coloring",
+    "enumerate_proper_colorings",
+]
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A forcing component, in local vertex ids ``0..size-1``.
+
+    ``anchor_links`` are the local vertices adjacent to the external anchor;
+    ``layers`` names each layer's vertex list for coloring construction
+    (keys like ``"A"``, ``"B"``, ``"C"``, ``"D"``, ``"layer"``).
+    """
+
+    kind: str
+    size: int
+    edges: tuple[tuple[int, int], ...]
+    anchor_links: tuple[int, ...]
+    layers: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def as_graph_with_anchor(self) -> BipartiteGraph:
+        """The gadget plus its anchor as vertex ``size`` (for lemma tests)."""
+        edges = list(self.edges) + [(u, self.size) for u in self.anchor_links]
+        return BipartiteGraph(self.size + 1, edges)
+
+
+def _join(layer_a: Sequence[int], layer_b: Sequence[int]) -> list[tuple[int, int]]:
+    """Complete bipartite join between two layers."""
+    return [(u, w) for u in layer_a for w in layer_b]
+
+
+def h1(x: int) -> Gadget:
+    """``H1(x)``: ``x`` independent vertices, all linked to the anchor."""
+    if x < 1:
+        raise InvalidInstanceError(f"H1 needs x >= 1, got {x}")
+    layer = tuple(range(x))
+    return Gadget(
+        kind="H1",
+        size=x,
+        edges=(),
+        anchor_links=layer,
+        layers={"layer": layer},
+    )
+
+
+def h2(x_prime: int, x: int) -> Gadget:
+    """``H2(x', x)``: anchor — C(x') — D(x)."""
+    if x_prime < 1 or x < 1:
+        raise InvalidInstanceError(f"H2 needs positive sizes, got ({x_prime}, {x})")
+    c_layer = tuple(range(x_prime))
+    d_layer = tuple(range(x_prime, x_prime + x))
+    return Gadget(
+        kind="H2",
+        size=x_prime + x,
+        edges=tuple(_join(c_layer, d_layer)),
+        anchor_links=c_layer,
+        layers={"C": c_layer, "D": d_layer},
+    )
+
+
+def h3(x_dprime: int, x_prime: int, x: int) -> Gadget:
+    """``H3(x'', x', x)``: A(x) — B(x'') — C(x') — D(x), anchor on B."""
+    if min(x_dprime, x_prime, x) < 1:
+        raise InvalidInstanceError(
+            f"H3 needs positive sizes, got ({x_dprime}, {x_prime}, {x})"
+        )
+    a_layer = tuple(range(x))
+    b_layer = tuple(range(x, x + x_dprime))
+    c_layer = tuple(range(x + x_dprime, x + x_dprime + x_prime))
+    d_layer = tuple(range(x + x_dprime + x_prime, x + x_dprime + x_prime + x))
+    edges = _join(a_layer, b_layer) + _join(b_layer, c_layer) + _join(c_layer, d_layer)
+    return Gadget(
+        kind="H3",
+        size=2 * x + x_dprime + x_prime,
+        edges=tuple(edges),
+        anchor_links=b_layer,
+        layers={"A": a_layer, "B": b_layer, "C": c_layer, "D": d_layer},
+    )
+
+
+def attach_gadget(
+    graph: BipartiteGraph, anchor: int, gadget: Gadget
+) -> tuple[BipartiteGraph, dict[str, tuple[int, ...]]]:
+    """Append ``gadget`` to ``graph`` and wire it to ``anchor``.
+
+    Returns the extended graph and the gadget's layers translated to global
+    vertex ids (gadget vertex ``u`` becomes ``graph.n + u``).
+    """
+    if not (0 <= anchor < graph.n):
+        raise InvalidInstanceError(f"anchor {anchor} out of range")
+    off = graph.n
+    new_edges = (
+        list(graph.edges())
+        + [(u + off, w + off) for u, w in gadget.edges]
+        + [(anchor, u + off) for u in gadget.anchor_links]
+    )
+    extended = BipartiteGraph(graph.n + gadget.size, new_edges)
+    global_layers = {
+        name: tuple(u + off for u in verts) for name, verts in gadget.layers.items()
+    }
+    return extended, global_layers
+
+
+def cheap_gadget_coloring(
+    gadget_kind: str,
+    layers: dict[str, tuple[int, ...]],
+    anchor_color: int,
+) -> dict[int, int]:
+    """The YES-case coloring of an attached gadget (colors 0 = c1, 1 = c2,
+    2 = c3), valid when the anchor avoids the gadget's punished color.
+
+    Raises when the anchor carries the punished color (``c1`` for H1,
+    ``c2`` for H2, ``c3`` for H3): no cheap coloring exists then — that is
+    the whole point of the gadget.
+    """
+    out: dict[int, int] = {}
+    if gadget_kind == "H1":
+        if anchor_color == 0:
+            raise InvalidInstanceError("H1's anchor holds c1: lemma 5 fires")
+        for v in layers["layer"]:
+            out[v] = 0
+    elif gadget_kind == "H2":
+        if anchor_color == 1:
+            raise InvalidInstanceError("H2's anchor holds c2: lemma 6 fires")
+        for v in layers["C"]:
+            out[v] = 1
+        for v in layers["D"]:
+            out[v] = 0
+    elif gadget_kind == "H3":
+        if anchor_color == 2:
+            raise InvalidInstanceError("H3's anchor holds c3: lemma 7 fires")
+        for v in layers["B"]:
+            out[v] = 2
+        for v in layers["A"]:
+            out[v] = 0
+        for v in layers["C"]:
+            out[v] = 1
+        for v in layers["D"]:
+            out[v] = 0
+    else:
+        raise InvalidInstanceError(f"unknown gadget kind {gadget_kind!r}")
+    return out
+
+
+def enumerate_proper_colorings(
+    graph: BipartiteGraph,
+    colors: int,
+    fixed: dict[int, int] | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """All proper colorings with ``colors`` colors extending ``fixed``.
+
+    Plain backtracking; intended for exhaustively checking Lemmas 5-7 on
+    small gadget instances (property tests and bench E7).
+    """
+    fixed = dict(fixed or {})
+    for v, c in fixed.items():
+        if not (0 <= v < graph.n) or not (0 <= c < colors):
+            raise InvalidInstanceError(f"bad fixed assignment {v} -> {c}")
+    assignment: list[int] = [-1] * graph.n
+    for v, c in fixed.items():
+        assignment[v] = c
+
+    order = sorted(range(graph.n), key=lambda v: (assignment[v] == -1, -graph.degree(v)))
+
+    def feasible(v: int, c: int) -> bool:
+        return all(assignment[u] != c for u in graph.neighbors(v))
+
+    def walk(pos: int) -> Iterator[tuple[int, ...]]:
+        if pos == graph.n:
+            yield tuple(assignment)
+            return
+        v = order[pos]
+        if assignment[v] != -1:
+            if feasible(v, assignment[v]):
+                yield from walk(pos + 1)
+            return
+        for c in range(colors):
+            if feasible(v, c):
+                assignment[v] = c
+                yield from walk(pos + 1)
+                assignment[v] = -1
+
+    yield from walk(pos=0)

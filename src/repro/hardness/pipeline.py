@@ -1,0 +1,132 @@
+"""End-to-end hardness pipelines: a scheduler as a 1-PrExt decider.
+
+Theorems 8 and 24 work by showing that a good scheduling algorithm
+*would decide 1-PrExt*.  This module makes that argument executable in
+both directions:
+
+* :func:`decide_prext_via_q` / :func:`decide_prext_via_r` — reduce a
+  1-PrExt instance, schedule the result, and read the answer off the
+  makespan;
+* :func:`decide_reduction` — the same decision rule applied to an
+  already-built reduction instance (useful when the caller wants access
+  to the gadget bookkeeping, e.g. to schedule from a known coloring);
+* :class:`PrExtDecision` — the three-valued outcome with the makespan
+  evidence attached.
+
+The decision rules come straight from the proofs:
+
+* ``Cmax < NO-bound`` certifies **YES** (a NO instance forces *every*
+  feasible schedule to at least the bound — this direction is sound for
+  any scheduler);
+* ``Cmax >= NO-bound`` certifies **NO** only when the scheduler is
+  *certified below the gap*: guaranteed to return a makespan under the
+  NO bound whenever one exists (an exact solver, or any algorithm with
+  approximation ratio smaller than the YES/NO gap).  This is precisely
+  the paper's argument that a good approximation algorithm would decide
+  an NP-complete problem;
+* otherwise the outcome is inconclusive (``None``) — the wiggle room
+  that keeps honest approximation algorithms from contradicting
+  NP-hardness.
+
+Note the reductions inflate instances by design (Theorem 8 appends
+gadgets of size ``6 k^2 n``), so exact schedulers are only practical
+with coloring oracles (:meth:`QHardnessInstance.schedule_from_extension`)
+or on deliberately shrunken gadget sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Literal
+
+from repro.graphs.precoloring import PrExtInstance
+from repro.hardness.q_reduction import QHardnessInstance, theorem8_reduction
+from repro.hardness.r_reduction import RHardnessInstance, theorem24_reduction
+from repro.scheduling.instance import SchedulingInstance
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "PrExtDecision",
+    "decide_reduction",
+    "decide_prext_via_q",
+    "decide_prext_via_r",
+]
+
+Scheduler = Callable[[SchedulingInstance], Schedule]
+
+
+@dataclass(frozen=True)
+class PrExtDecision:
+    """Outcome of deciding 1-PrExt through a scheduling reduction.
+
+    ``answer`` is ``True`` (YES certified), ``False`` (NO certified —
+    only possible with ``certified_below_gap=True``) or ``None``
+    (inconclusive: the schedule landed at or above the NO bound without
+    a certificate that a better one was findable).
+    """
+
+    answer: bool | None
+    makespan: Fraction
+    yes_bound: Fraction
+    no_bound: Fraction
+    reduction: Literal["theorem8", "theorem24"]
+
+    @property
+    def conclusive(self) -> bool:
+        return self.answer is not None
+
+
+def decide_reduction(
+    hard: QHardnessInstance | RHardnessInstance,
+    scheduler: Scheduler,
+    certified_below_gap: bool = False,
+) -> PrExtDecision:
+    """Apply the proofs' decision rule to a built reduction instance."""
+    schedule = scheduler(hard.instance)
+    schedule.assert_feasible()
+    cmax = schedule.makespan
+    if cmax < hard.no_makespan_lower_bound:
+        answer: bool | None = True
+    elif certified_below_gap:
+        answer = False
+    else:
+        answer = None
+    kind: Literal["theorem8", "theorem24"] = (
+        "theorem8" if isinstance(hard, QHardnessInstance) else "theorem24"
+    )
+    return PrExtDecision(
+        answer=answer,
+        makespan=cmax,
+        yes_bound=hard.yes_makespan_bound,
+        no_bound=hard.no_makespan_lower_bound,
+        reduction=kind,
+    )
+
+
+def decide_prext_via_q(
+    prext: PrExtInstance,
+    scheduler: Scheduler,
+    k: int = 2,
+    certified_below_gap: bool = False,
+) -> PrExtDecision:
+    """Decide 1-PrExt through the Theorem 8 (uniform machines) reduction.
+
+    ``k`` controls the YES/NO gap (``>= kn`` vs ``<= n``): any scheduler
+    with approximation ratio below ``k`` becomes a complete decider,
+    which is exactly why no ``O(n^{1/2-eps})``-approximation can exist.
+    """
+    hard = theorem8_reduction(prext, k=k)
+    return decide_reduction(hard, scheduler, certified_below_gap)
+
+
+def decide_prext_via_r(
+    prext: PrExtInstance,
+    scheduler: Scheduler,
+    d: int = 8,
+    certified_below_gap: bool = False,
+) -> PrExtDecision:
+    """Decide 1-PrExt through the Theorem 24 (unrelated machines)
+    reduction; ``d`` is the paper's free gap parameter."""
+    hard = theorem24_reduction(prext, d=d)
+    return decide_reduction(hard, scheduler, certified_below_gap)

@@ -1,0 +1,172 @@
+"""Theorem 8's reduction: 1-PrExt -> ``Qm|G = bipartite, p_j = 1|Cmax``.
+
+Given a bipartite 1-PrExt instance on ``n`` vertices and an integer
+``k >= 1``, the reduction attaches to the three precolored vertices the six
+forcing components
+
+* ``v_1``: ``H2(kn, 6k^2 n)`` and ``H3(1, kn, 6k^2 n)`` (punish ``c2``/``c3``),
+* ``v_2``: ``H1(6k^2 n)`` and ``H3(1, kn, 6k^2 n)`` (punish ``c1``/``c3``),
+* ``v_3``: ``H1(6k^2 n)`` and ``H2(kn, 6k^2 n)`` (punish ``c1``/``c2``),
+
+and schedules the resulting ``n' = n + 48 k^2 n + 4 k n + 2`` unit jobs on
+machines of speeds ``49 k^2, 5k, 1, 1/(kn), ...``.
+
+* YES instance -> a schedule of makespan ``<= n + 2`` exists (the paper
+  rounds this to ``n``; the ``+2`` pays for the two ``x'' = 1`` vertices
+  that must take color ``c3``) — :meth:`QHardnessInstance.schedule_from_extension`
+  constructs it;
+* NO instance -> every schedule has makespan at least
+  :attr:`QHardnessInstance.no_makespan_lower_bound` (``= kn`` for ``m = 3``),
+  because any cheaper schedule would read off a proper extension.
+
+Choosing ``k ~ n^{1/(2 eps)}`` turns any hypothetical
+``O(n^{1/2 - eps})``-approximation into a polynomial 1-PrExt decider —
+the inapproximability bound.  ``gadget_sizes`` can be overridden to build
+structurally identical but *small* instances the tests verify exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.precoloring import PrExtInstance
+from repro.hardness.gadgets import Gadget, attach_gadget, cheap_gadget_coloring, h1, h2, h3
+from repro.machines.profiles import theorem8_speeds
+from repro.scheduling.instance import UniformInstance, unit_uniform_instance
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["QHardnessInstance", "theorem8_reduction", "theorem8_gadget_sizes"]
+
+
+@dataclass(frozen=True)
+class AttachedGadget:
+    """Bookkeeping for one gadget after attachment (global vertex ids)."""
+
+    kind: str
+    anchor: int
+    layers: dict[str, tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class QHardnessInstance:
+    """A Theorem 8 scheduling instance with its provenance and bounds."""
+
+    instance: UniformInstance
+    prext: PrExtInstance
+    k: int
+    gadgets: tuple[AttachedGadget, ...]
+    yes_makespan_bound: Fraction
+    no_makespan_lower_bound: Fraction
+
+    @property
+    def gap(self) -> Fraction:
+        """``no_bound / yes_bound`` — the separation the reduction certifies."""
+        return self.no_makespan_lower_bound / self.yes_makespan_bound
+
+    def schedule_from_extension(self, coloring: Sequence[int]) -> Schedule:
+        """Build the YES-case schedule from a 1-PrExt solution.
+
+        ``coloring`` colors the *original* graph (as returned by
+        :func:`repro.graphs.precoloring.solve_prext`); gadget vertices get
+        their cheap colorings; machine ``i`` receives color ``c_{i+1}``.
+        """
+        g = self.prext.graph
+        if len(coloring) != g.n:
+            raise InvalidInstanceError(
+                f"coloring covers {len(coloring)} of {g.n} original vertices"
+            )
+        for idx, v in enumerate(self.prext.precolored):
+            if coloring[v] != idx:
+                raise InvalidInstanceError(
+                    f"coloring does not extend the precoloring at v_{idx + 1}"
+                )
+        assignment = [-1] * self.instance.n
+        for v in range(g.n):
+            if not (0 <= coloring[v] < 3):
+                raise InvalidInstanceError(f"vertex {v} uses color {coloring[v]} >= 3")
+            assignment[v] = coloring[v]
+        for att in self.gadgets:
+            cheap = cheap_gadget_coloring(att.kind, att.layers, coloring[att.anchor])
+            for v, c in cheap.items():
+                assignment[v] = c
+        return Schedule(self.instance, assignment)
+
+
+def theorem8_gadget_sizes(k: int, n: int) -> tuple[int, int, int]:
+    """The paper's sizes ``(x, x', x'') = (6 k^2 n, k n, 1)``."""
+    return (6 * k * k * n, k * n, 1)
+
+
+def theorem8_reduction(
+    prext: PrExtInstance,
+    k: int,
+    m: int = 3,
+    gadget_sizes: tuple[int, int, int] | None = None,
+) -> QHardnessInstance:
+    """Build the Theorem 8 instance for a 1-PrExt seed.
+
+    ``gadget_sizes = (x, x', x'')`` overrides the faithful sizes for
+    small-scale exhaustive verification; the makespan bounds are recomputed
+    exactly from the actual sizes and speeds either way.
+    """
+    if prext.k != 3:
+        raise InvalidInstanceError("Theorem 8 starts from 1-PrExt with k = 3")
+    if k < 1:
+        raise InvalidInstanceError(f"need k >= 1, got {k}")
+    if m < 3:
+        raise InvalidInstanceError(f"Theorem 8 needs m >= 3, got {m}")
+    n = prext.graph.n
+    x_big, x_mid, x_tiny = (
+        theorem8_gadget_sizes(k, n) if gadget_sizes is None else gadget_sizes
+    )
+    v1, v2, v3 = prext.precolored
+
+    plan: list[tuple[int, Gadget]] = [
+        (v1, h2(x_mid, x_big)),
+        (v1, h3(x_tiny, x_mid, x_big)),
+        (v2, h1(x_big)),
+        (v2, h3(x_tiny, x_mid, x_big)),
+        (v3, h1(x_big)),
+        (v3, h2(x_mid, x_big)),
+    ]
+    graph = prext.graph
+    attached: list[AttachedGadget] = []
+    for anchor, gadget in plan:
+        graph, layers = attach_gadget(graph, anchor, gadget)
+        attached.append(AttachedGadget(kind=gadget.kind, anchor=anchor, layers=layers))
+
+    speeds = theorem8_speeds(k, n, m)
+    instance = unit_uniform_instance(graph, speeds)
+
+    # YES bound: machine loads under the cheap colorings.
+    # c1 <- n originals (worst case) + all "big" layers; c2 <- originals +
+    # all C layers; c3 <- originals + the two B layers of the H3 gadgets.
+    big_total = 2 * x_big + 2 * x_big + 2 * (2 * x_big)  # H1 x2, H2 D x2, H3 A+D x2
+    mid_total = 4 * x_mid                                 # H2 C x2, H3 C x2
+    tiny_total = 2 * x_tiny                               # H3 B x2
+    yes_bound = max(
+        Fraction(n + big_total) / speeds[0],
+        Fraction(n + mid_total) / speeds[1],
+        Fraction(n + tiny_total) / speeds[2],
+    )
+
+    # NO bound: any schedule beating every case below yields an extension.
+    cases = [
+        Fraction(x_big) / sum(speeds[1:]),   # >= x jobs leave M1
+        Fraction(x_mid) / sum(speeds[2:]),   # >= x' jobs leave M1, M2
+    ]
+    if m > 3:
+        cases.append(Fraction(x_tiny) / sum(speeds[3:]))  # jobs leave M1-M3
+    no_bound = min(cases)
+
+    return QHardnessInstance(
+        instance=instance,
+        prext=prext,
+        k=k,
+        gadgets=tuple(attached),
+        yes_makespan_bound=yes_bound,
+        no_makespan_lower_bound=no_bound,
+    )

@@ -1,0 +1,86 @@
+"""Theorem 24's reduction: 1-PrExt -> ``Rm|G = bipartite|Cmax``, ``m >= 3``.
+
+Processing times for a 1-PrExt seed ``((V, E), (v_1, v_2, v_3))`` on ``n``
+vertices and a gap parameter ``d``:
+
+* precolored job ``v_c``: time 1 on machine ``c``, time ``d`` on the other
+  two fast machines;
+* every other job: time 1 on machines 1-3;
+* every job: time ``d`` on machines 4..m.
+
+YES -> schedule along the extension costs at most ``n``; NO -> every
+schedule pays ``d`` somewhere (a schedule cheaper than ``d`` would place
+every ``v_c`` on machine ``c`` and use only machines 1-3, reading off a
+proper extension).  With ``d > c n^{b+1}`` raised to ``1/eps`` this kills
+any ``O(n^b p_max^{1-eps})``-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.precoloring import PrExtInstance
+from repro.scheduling.instance import UnrelatedInstance
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["RHardnessInstance", "theorem24_reduction"]
+
+
+@dataclass(frozen=True)
+class RHardnessInstance:
+    """A Theorem 24 scheduling instance with its provenance and bounds."""
+
+    instance: UnrelatedInstance
+    prext: PrExtInstance
+    d: int
+    yes_makespan_bound: Fraction
+    no_makespan_lower_bound: Fraction
+
+    @property
+    def gap(self) -> Fraction:
+        """``no_bound / yes_bound``."""
+        return self.no_makespan_lower_bound / self.yes_makespan_bound
+
+    def schedule_from_extension(self, coloring: Sequence[int]) -> Schedule:
+        """YES-case schedule: job ``v`` on machine ``coloring[v]``."""
+        g = self.prext.graph
+        if len(coloring) != g.n:
+            raise InvalidInstanceError(
+                f"coloring covers {len(coloring)} of {g.n} vertices"
+            )
+        for idx, v in enumerate(self.prext.precolored):
+            if coloring[v] != idx:
+                raise InvalidInstanceError(
+                    f"coloring does not extend the precoloring at v_{idx + 1}"
+                )
+        return Schedule(self.instance, list(coloring))
+
+
+def theorem24_reduction(
+    prext: PrExtInstance, d: int, m: int = 3
+) -> RHardnessInstance:
+    """Build the Theorem 24 instance for a 1-PrExt seed and gap ``d``."""
+    if prext.k != 3:
+        raise InvalidInstanceError("Theorem 24 starts from 1-PrExt with k = 3")
+    if d < 2:
+        raise InvalidInstanceError(f"the gap parameter needs d >= 2, got {d}")
+    if m < 3:
+        raise InvalidInstanceError(f"Theorem 24 needs m >= 3, got {m}")
+    n = prext.graph.n
+    times: list[list[int]] = [[1] * n for _ in range(3)]
+    for c, v in enumerate(prext.precolored):
+        for i in range(3):
+            times[i][v] = 1 if i == c else d
+    for _ in range(3, m):
+        times.append([d] * n)
+    instance = UnrelatedInstance(prext.graph, times)
+    return RHardnessInstance(
+        instance=instance,
+        prext=prext,
+        d=d,
+        yes_makespan_bound=Fraction(n),
+        no_makespan_lower_bound=Fraction(d),
+    )

@@ -1,0 +1,34 @@
+"""Serialisation of graphs, instances and schedules (JSON).
+
+The on-disk format is versioned and loss-free: rationals (speeds,
+unrelated processing times) are stored as ``"num/den"`` strings so a
+round trip through JSON preserves exact values.
+"""
+
+from repro.io.serialization import (
+    FORMAT_VERSION,
+    graph_to_dict,
+    graph_from_dict,
+    instance_to_dict,
+    instance_from_dict,
+    schedule_to_dict,
+    schedule_from_dict,
+    save_json,
+    load_json,
+    load_instance,
+    save_instance,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "graph_to_dict",
+    "graph_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_json",
+    "load_json",
+    "load_instance",
+    "save_instance",
+]

@@ -1,0 +1,183 @@
+"""JSON (de)serialisation for the package's core objects.
+
+Schema (``"format": "repro/v1"``):
+
+* graph — ``{"kind": "graph", "n": int, "side": [0/1...],
+  "edges": [[u, v], ...]}``
+* uniform instance — ``{"kind": "uniform_instance", "graph": ...,
+  "p": [int...], "speeds": ["num/den"...]}``
+* unrelated instance — ``{"kind": "unrelated_instance", "graph": ...,
+  "times": [["num/den" | null ...] ...]}``
+* schedule — ``{"kind": "schedule", "instance": ...,
+  "assignment": [int...]}``
+
+Fractions are stored as strings so exact values survive the round trip;
+this is what makes saved hardness-reduction instances (speeds like
+``1/(k n)``) reloadable without loss.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.scheduling.instance import (
+    SchedulingInstance,
+    UniformInstance,
+    UnrelatedInstance,
+)
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "FORMAT_VERSION",
+    "graph_to_dict",
+    "graph_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_json",
+    "load_json",
+    "save_instance",
+    "load_instance",
+]
+
+FORMAT_VERSION = "repro/v1"
+
+
+def _frac_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _check_header(data: dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(f"expected a JSON object for {kind}")
+    fmt = data.get("format", FORMAT_VERSION)
+    if fmt != FORMAT_VERSION:
+        raise InvalidInstanceError(
+            f"unsupported format {fmt!r} (this build reads {FORMAT_VERSION})"
+        )
+    if data.get("kind") != kind:
+        raise InvalidInstanceError(
+            f"expected kind {kind!r}, found {data.get('kind')!r}"
+        )
+
+
+def graph_to_dict(graph: BipartiteGraph) -> dict[str, Any]:
+    """Serialise a :class:`BipartiteGraph` (bipartition witness included)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "graph",
+        "n": graph.n,
+        "side": list(graph.side),
+        "edges": [[u, v] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> BipartiteGraph:
+    """Inverse of :func:`graph_to_dict` (validates the witness)."""
+    _check_header(data, "graph")
+    return BipartiteGraph(
+        int(data["n"]),
+        [(int(u), int(v)) for u, v in data["edges"]],
+        side=data.get("side"),
+    )
+
+
+def instance_to_dict(instance: SchedulingInstance) -> dict[str, Any]:
+    """Serialise a uniform or unrelated instance."""
+    if isinstance(instance, UniformInstance):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "uniform_instance",
+            "graph": graph_to_dict(instance.graph),
+            "p": list(instance.p),
+            "speeds": [_frac_str(s) for s in instance.speeds],
+        }
+    if isinstance(instance, UnrelatedInstance):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "unrelated_instance",
+            "graph": graph_to_dict(instance.graph),
+            "times": [
+                [None if t is None else _frac_str(t) for t in row]
+                for row in instance.times
+            ],
+        }
+    raise InvalidInstanceError(
+        f"cannot serialise instance type {type(instance).__name__}"
+    )
+
+
+def instance_from_dict(data: dict[str, Any]) -> SchedulingInstance:
+    """Inverse of :func:`instance_to_dict` (accepts either instance kind)."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError("expected a JSON object for an instance")
+    kind = data.get("kind")
+    if kind == "uniform_instance":
+        _check_header(data, "uniform_instance")
+        return UniformInstance(
+            graph_from_dict(data["graph"]),
+            [int(x) for x in data["p"]],
+            [Fraction(s) for s in data["speeds"]],
+        )
+    if kind == "unrelated_instance":
+        _check_header(data, "unrelated_instance")
+        return UnrelatedInstance(
+            graph_from_dict(data["graph"]),
+            [
+                [None if t is None else Fraction(t) for t in row]
+                for row in data["times"]
+            ],
+        )
+    raise InvalidInstanceError(f"unknown instance kind {kind!r}")
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialise a schedule together with its instance."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "schedule",
+        "instance": instance_to_dict(schedule.instance),
+        "assignment": list(schedule.assignment),
+        "makespan": _frac_str(schedule.makespan),
+        "feasible": schedule.is_feasible(),
+    }
+
+
+def schedule_from_dict(data: dict[str, Any], check: bool = False) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`.
+
+    ``check=False`` by default: serialised schedules may deliberately be
+    infeasible (graph-blind baselines); the recorded ``feasible`` flag is
+    advisory and recomputed on demand.
+    """
+    _check_header(data, "schedule")
+    instance = instance_from_dict(data["instance"])
+    return Schedule(instance, [int(i) for i in data["assignment"]], check=check)
+
+
+def save_json(data: dict[str, Any], path: str | Path) -> Path:
+    """Write a serialised object to ``path`` (pretty-printed, UTF-8)."""
+    p = Path(path)
+    p.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return p
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialised object from ``path``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def save_instance(instance: SchedulingInstance, path: str | Path) -> Path:
+    """Convenience: :func:`instance_to_dict` + :func:`save_json`."""
+    return save_json(instance_to_dict(instance), path)
+
+
+def load_instance(path: str | Path) -> SchedulingInstance:
+    """Convenience: :func:`load_json` + :func:`instance_from_dict`."""
+    return instance_from_dict(load_json(path))

@@ -1,0 +1,20 @@
+"""Machine-environment substrate: speed profiles for uniform machines and
+processing-time matrix builders for unrelated machines."""
+
+from repro.machines.profiles import (
+    identical_speeds,
+    geometric_speeds,
+    power_law_speeds,
+    random_integer_speeds,
+    two_fast_speeds,
+    theorem8_speeds,
+)
+
+__all__ = [
+    "identical_speeds",
+    "geometric_speeds",
+    "power_law_speeds",
+    "random_integer_speeds",
+    "two_fast_speeds",
+    "theorem8_speeds",
+]

@@ -1,0 +1,93 @@
+"""Speed-profile generators for uniform machines.
+
+The paper assumes machines sorted by non-increasing speed
+``s_1 >= ... >= s_m >= 1`` (its hardness construction additionally uses
+speeds below 1, which we support: the model only needs positive rationals).
+All profiles return tuples of :class:`fractions.Fraction`, non-increasing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "identical_speeds",
+    "geometric_speeds",
+    "power_law_speeds",
+    "random_integer_speeds",
+    "two_fast_speeds",
+    "theorem8_speeds",
+]
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise InvalidInstanceError(f"machine count must be >= 1, got {m}")
+
+
+def identical_speeds(m: int) -> tuple[Fraction, ...]:
+    """All machines at speed 1 — the identical-machine environment ``P``."""
+    _check_m(m)
+    return tuple(Fraction(1) for _ in range(m))
+
+
+def geometric_speeds(m: int, ratio: int | Fraction = 2) -> tuple[Fraction, ...]:
+    """Speeds ``ratio^(m-1), ..., ratio, 1`` (steeply heterogeneous)."""
+    _check_m(m)
+    r = Fraction(ratio)
+    if r <= 1:
+        raise InvalidInstanceError(f"ratio must exceed 1, got {ratio}")
+    return tuple(r ** (m - 1 - i) for i in range(m))
+
+
+def power_law_speeds(m: int, exponent: int = 1) -> tuple[Fraction, ...]:
+    """Speeds ``m^e, (m-1)^e, ..., 1`` (moderately heterogeneous)."""
+    _check_m(m)
+    if exponent < 1:
+        raise InvalidInstanceError(f"exponent must be >= 1, got {exponent}")
+    return tuple(Fraction((m - i) ** exponent) for i in range(m))
+
+
+def random_integer_speeds(
+    m: int, low: int = 1, high: int = 10, seed=None
+) -> tuple[Fraction, ...]:
+    """``m`` integer speeds drawn uniformly from ``[low, high]``, sorted
+    non-increasing."""
+    _check_m(m)
+    if not (1 <= low <= high):
+        raise InvalidInstanceError(f"need 1 <= low <= high, got [{low}, {high}]")
+    rng = ensure_rng(seed)
+    vals = sorted((int(v) for v in rng.integers(low, high + 1, size=m)), reverse=True)
+    return tuple(Fraction(v) for v in vals)
+
+
+def two_fast_speeds(m: int, fast: int | Fraction = 4) -> tuple[Fraction, ...]:
+    """Two fast machines of speed ``fast`` and ``m - 2`` unit machines.
+
+    Stresses the regime where Algorithm 1's two-machine schedule ``S1``
+    competes with its capacity-based schedule ``S2``.
+    """
+    if m < 2:
+        raise InvalidInstanceError(f"need m >= 2, got {m}")
+    f = Fraction(fast)
+    if f < 1:
+        raise InvalidInstanceError(f"fast speed must be >= 1, got {fast}")
+    return (f, f) + tuple(Fraction(1) for _ in range(m - 2))
+
+
+def theorem8_speeds(k: int, n: int, m: int) -> tuple[Fraction, ...]:
+    """The speed sequence of Theorem 8's reduction.
+
+    ``s_1 = 49 k^2``, ``s_2 = 5k``, ``s_3 = 1`` and ``s_4 = ... = s_m =
+    1/(k n)`` — the geometry that forces a ``YES`` 1-PrExt instance to admit
+    makespan ``n`` while every schedule of a ``NO`` instance needs ``>= kn``.
+    """
+    if m < 3:
+        raise InvalidInstanceError(f"Theorem 8 needs m >= 3, got {m}")
+    if k < 1 or n < 1:
+        raise InvalidInstanceError(f"need k, n >= 1, got k={k}, n={n}")
+    tail = tuple(Fraction(1, k * n) for _ in range(m - 3))
+    return (Fraction(49 * k * k), Fraction(5 * k), Fraction(1)) + tail

@@ -1,0 +1,39 @@
+"""Section 4.1 substrate: the Gilbert random bipartite model ``G(n, n, p)``,
+the three ``p(n)`` regimes the paper distinguishes, the closed-form bounds
+of Corollary 11 / Lemmas 12–14 / Theorems 15, 17, and Monte-Carlo
+estimators that the experiment suite compares against them."""
+
+from repro.random_graphs.gilbert import gnnp, gnnp_edge_count_distribution
+from repro.random_graphs.regimes import (
+    Regime,
+    classify_regime,
+    probability_for_regime,
+)
+from repro.random_graphs.theory import (
+    smaller_class_fraction_bound,
+    matching_fraction_lower_bound,
+    ratio_bound_lemma14,
+    ratio_limit_constant,
+    zito_min_maximal_matching_bound,
+)
+from repro.random_graphs.statistics import (
+    GraphStatistics,
+    graph_statistics,
+    sample_statistics,
+)
+
+__all__ = [
+    "gnnp",
+    "gnnp_edge_count_distribution",
+    "Regime",
+    "classify_regime",
+    "probability_for_regime",
+    "smaller_class_fraction_bound",
+    "matching_fraction_lower_bound",
+    "ratio_bound_lemma14",
+    "ratio_limit_constant",
+    "zito_min_maximal_matching_bound",
+    "GraphStatistics",
+    "graph_statistics",
+    "sample_statistics",
+]

@@ -1,0 +1,66 @@
+"""The three ``p(n)`` regimes of Section 4.1.
+
+The paper analyses monotone edge-probability functions in three ranges:
+
+* **subcritical** — ``p(n) = o(1/n)``: almost all vertices of ``V_2`` are
+  isolated, the smaller coloring class vanishes (Corollary 11);
+* **critical** — ``p(n) = a/n``: constant average degree; the smaller
+  class and ``n - alpha`` are both ``Theta(n)`` and their ratio is
+  bounded by 1.6 (Lemmas 12–14);
+* **supercritical** — ``p(n) = omega(1/n)``: the matching is almost
+  perfect (Theorems 15/17, Corollaries 16/18).
+
+:func:`probability_for_regime` gives canonical representatives used by the
+experiment sweeps: ``1/(n log n)``, ``a/n`` and ``log^2(n)/n``.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+__all__ = ["Regime", "classify_regime", "probability_for_regime"]
+
+
+class Regime(Enum):
+    """Which asymptotic range a concrete ``(n, p)`` pair represents."""
+
+    SUBCRITICAL = "subcritical"      # p * n -> 0
+    CRITICAL = "critical"            # p * n -> a in (0, inf)
+    SUPERCRITICAL = "supercritical"  # p * n -> inf
+
+
+def classify_regime(n: int, p: float, lo: float = 0.2, hi: float = 20.0) -> Regime:
+    """Heuristic classification of a finite ``(n, p)`` pair by ``p * n``.
+
+    Asymptotic regimes are properties of functions, not numbers; for
+    finite experiments we bucket by the average ``V_1``-degree ``p * n``
+    with the (configurable) thresholds ``lo`` and ``hi``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    avg_degree = p * n
+    if avg_degree < lo:
+        return Regime.SUBCRITICAL
+    if avg_degree > hi:
+        return Regime.SUPERCRITICAL
+    return Regime.CRITICAL
+
+
+def probability_for_regime(regime: Regime, n: int, a: float = 2.0) -> float:
+    """A canonical ``p(n)`` for each regime at a concrete ``n``.
+
+    * subcritical: ``1 / (n log n)`` — cleanly ``o(1/n)``;
+    * critical: ``a / n``;
+    * supercritical: ``log(n)^2 / n`` — ``omega(1/n)`` and ``o(1)``, and
+      satisfies Theorem 15's ``n p - log n -> infinity``.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if regime is Regime.SUBCRITICAL:
+        return min(1.0, 1.0 / (n * math.log(n)))
+    if regime is Regime.CRITICAL:
+        if a <= 0:
+            raise ValueError(f"critical regime needs a > 0, got {a}")
+        return min(1.0, a / n)
+    return min(1.0, math.log(n) ** 2 / n)

@@ -1,0 +1,90 @@
+"""Monte-Carlo estimators for the random-graph quantities of Section 4.1.
+
+For a sampled graph we measure exactly (our own Hopcroft–Karp / König
+machinery) the statistics the paper's lemmas bound:
+
+* the inequitable-coloring class sizes ``|V'_1|, |V'_2|``,
+* the maximum matching size ``mu`` and independence number
+  ``alpha = 2n - mu``,
+* the Lemma 14 ratio ``|V'_2| / (n - alpha)``,
+* isolated-vertex counts (the estimator inside Lemma 12's proof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.coloring import inequitable_two_coloring
+from repro.graphs.matching import maximum_matching_size
+from repro.random_graphs.gilbert import gnnp
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = ["GraphStatistics", "graph_statistics", "sample_statistics"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Exact structural statistics of one bipartite graph on ``2n`` vertices."""
+
+    n_per_side: int
+    edge_count: int
+    larger_class: int
+    smaller_class: int
+    matching_size: int
+    independence_number: int
+    isolated_side2: int
+
+    @property
+    def smaller_class_fraction(self) -> float:
+        """``|V'_2| / n`` — compare against Lemma 12."""
+        return self.smaller_class / self.n_per_side if self.n_per_side else 0.0
+
+    @property
+    def matching_fraction(self) -> float:
+        """``mu / n`` — compare against Lemma 13 / Theorem 15."""
+        return self.matching_size / self.n_per_side if self.n_per_side else 0.0
+
+    @property
+    def lemma14_ratio(self) -> float | None:
+        """Lemma 14's ratio ``|V'_2| / (|V(G)| - alpha(G))``.
+
+        The paper writes the denominator as ``n - alpha`` but (as its own
+        Theorem 19 proof makes explicit by switching to ``|J| - alpha``)
+        the meaningful quantity is ``|V(G)| - alpha(G)``, which by
+        König/Gallai equals the matching size ``mu(G)``: the minimum
+        number of jobs that must leave any single machine, since one
+        machine can hold at most ``alpha`` jobs.  Lemma 14 bounds this
+        ratio by 1.6 a.a.s. in the ``p = a/n`` regime.
+
+        ``None`` for edgeless graphs (``mu = 0``: nothing is forced off
+        machine 1 and the ratio is vacuous).
+        """
+        if self.matching_size == 0:
+            return None
+        return self.smaller_class / self.matching_size
+
+
+def graph_statistics(graph: BipartiteGraph, n_per_side: int) -> GraphStatistics:
+    """Measure one graph exactly."""
+    class1, class2 = inequitable_two_coloring(graph)
+    mu = maximum_matching_size(graph)
+    side2 = graph.vertices_on_side(1)
+    isolated2 = sum(1 for v in side2 if graph.degree(v) == 0)
+    return GraphStatistics(
+        n_per_side=n_per_side,
+        edge_count=graph.edge_count,
+        larger_class=len(class1),
+        smaller_class=len(class2),
+        matching_size=mu,
+        independence_number=graph.n - mu,
+        isolated_side2=isolated2,
+    )
+
+
+def sample_statistics(
+    n: int, p: float, samples: int, seed=None
+) -> list[GraphStatistics]:
+    """Measure ``samples`` independent draws of ``G(n, n, p)``."""
+    rngs = spawn_rngs(ensure_rng(seed), samples)
+    return [graph_statistics(gnnp(n, p, rng), n) for rng in rngs]

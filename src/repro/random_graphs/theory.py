@@ -1,0 +1,76 @@
+"""Closed-form bounds from Section 4.1, as evaluable functions.
+
+Each function implements one displayed bound; the experiment suite overlays
+them on Monte-Carlo estimates (bench ``E4``).  Asymptotic ``o(.)`` slack
+terms are dropped — the finite-``n`` comparisons in EXPERIMENTS.md discuss
+the resulting gaps.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "smaller_class_fraction_bound",
+    "matching_fraction_lower_bound",
+    "ratio_bound_lemma14",
+    "ratio_limit_constant",
+    "zito_min_maximal_matching_bound",
+]
+
+
+def smaller_class_fraction_bound(n: int, a: float) -> float:
+    """Lemma 12: a.a.s. ``|V'_2| / n <= 1 - (1 - a/n)^n`` (plus ``o(1)``).
+
+    The bound counts the non-isolated vertices of ``V_2``; isolated ones
+    can always join the larger class.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if a < 0 or a > n:
+        raise ValueError(f"need 0 <= a <= n, got a={a}")
+    return 1.0 - (1.0 - a / n) ** n
+
+
+def matching_fraction_lower_bound(a: float) -> float:
+    """Lemma 13 ([21]): a.a.s. ``mu(G(n,n,a/n)) >= (1 - e^(e^-a - 1)) n``.
+
+    Returned as the fraction ``mu / n``.
+    """
+    if a < 0:
+        raise ValueError(f"a must be non-negative, got {a}")
+    return 1.0 - math.exp(math.exp(-a) - 1.0)
+
+
+def ratio_bound_lemma14(a: float) -> float:
+    """Lemma 14's limiting ratio ``(1 - e^-a) / (1 - e^(e^-a - 1))``.
+
+    Monotone increasing in ``a`` with limit ``e / (e - 1) < 1.6``; the
+    a.a.s. bound on ``|V'_2| / (n - alpha(G))``.
+    """
+    if a <= 0:
+        raise ValueError(f"a must be positive, got {a}")
+    num = 1.0 - math.exp(-a)
+    den = 1.0 - math.exp(math.exp(-a) - 1.0)
+    return num / den
+
+
+def ratio_limit_constant() -> float:
+    """``e / (e - 1) ~= 1.582``: the supremum of :func:`ratio_bound_lemma14`."""
+    return math.e / (math.e - 1.0)
+
+
+def zito_min_maximal_matching_bound(n: int, p: float) -> float:
+    """Theorem 17 ([26]): a.a.s. ``beta(G) > n - 2 log(np) / log(1/(1-p))``.
+
+    ``beta`` is the size of the smallest *maximal* matching; since
+    ``mu >= beta``, this lower-bounds the maximum matching too
+    (Corollary 18's route to ``mu = (1 - o(1)) n``).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not (0.0 < p < 1.0):
+        raise ValueError(f"need 0 < p < 1, got {p}")
+    if n * p <= 1.0:
+        raise ValueError(f"bound needs np > 1, got np={n * p}")
+    return n - 2.0 * math.log(n * p) / math.log(1.0 / (1.0 - p))

@@ -1,0 +1,129 @@
+"""Exact lower bounds on the optimal makespan.
+
+The key quantity is the paper's ``C**max`` (Algorithm 1, step 5 and
+Algorithm 2, step 2): the least time ``T`` at which the *rounded-down*
+machine capacities ``floor(s_i * T)`` cover a given processing demand.
+Because jobs have integer sizes, a machine finishing within ``T`` can carry
+at most ``floor(s_i * T)`` units of work, so every such ``T`` threshold is
+a genuine lower bound on ``C*max``.
+
+All computations are exact over rationals; :func:`min_cover_time` uses the
+observation (cf. Lemma 10) that the count function ``T -> sum_i
+floor(s_i T)`` only jumps at times of the form ``c / s_i``, and that the
+answer lives in the window ``[D / S, (D + m) / S]`` (``S = sum s_i``) which
+contains only ``O(m)`` candidate jump points.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.utils.rationals import ceil_fraction, floor_fraction
+
+__all__ = [
+    "min_cover_time",
+    "area_lower_bound",
+    "pmax_lower_bound",
+    "uniform_capacity_lower_bound",
+    "unrelated_lower_bound",
+]
+
+
+def _capacity_at(speeds: Sequence[Fraction], t: Fraction) -> int:
+    """``sum_i floor(s_i * t)`` — total integer capacity by time ``t``."""
+    return sum(floor_fraction(s * t) for s in speeds)
+
+
+def min_cover_time(speeds: Sequence[Fraction], demand: int) -> Fraction:
+    """Least ``T >= 0`` with ``sum_i floor(s_i * T) >= demand`` (exact).
+
+    Raises :exc:`InvalidInstanceError` when no machines are given but
+    demand is positive.
+    """
+    if demand <= 0:
+        return Fraction(0)
+    if not speeds:
+        raise InvalidInstanceError("positive demand but no machines")
+    total_speed = sum(speeds)
+    lo = Fraction(demand) / total_speed          # capacity(lo) <= demand
+    hi = Fraction(demand + len(speeds)) / total_speed  # capacity(hi) >= demand
+    candidates: set[Fraction] = {hi}
+    for s in speeds:
+        c_lo = max(1, ceil_fraction(s * lo))
+        c_hi = floor_fraction(s * hi)
+        for c in range(c_lo, c_hi + 1):
+            candidates.add(Fraction(c) / s)
+    feasible = sorted(t for t in candidates if lo <= t <= hi)
+    # binary search the monotone predicate capacity(t) >= demand
+    left, right = 0, len(feasible) - 1
+    answer = feasible[right]
+    while left <= right:
+        mid = (left + right) // 2
+        if _capacity_at(speeds, feasible[mid]) >= demand:
+            answer = feasible[mid]
+            right = mid - 1
+        else:
+            left = mid + 1
+    return answer
+
+
+def area_lower_bound(instance: UniformInstance) -> Fraction:
+    """Fractional relaxation ``sum p_j / sum s_i`` (ignores integrality)."""
+    return Fraction(instance.total_p) / sum(instance.speeds)
+
+
+def pmax_lower_bound(instance: UniformInstance) -> Fraction:
+    """``p_max / s_1``: the longest job on the fastest machine."""
+    if instance.n == 0:
+        return Fraction(0)
+    return Fraction(instance.pmax) / instance.speeds[0]
+
+
+def uniform_capacity_lower_bound(
+    instance: UniformInstance,
+    off_first_machine_demand: int | None = None,
+) -> Fraction:
+    """The paper's ``C**max`` for uniform machines.
+
+    Least ``T`` such that
+
+    * rounded-down capacities of all machines cover ``sum p_j``,
+    * rounded-down capacities of ``M_2..M_m`` cover
+      ``off_first_machine_demand`` (Algorithm 1 uses the weight of
+      ``J \\ I`` — jobs that provably cannot all sit on ``M_1``),
+    * ``M_1`` can process ``p_max``.
+
+    Each condition is monotone in ``T`` so the least feasible ``T`` is the
+    max of the three per-condition thresholds.  Always a lower bound on
+    ``C*max`` provided ``off_first_machine_demand`` really must leave
+    ``M_1`` in every feasible schedule.
+    """
+    t_all = min_cover_time(instance.speeds, instance.total_p)
+    t_rest = Fraction(0)
+    if off_first_machine_demand:
+        if instance.m < 2:
+            raise InvalidInstanceError(
+                "demand must leave machine 1 but there is only one machine"
+            )
+        t_rest = min_cover_time(instance.speeds[1:], off_first_machine_demand)
+    return max(t_all, t_rest, pmax_lower_bound(instance))
+
+
+def unrelated_lower_bound(instance: UnrelatedInstance) -> Fraction:
+    """Simple exact bounds for ``R``: ``max_j min_i p_ij`` and the
+    fractional volume ``(sum_j min_i p_ij) / m``."""
+    if instance.n == 0:
+        return Fraction(0)
+    mins: list[Fraction] = []
+    for j in range(instance.n):
+        best: Fraction | None = None
+        for i in range(instance.m):
+            t = instance.times[i][j]
+            if t is not None and (best is None or t < best):
+                best = t
+        assert best is not None  # constructor guarantees a machine exists
+        mins.append(best)
+    return max(max(mins), sum(mins) / instance.m)

@@ -1,0 +1,154 @@
+"""Exact and (1+eps)-approximate solver for ``R2||Cmax``.
+
+The paper uses the Jansen–Porkolab FPTAS [15] as a black box (Theorem 20)
+inside Algorithm 5 and Theorem 4.  For two machines the same guarantee is
+delivered by a Pareto-state dynamic program with load trimming — see
+DESIGN.md §5 for why this substitution is behaviour-preserving:
+
+* state after deciding jobs ``1..j`` = the pair of machine loads
+  ``(l1, l2)``;
+* for a fixed ``l1``, only the minimal ``l2`` can be optimal (dominance),
+  so one state per distinct ``l1`` suffices — *exact* and pseudo-polynomial;
+* bucketing ``l1`` on a grid of width ``Delta = eps * UB / (4n)`` keeps
+  ``O(n / eps)`` states and loses at most ``n * Delta <= eps/2 * OPT``,
+  giving the FPTAS.
+
+Forbidden pairs (``times[i][j] is None``) are honoured natively, which is
+how Algorithm 5 pins its two aggregated "private load" jobs to their
+machines (the paper encodes the same constraint with a ``2T`` sentinel
+processing time).
+
+All arithmetic is integer after an exact rescaling of the rational inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rationals import as_fraction, floor_fraction, rescale_to_integers
+
+__all__ = ["solve_r2_dp", "DPResult"]
+
+TimeEntry = int | float | str | Fraction | None
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """Outcome of the two-machine DP.
+
+    ``assignment[j]`` is 0 or 1 (machine index); ``makespan`` is exact for
+    the returned assignment (recomputed from the inputs, so it is a true
+    achievable value even in trimmed mode).
+    """
+
+    makespan: Fraction
+    assignment: tuple[int, ...]
+
+
+def solve_r2_dp(
+    times: Sequence[Sequence[TimeEntry]],
+    eps: int | float | Fraction | None = None,
+) -> DPResult:
+    """Minimise makespan on two unrelated machines.
+
+    Parameters
+    ----------
+    times:
+        Two rows; ``times[i][j]`` is the processing time of job ``j`` on
+        machine ``i`` (rational) or ``None`` when forbidden.
+    eps:
+        ``None`` for the exact pseudo-polynomial DP, else the FPTAS
+        accuracy: the result is within ``(1 + eps)`` of optimal.
+    """
+    if len(times) != 2:
+        raise InvalidInstanceError(f"solve_r2_dp needs exactly 2 machines, got {len(times)}")
+    n = len(times[0])
+    if len(times[1]) != n:
+        raise InvalidInstanceError("ragged processing-time matrix")
+    if n == 0:
+        return DPResult(Fraction(0), ())
+
+    # exact integer rescaling ------------------------------------------------
+    finite: list[Fraction] = []
+    for row in times:
+        for t in row:
+            if t is not None:
+                f = as_fraction(t)
+                if f < 0:
+                    raise InvalidInstanceError(f"negative processing time {t}")
+                finite.append(f)
+    scaled, scale = rescale_to_integers(finite)
+    it = iter(scaled)
+    t_int: list[list[int | None]] = [[None] * n for _ in range(2)]
+    for i in range(2):
+        for j in range(n):
+            if times[i][j] is not None:
+                t_int[i][j] = next(it)
+
+    ub = 0
+    for j in range(n):
+        a, b = t_int[0][j], t_int[1][j]
+        if a is None and b is None:
+            raise InvalidInstanceError(f"job {j} forbidden on both machines")
+        ub += min(x for x in (a, b) if x is not None)
+
+    if eps is None:
+        delta = 1
+    else:
+        eps_f = as_fraction(eps)
+        if eps_f <= 0:
+            raise InvalidInstanceError(f"eps must be positive, got {eps}")
+        delta = max(1, floor_fraction(eps_f * ub / (4 * n)))
+    prune = ub + n * delta
+
+    # forward DP ---------------------------------------------------------
+    # flat state arrays; layer maps l1-bucket -> state index
+    l1s = [0]
+    l2s = [0]
+    parent = [-1]
+    choice = [-1]
+    layer: dict[int, int] = {0: 0}
+    for j in range(n):
+        a, b = t_int[0][j], t_int[1][j]
+        new_layer: dict[int, int] = {}
+        for idx in layer.values():
+            base1, base2 = l1s[idx], l2s[idx]
+            if a is not None:
+                nl1 = base1 + a
+                if nl1 <= prune:
+                    bucket = nl1 // delta
+                    at = new_layer.get(bucket)
+                    if at is None or base2 < l2s[at]:
+                        l1s.append(nl1)
+                        l2s.append(base2)
+                        parent.append(idx)
+                        choice.append(0)
+                        new_layer[bucket] = len(l1s) - 1
+            if b is not None:
+                nl2 = base2 + b
+                if nl2 <= prune:
+                    bucket = base1 // delta
+                    at = new_layer.get(bucket)
+                    if at is None or nl2 < l2s[at]:
+                        l1s.append(base1)
+                        l2s.append(nl2)
+                        parent.append(idx)
+                        choice.append(1)
+                        new_layer[bucket] = len(l1s) - 1
+        layer = new_layer
+        assert layer, "state space cannot empty out while every job has a machine"
+
+    best_idx = min(layer.values(), key=lambda s: max(l1s[s], l2s[s]))
+
+    # reconstruct --------------------------------------------------------
+    assignment = [0] * n
+    idx = best_idx
+    for j in range(n - 1, -1, -1):
+        assignment[j] = choice[idx]
+        idx = parent[idx]
+
+    makespan = Fraction(max(l1s[best_idx], l2s[best_idx]), scale)
+    return DPResult(makespan, tuple(assignment))

@@ -1,0 +1,238 @@
+"""Dual-approximation PTAS for ``P||Cmax`` (related work [11]).
+
+Hochbaum and Shmoys introduced the *dual approximation* framework the
+paper cites as [11]: a procedure that, given a deadline ``T``, either
+produces a schedule of makespan at most ``(1 + eps) T`` or certifies that
+no schedule of makespan at most ``T`` exists; a bisection over ``T``
+turns it into a ``(1 + eps)``-approximation.  We implement the classical
+identical-machines scheme exactly (all arithmetic in rationals):
+
+* jobs larger than ``eps * T`` are *big*; their sizes are rounded down to
+  multiples of ``eps^2 * T``, leaving at most ``1/eps^2`` distinct
+  classes with at most ``1/eps`` big jobs per machine;
+* the big jobs are bin-packed into deadline-``T`` machines by an exact
+  dynamic program over class-count vectors (polynomial for fixed
+  ``eps``);
+* small jobs go greedily onto any machine with load below ``T``.
+
+If the packing needs more than ``m`` machines, or a small job finds every
+machine at load ``>= T``, then total work exceeds ``m T`` and ``OPT > T``
+is certified.  Otherwise every machine ends at most ``eps*T`` above
+``T`` from rounding plus at most one small job, i.e. within
+``(1 + eps) T``.
+
+The uniform-machine generalisation in [11] (and its EPTAS successor
+[14]) uses a substantially more intricate bin-packing-with-variable-bins
+argument; per DESIGN.md §5 we substitute graph-blind LPT (classical
+factor 2 on uniform machines) where the experiments need a ``Q||Cmax``
+comparator, and use this PTAS on the identical-machine suites.
+
+This substrate is **graph-blind by contract**: it requires an edgeless
+incompatibility graph and refuses anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.scheduling.baselines import unconstrained_lpt
+from repro.scheduling.instance import UniformInstance
+from repro.scheduling.schedule import Schedule
+from repro.utils.rationals import floor_fraction
+
+__all__ = ["DualApproxResult", "dual_feasibility_test", "dual_approx_identical"]
+
+
+@dataclass(frozen=True)
+class DualApproxResult:
+    """Outcome of the dual-approximation bisection.
+
+    ``deadline`` is the smallest deadline that the dual test accepted;
+    the certified guarantee is ``schedule.makespan <= (1 + eps) * C*max``.
+    """
+
+    schedule: Schedule
+    deadline: Fraction
+    tests_run: int
+
+
+def _require_substrate_instance(instance: UniformInstance) -> None:
+    if instance.graph.edge_count:
+        raise InvalidInstanceError(
+            "the dual-approximation PTAS is a P||Cmax substrate: the "
+            "incompatibility graph must be edgeless"
+        )
+    if not instance.is_identical:
+        raise InvalidInstanceError(
+            "the dual-approximation PTAS handles identical machines; "
+            "use LPT or Algorithm 1 for uniform speeds"
+        )
+
+
+def _pack_big_jobs(
+    units: Sequence[int], capacity_units: int
+) -> list[list[int]] | None:
+    """Pack items of integer sizes ``units`` into bins of ``capacity_units``.
+
+    Exact minimum-bin packing by DP over class-count vectors, as in the
+    dual-approximation argument (``units`` are the rounded big-job sizes
+    in ``eps^2 T`` units, so the universe of states is polynomial for
+    fixed ``eps``).  Returns per-bin lists of item indices, or ``None``
+    when some item alone exceeds the capacity.
+    """
+    if not units:
+        return []
+    if max(units) > capacity_units:
+        return None
+    # group identical sizes into classes
+    classes = sorted(set(units), reverse=True)
+    index_pools: dict[int, list[int]] = {c: [] for c in classes}
+    for idx, u in enumerate(units):
+        index_pools[u].append(idx)
+    counts = tuple(len(index_pools[c]) for c in classes)
+
+    # enumerate maximal single-bin configurations available from `state`
+    def maximal_configs(state: tuple[int, ...]) -> list[tuple[int, ...]]:
+        configs: list[tuple[int, ...]] = []
+        chosen = [0] * len(classes)
+
+        def extend(pos: int, room: int) -> None:
+            if pos == len(classes):
+                # maximal: no class with remaining items still fits
+                if not any(
+                    state[i] - chosen[i] > 0 and classes[i] <= room
+                    for i in range(len(classes))
+                ):
+                    configs.append(tuple(chosen))
+                return
+            max_take = min(state[pos], room // classes[pos])
+            for take in range(max_take, -1, -1):
+                chosen[pos] = take
+                extend(pos + 1, room - take * classes[pos])
+            chosen[pos] = 0
+
+        extend(0, capacity_units)
+        return [c for c in configs if any(c)]
+
+    memo: dict[tuple[int, ...], tuple[int, tuple[int, ...] | None]] = {}
+
+    def best(state: tuple[int, ...]) -> int:
+        """Minimum bins to pack `state`; memoised with chosen config."""
+        if not any(state):
+            return 0
+        if state in memo:
+            return memo[state][0]
+        best_bins, best_cfg = None, None
+        for cfg in maximal_configs(state):
+            rest = tuple(s - c for s, c in zip(state, cfg))
+            sub = best(rest)
+            if best_bins is None or sub + 1 < best_bins:
+                best_bins, best_cfg = sub + 1, cfg
+        assert best_bins is not None  # some config always exists
+        memo[state] = (best_bins, best_cfg)
+        return best_bins
+
+    best(counts)
+    # reconstruct bins
+    bins: list[list[int]] = []
+    state = counts
+    while any(state):
+        _, cfg = memo[state]
+        assert cfg is not None
+        bin_items: list[int] = []
+        for i, take in enumerate(cfg):
+            for _ in range(take):
+                bin_items.append(index_pools[classes[i]].pop())
+        bins.append(bin_items)
+        state = tuple(s - c for s, c in zip(state, cfg))
+    return bins
+
+
+def dual_feasibility_test(
+    instance: UniformInstance, deadline: Fraction, eps: Fraction
+) -> Schedule | None:
+    """The [11] dual test: schedule within ``(1+eps)*deadline`` or ``None``.
+
+    ``None`` certifies that no schedule of makespan ``<= deadline``
+    exists.  Requires an identical-machine, edgeless instance.
+    """
+    _require_substrate_instance(instance)
+    if eps <= 0 or eps > 1:
+        raise InvalidInstanceError(f"eps must be in (0, 1], got {eps}")
+    n, m = instance.n, instance.m
+    if n == 0:
+        return Schedule(instance, [])
+    total = instance.total_p
+    if deadline <= 0 or Fraction(total) > m * deadline:
+        return None
+    if instance.pmax > deadline:
+        return None
+
+    threshold = eps * deadline
+    big = [j for j in range(n) if instance.p[j] > threshold]
+    small = [j for j in range(n) if instance.p[j] <= threshold]
+
+    loads = [Fraction(0)] * m
+    assignment = [-1] * n
+    if big:
+        unit = eps * eps * deadline
+        units = [floor_fraction(Fraction(instance.p[j]) / unit) for j in big]
+        capacity_units = floor_fraction(deadline / unit)
+        bins = _pack_big_jobs(units, capacity_units)
+        if bins is None or len(bins) > m:
+            return None
+        for i, bin_items in enumerate(bins):
+            for item in bin_items:
+                j = big[item]
+                assignment[j] = i
+                loads[i] += instance.p[j]
+    for j in small:
+        target = None
+        for i in range(m):
+            if loads[i] < deadline and (target is None or loads[i] < loads[target]):
+                target = i
+        if target is None:
+            # every machine already at >= deadline: total work > m*deadline
+            return None
+        assignment[j] = target
+        loads[target] += instance.p[j]
+    return Schedule(instance, assignment)
+
+
+def dual_approx_identical(
+    instance: UniformInstance,
+    eps: Fraction | str | float = Fraction(1, 3),
+    max_tests: int = 48,
+) -> DualApproxResult:
+    """``(1+eps)``-approximation for ``P||Cmax`` by dual bisection.
+
+    Splits ``eps`` between the dual test (``eps/4``) and the bisection
+    gap (``eps/4``), so ``(1 + eps/4)^2 <= 1 + eps`` for ``eps <= 1``.
+    """
+    _require_substrate_instance(instance)
+    eps = Fraction(str(eps)) if isinstance(eps, float) else Fraction(eps)
+    if eps <= 0 or eps > 1:
+        raise InvalidInstanceError(f"eps must be in (0, 1], got {eps}")
+    if instance.n == 0:
+        return DualApproxResult(Schedule(instance, []), Fraction(0), 0)
+    inner = eps / 4
+    lower = max(Fraction(instance.pmax), Fraction(instance.total_p, instance.m))
+    upper = unconstrained_lpt(instance).makespan  # feasible: graph is edgeless
+    best = dual_feasibility_test(instance, upper, inner)
+    assert best is not None, "the LPT deadline must pass the dual test"
+    tests = 1
+    lo, hi = lower, upper
+    while hi > lo * (1 + eps / 4) and tests < max_tests:
+        mid = (lo + hi) / 2
+        candidate = dual_feasibility_test(instance, mid, inner)
+        tests += 1
+        if candidate is not None:
+            hi = mid
+            if candidate.makespan < best.makespan:
+                best = candidate
+        else:
+            lo = mid
+    return DualApproxResult(best, hi, tests)

@@ -1,0 +1,133 @@
+"""List scheduling primitives.
+
+Algorithm 1 (step 10) and Algorithm 2 (step 4) both finish by "simple list
+scheduling" of an *independent* job class onto a dedicated machine group:
+jobs are placed one by one on the machine that minimises the resulting
+completion time.  Because each group receives jobs from a single color
+class, no incompatibility can arise within a group, which is exactly why
+the paper can afford plain list scheduling there.
+
+:func:`graph_aware_greedy` is the natural heuristic baseline that works on
+the raw problem (any machine, checking conflicts on the fly); it carries no
+guarantee and may even fail to complete — experiments record both.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.scheduling.instance import SchedulingInstance, UniformInstance
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "assign_group_greedy",
+    "schedule_job_classes",
+    "graph_aware_greedy",
+    "lpt_order",
+]
+
+
+def lpt_order(instance: UniformInstance, jobs: Iterable[int]) -> list[int]:
+    """Jobs sorted by non-increasing processing requirement (LPT), ties by id."""
+    return sorted(jobs, key=lambda j: (-instance.p[j], j))
+
+
+def assign_group_greedy(
+    instance: UniformInstance,
+    jobs: Sequence[int],
+    machines: Sequence[int],
+) -> dict[int, int]:
+    """Greedy list scheduling of ``jobs`` onto the machine subset ``machines``.
+
+    Jobs are processed in LPT order; each goes to the machine whose
+    completion time after receiving it is smallest (ties: faster/lower
+    machine index).  Returns a ``job -> machine`` mapping.  The caller is
+    responsible for ``jobs`` being an independent set — this routine
+    never inspects the graph, mirroring the paper's usage.
+    """
+    if not machines and jobs:
+        raise InvalidInstanceError("cannot schedule jobs on an empty machine group")
+    # heap of (completion_after_next_unit..., ) — completion depends on job size,
+    # so we keep loads and compute candidate completions per job.
+    loads: dict[int, int] = {i: 0 for i in machines}
+    result: dict[int, int] = {}
+    for j in lpt_order(instance, jobs):
+        best_i = None
+        best_done: Fraction | None = None
+        for i in machines:
+            done = Fraction(loads[i] + instance.p[j]) / instance.speeds[i]
+            if best_done is None or done < best_done:
+                best_done = done
+                best_i = i
+        assert best_i is not None
+        loads[best_i] += instance.p[j]
+        result[j] = best_i
+    return result
+
+
+def schedule_job_classes(
+    instance: UniformInstance,
+    groups: Sequence[tuple[Sequence[int], Sequence[int]]],
+    check: bool = True,
+) -> Schedule:
+    """Build a schedule from ``(job_class, machine_group)`` pairs.
+
+    Each class is list-scheduled greedily onto its group; classes must
+    partition the job set and groups should be disjoint (each machine then
+    holds jobs from a single independent set).
+    """
+    assignment = [-1] * instance.n
+    for jobs, machines in groups:
+        placed = assign_group_greedy(instance, list(jobs), list(machines))
+        for j, i in placed.items():
+            if assignment[j] != -1:
+                raise InvalidInstanceError(f"job {j} appears in two classes")
+            assignment[j] = i
+    missing = [j for j in range(instance.n) if assignment[j] == -1]
+    if missing:
+        raise InvalidInstanceError(f"jobs missing from all classes: {missing[:10]}")
+    return Schedule(instance, assignment, check=check)
+
+
+def graph_aware_greedy(
+    instance: SchedulingInstance,
+    order: Sequence[int] | None = None,
+) -> Schedule | None:
+    """Baseline heuristic: greedy assignment respecting conflicts on the fly.
+
+    Processes jobs (LPT order for uniform instances unless ``order`` is
+    given) and puts each on the machine minimising its completion time
+    among machines that (a) allow the job and (b) currently hold no
+    neighbour of it.  Returns ``None`` when some job has no feasible
+    machine left — greedy is not complete for this problem, and the
+    experiment suite reports its failure rate.
+    """
+    if order is None:
+        if isinstance(instance, UniformInstance):
+            order = lpt_order(instance, range(instance.n))
+        else:
+            order = list(range(instance.n))
+    graph = instance.graph
+    machine_jobs: list[set[int]] = [set() for _ in range(instance.m)]
+    completions: list[Fraction] = [Fraction(0)] * instance.m
+    assignment = [-1] * instance.n
+    for j in order:
+        neighbors = graph.neighbors(j)
+        best_i = None
+        best_done: Fraction | None = None
+        for i in range(instance.m):
+            t = instance.processing_time(i, j)
+            if t is None or machine_jobs[i] & neighbors:
+                continue
+            done = completions[i] + t
+            if best_done is None or done < best_done:
+                best_done = done
+                best_i = i
+        if best_i is None:
+            return None
+        assignment[j] = best_i
+        machine_jobs[best_i].add(j)
+        completions[best_i] += instance.processing_time(best_i, j)  # type: ignore[operator]
+    return Schedule(instance, assignment)

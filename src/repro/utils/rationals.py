@@ -1,0 +1,92 @@
+"""Exact rational arithmetic helpers.
+
+The paper's correctness arguments compare completion times, machine
+capacities and lower bounds exactly; machine speeds such as ``1/(k*n)``
+(Theorem 8) make floating point unusable.  Everything that feeds a
+theorem-level comparison goes through :class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+__all__ = [
+    "as_fraction",
+    "as_fraction_tuple",
+    "floor_fraction",
+    "ceil_fraction",
+    "lcm_of_denominators",
+    "rescale_to_integers",
+]
+
+Rational = int | Fraction
+
+
+def as_fraction(value: int | float | str | Fraction) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Floats are converted through their decimal string representation rather
+    than their binary expansion, so ``as_fraction(0.1) == Fraction(1, 10)``:
+    callers writing literal speeds like ``0.5`` get the rational they meant.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"cannot convert non-finite float {value!r} to Fraction")
+        return Fraction(str(value))
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to Fraction")
+
+
+def as_fraction_tuple(values: Iterable[int | float | str | Fraction]) -> tuple[Fraction, ...]:
+    """Vectorised :func:`as_fraction`."""
+    return tuple(as_fraction(v) for v in values)
+
+
+def floor_fraction(value: Fraction | int) -> int:
+    """Exact floor of a rational value."""
+    if isinstance(value, int):
+        return value
+    return value.numerator // value.denominator
+
+
+def ceil_fraction(value: Fraction | int) -> int:
+    """Exact ceiling of a rational value."""
+    if isinstance(value, int):
+        return value
+    return -((-value.numerator) // value.denominator)
+
+
+def lcm_of_denominators(values: Sequence[Fraction | int]) -> int:
+    """Least common multiple of the denominators of ``values``.
+
+    Multiplying a set of rationals by this LCM produces integers, which lets
+    the DP engines (:mod:`repro.scheduling.dp_unrelated`) run in fast integer
+    arithmetic while staying exact.
+    """
+    lcm = 1
+    for v in values:
+        if isinstance(v, Fraction):
+            lcm = math.lcm(lcm, v.denominator)
+    return lcm
+
+
+def rescale_to_integers(values: Sequence[Fraction | int]) -> tuple[list[int], int]:
+    """Return ``([v * scale for v in values], scale)`` with integer entries.
+
+    ``scale`` is the smallest positive integer making every entry integral
+    (the LCM of denominators); results divide back exactly.
+    """
+    scale = lcm_of_denominators(values)
+    scaled: list[int] = []
+    for v in values:
+        f = v if isinstance(v, Fraction) else Fraction(v)
+        num = f.numerator * (scale // f.denominator)
+        scaled.append(num)
+    return scaled, scale

@@ -1,0 +1,38 @@
+"""Input validation primitives shared across instance constructors."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InvalidInstanceError
+
+__all__ = ["check_positive_int", "check_positive_ints", "check_probability"]
+
+
+def check_positive_int(value: object, name: str) -> int:
+    """Validate that ``value`` is a positive ``int`` and return it.
+
+    ``bool`` is rejected despite being an ``int`` subclass — a processing
+    requirement of ``True`` is always a caller bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidInstanceError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise InvalidInstanceError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_positive_ints(values: Iterable[object], name: str) -> tuple[int, ...]:
+    """Validate a sequence of positive integers (e.g. processing requirements)."""
+    out = []
+    for idx, v in enumerate(values):
+        out.append(check_positive_int(v, f"{name}[{idx}]"))
+    return tuple(out)
+
+
+def check_probability(value: float, name: str = "p") -> float:
+    """Validate an edge probability ``0 <= p <= 1``."""
+    p = float(value)
+    if not (0.0 <= p <= 1.0):
+        raise InvalidInstanceError(f"{name} must lie in [0, 1], got {value}")
+    return p

@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.analysis.gantt` — ASCII schedule rendering."""
+
+from fractions import Fraction
+
+from repro.analysis.gantt import render_gantt, render_schedule_summary
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.scheduling.schedule import Schedule
+
+F = Fraction
+
+
+def _small_schedule():
+    graph = BipartiteGraph(4, [(0, 2), (1, 3)])
+    inst = UniformInstance(graph, [4, 2, 3, 1], [F(2), F(1)])
+    return Schedule(inst, [0, 0, 1, 1])
+
+
+class TestRenderGantt:
+    def test_has_one_row_per_machine(self):
+        out = render_gantt(_small_schedule())
+        assert "M0" in out and "M1" in out
+        assert out.count("\n") >= 3  # header + 2 machines + ruler
+
+    def test_reports_makespan(self):
+        schedule = _small_schedule()
+        out = render_gantt(schedule)
+        assert "Cmax" in out
+        assert str(float(schedule.makespan)) in out or "4" in out
+
+    def test_job_ids_appear(self):
+        out = render_gantt(_small_schedule(), width=80)
+        # wide chart: every job's id should be drawn inside its bar
+        for j in range(4):
+            assert str(j) in out.split("\n", 1)[1]
+
+    def test_zero_jobs(self):
+        inst = UniformInstance(generators.empty_graph(0), [], [F(1), F(1)])
+        out = render_gantt(Schedule(inst, []))
+        assert "Cmax = 0" in out
+        assert "M0" in out and "M1" in out
+
+    def test_idle_machine_renders_empty_bar(self):
+        graph = generators.empty_graph(2)
+        inst = UniformInstance(graph, [5, 3], [F(1), F(1), F(1)])
+        out = render_gantt(Schedule(inst, [0, 0]))
+        lines = out.split("\n")
+        m2_line = next(line for line in lines if line.startswith("M2"))
+        assert "[" not in m2_line and "#" not in m2_line
+
+    def test_rows_do_not_exceed_width(self):
+        schedule = _small_schedule()
+        width = 40
+        out = render_gantt(schedule, width=width)
+        for line in out.split("\n")[1:]:
+            bar = line.split("|")
+            if len(bar) >= 2:
+                assert len(bar[1]) <= width + 1
+
+    def test_unrelated_instance_renders(self):
+        graph = BipartiteGraph(2, [(0, 1)])
+        inst = UnrelatedInstance(graph, [[F(3), None], [None, F(2)]])
+        out = render_gantt(Schedule(inst, [0, 1]))
+        assert "Cmax = 3" in out
+
+
+class TestRenderSummary:
+    def test_contains_machine_rows(self):
+        out = render_schedule_summary(_small_schedule())
+        assert "M0" in out and "M1" in out
+        assert "feasible" in out
+
+    def test_flags_infeasible(self):
+        graph = BipartiteGraph(2, [(0, 1)])
+        inst = UniformInstance(graph, [1, 1], [F(1), F(1)])
+        bad = Schedule(inst, [0, 0], check=False)
+        out = render_schedule_summary(bad)
+        assert "INFEASIBLE" in out
+
+    def test_share_column(self):
+        out = render_schedule_summary(_small_schedule())
+        assert "100%" in out
+
+    def test_empty_machine_shows_dash(self):
+        inst = UniformInstance(generators.empty_graph(1), [2], [F(1), F(1)])
+        out = render_schedule_summary(Schedule(inst, [0]))
+        assert "-" in out
+
+    def test_long_job_list_truncated(self):
+        n = 40
+        inst = UniformInstance(generators.empty_graph(n), [1] * n, [F(1)])
+        out = render_schedule_summary(Schedule(inst, [0] * n))
+        assert "..." in out

@@ -1,0 +1,62 @@
+"""Tests for :mod:`repro.analysis.report` and the CLI ``report`` command."""
+
+from pathlib import Path
+
+from repro.analysis.report import collect_tables, render_report
+from repro.cli import main
+
+
+def _write_tables(directory: Path) -> None:
+    (directory / "E2_families.txt").write_text("E2 table\na  b\n1  2\n")
+    (directory / "E10_scaling.txt").write_text("E10 table\nrows\n")
+    (directory / "E2_exact.txt").write_text("E2 exact\nrows\n")
+    (directory / "notes.txt").write_text("stray file\n")
+
+
+class TestCollect:
+    def test_groups_and_orders(self, tmp_path):
+        _write_tables(tmp_path)
+        tables = collect_tables(tmp_path)
+        assert [t.experiment for t in tables] == ["E2", "E2", "E10", "misc"]
+        assert tables[0].name == "E2_exact"  # name tiebreak inside E2
+
+    def test_numeric_ordering_not_lexicographic(self, tmp_path):
+        (tmp_path / "E10_x.txt").write_text("x\n")
+        (tmp_path / "E9_y.txt").write_text("y\n")
+        tables = collect_tables(tmp_path)
+        assert [t.experiment for t in tables] == ["E9", "E10"]
+
+    def test_empty_dir(self, tmp_path):
+        assert collect_tables(tmp_path) == []
+
+
+class TestRender:
+    def test_contains_sections_and_content(self, tmp_path):
+        _write_tables(tmp_path)
+        text = render_report(collect_tables(tmp_path))
+        assert "## E2" in text and "## E10" in text and "## misc" in text
+        assert "E2 table" in text and "stray file" in text
+        assert text.index("## E2") < text.index("## E10") < text.index("## misc")
+
+    def test_empty_report_hints_at_benchmarks(self):
+        text = render_report([])
+        assert "pytest benchmarks/" in text
+
+    def test_custom_title(self, tmp_path):
+        _write_tables(tmp_path)
+        text = render_report(collect_tables(tmp_path), title="My Title")
+        assert text.startswith("# My Title")
+
+
+class TestCli:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        # the repo's real benchmarks/out exists and has tables from runs
+        assert "#" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "REPORT.md"
+        assert main(["report", "--out", str(target)]) == 0
+        assert target.exists()
+        assert "written to" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for :mod:`repro.analysis.speed_probe` (Section 6 open problem)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.speed_probe import (
+    worst_ratio_exhaustive,
+    worst_ratio_sampled,
+)
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.exceptions import InvalidInstanceError
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.solvers import solve
+
+F = Fraction
+
+
+def _alg1(instance):
+    return sqrt_approx_schedule(instance, s1_solver="two_approx").schedule
+
+
+class TestExhaustiveProbe:
+    def test_brute_force_has_ratio_one(self):
+        result = worst_ratio_exhaustive(
+            [F(2), F(1)], left=2, right=2, algorithm=brute_force_optimal
+        )
+        assert result.ratio == 1
+        assert result.instances_tried == 2 ** 4
+
+    def test_algorithm1_ratio_at_least_one(self):
+        result = worst_ratio_exhaustive(
+            [F(2), F(1), F(1)], left=2, right=2, algorithm=_alg1
+        )
+        assert result.ratio >= 1
+        assert result.witness is not None
+        assert result.witness_makespan >= result.witness_optimum
+
+    def test_witness_reproduces_ratio(self):
+        result = worst_ratio_exhaustive(
+            [F(3), F(1)], left=2, right=2, algorithm=_alg1
+        )
+        again = _alg1(result.witness)
+        assert again.makespan / result.witness_optimum == result.ratio
+
+    def test_too_large_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            worst_ratio_exhaustive([F(1)], left=5, right=5, algorithm=_alg1)
+
+    def test_identical_speeds_ratio_below_two(self):
+        """[3]: equal speeds admit ratio exactly 2; at this tiny size the
+        probe must stay at or below that envelope for the dispatcher."""
+        result = worst_ratio_exhaustive(
+            [F(1), F(1), F(1)], left=2, right=2, algorithm=solve
+        )
+        assert result.ratio <= 2
+
+
+class TestSampledProbe:
+    def test_reproducible(self):
+        kwargs = dict(
+            speeds=[F(2), F(1)], n_side=4, algorithm=_alg1, samples=10, seed=11
+        )
+        a = worst_ratio_sampled(**kwargs)
+        b = worst_ratio_sampled(**kwargs)
+        assert a.ratio == b.ratio
+        assert a.instances_tried == b.instances_tried
+
+    def test_fixed_probability(self):
+        result = worst_ratio_sampled(
+            [F(2), F(1), F(1)],
+            n_side=4,
+            algorithm=_alg1,
+            samples=8,
+            edge_probability=0.3,
+            seed=3,
+        )
+        assert result.ratio >= 1
+        assert result.instances_tried == 8
+
+    def test_weighted_jobs(self):
+        result = worst_ratio_sampled(
+            [F(2), F(1)], n_side=3, algorithm=_alg1, samples=8, max_p=5, seed=7
+        )
+        assert result.ratio >= 1
+        assert result.witness is not None
+        assert max(result.witness.p) <= 5
+
+    def test_dispatcher_is_probeable(self):
+        result = worst_ratio_sampled(
+            [F(3), F(2), F(1)], n_side=4, algorithm=solve, samples=10, seed=5
+        )
+        # auto dispatch picks exact methods for many of these unit
+        # instances, so the measured worst case stays modest
+        assert 1 <= result.ratio <= 2

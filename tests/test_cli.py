@@ -1,0 +1,149 @@
+"""Tests for :mod:`repro.cli` — the ``python -m repro`` interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_instance
+
+
+class TestInfo:
+    def test_exit_code(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "sqrt_approx" in out
+        assert "Algorithm 1" in out
+
+
+class TestGenerate:
+    def test_gnnp(self, tmp_path, capsys):
+        out_path = tmp_path / "inst.json"
+        code = main(
+            [
+                "generate", "--family", "gnnp", "--n", "8", "--p", "0.2",
+                "--seed", "3", "--speeds", "2,1", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        inst = load_instance(out_path)
+        assert inst.n == 16  # gnnp(n, ...) has n vertices per side
+        assert inst.m == 2
+
+    def test_complete_bipartite_with_jobs(self, tmp_path):
+        out_path = tmp_path / "kab.json"
+        code = main(
+            [
+                "generate", "--family", "complete_bipartite", "--n", "2",
+                "--b", "3", "--jobs", "5,4,3,2,1", "--speeds", "3,3/2,1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        inst = load_instance(out_path)
+        assert inst.n == 5
+        assert inst.p == (5, 4, 3, 2, 1)
+        from fractions import Fraction
+
+        assert inst.speeds == (Fraction(3), Fraction(3, 2), Fraction(1))
+
+    @pytest.mark.parametrize(
+        "family,n",
+        [("path", 6), ("crown", 3), ("matching", 4), ("tree", 9),
+         ("empty", 5), ("star", 4), ("cycle", 6)],
+    )
+    def test_all_simple_families(self, tmp_path, family, n):
+        out_path = tmp_path / f"{family}.json"
+        assert main(
+            ["generate", "--family", family, "--n", str(n), "--out", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+
+    def test_forest_and_degree_bounded(self, tmp_path):
+        for extra, family in (
+            (["--trees", "2"], "forest"),
+            (["--b", "6", "--max-degree", "3"], "degree_bounded"),
+        ):
+            out_path = tmp_path / f"{family}.json"
+            assert main(
+                ["generate", "--family", family, "--n", "6", "--out", str(out_path)]
+                + extra
+            ) == 0
+
+
+class TestSolve:
+    @pytest.fixture
+    def instance_path(self, tmp_path):
+        out_path = tmp_path / "inst.json"
+        main(
+            [
+                "generate", "--family", "matching", "--n", "3",
+                "--speeds", "2,1", "--out", str(out_path),
+            ]
+        )
+        return out_path
+
+    def test_auto(self, instance_path, capsys):
+        assert main(["solve", str(instance_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Cmax" in out and "feasible=True" in out
+
+    def test_explicit_algorithm(self, instance_path, capsys):
+        assert main(["solve", str(instance_path), "--algorithm", "sqrt_approx"]) == 0
+
+    def test_gantt_flag(self, instance_path, capsys):
+        assert main(["solve", str(instance_path), "--gantt"]) == 0
+        assert "Gantt chart" in capsys.readouterr().out
+
+    def test_polish_flag(self, instance_path, capsys):
+        assert main(
+            ["solve", str(instance_path), "--algorithm", "two_machine_split",
+             "--polish"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "feasible=True" in out
+
+    def test_schedule_output(self, instance_path, tmp_path, capsys):
+        sched_path = tmp_path / "schedule.json"
+        assert main(["solve", str(instance_path), "--out", str(sched_path)]) == 0
+        data = json.loads(sched_path.read_text())
+        assert data["kind"] == "schedule"
+        assert data["feasible"] is True
+
+    def test_unknown_algorithm_is_an_error(self, instance_path, capsys):
+        assert main(["solve", str(instance_path), "--algorithm", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["solve", str(tmp_path / "missing.json")]) == 2
+
+
+class TestStructure:
+    def test_describes_complete_bipartite(self, tmp_path, capsys):
+        out_path = tmp_path / "kab.json"
+        main(
+            [
+                "generate", "--family", "complete_bipartite", "--n", "2",
+                "--b", "2", "--out", str(out_path),
+            ]
+        )
+        assert main(["structure", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "K_{2,2}" in out
+        assert "uniform (Q)" in out
+        assert "complete_multipartite" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--family", "path"])
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "E999"]) == 1
+        assert "no benchmark" in capsys.readouterr().out

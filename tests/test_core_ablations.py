@@ -1,0 +1,132 @@
+"""Tests for :mod:`repro.core.ablations` — Algorithm 1 design-choice knobs."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core.ablations import (
+    ABLATION_VARIANTS,
+    greedy_independent_set_containing,
+    sqrt_approx_ablation,
+)
+from repro.core.sqrt_approx import sqrt_approx_schedule
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.independent_set import max_weight_independent_set_containing
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.instance import UniformInstance
+
+F = Fraction
+
+
+def _instance(seed=0, n_side=8, m=4):
+    rng = np.random.default_rng(seed)
+    graph = gnnp(n_side, 1.5 / n_side, seed=rng)
+    p = [int(x) for x in rng.integers(1, 9, size=graph.n)]
+    speeds = sorted(
+        (F(int(x)) for x in rng.integers(1, 6, size=m)), reverse=True
+    )
+    return UniformInstance(graph, p, speeds)
+
+
+class TestGreedyIndependentSet:
+    def test_contains_required(self):
+        g = generators.crown(3)
+        out = greedy_independent_set_containing(g, [1] * 6, [0])
+        assert 0 in out
+        assert g.is_independent_set(out)
+
+    def test_none_when_required_conflicts(self):
+        g = generators.complete_bipartite(2, 2)
+        assert greedy_independent_set_containing(g, [1] * 4, [0, 2]) is None
+
+    def test_never_heavier_than_exact(self):
+        for seed in range(8):
+            g = gnnp(6, 0.3, seed=seed)
+            weights = list(np.random.default_rng(seed).integers(1, 9, size=g.n))
+            greedy = greedy_independent_set_containing(g, weights, [])
+            exact = max_weight_independent_set_containing(g, weights, [])
+            assert sum(weights[v] for v in greedy) <= sum(
+                weights[v] for v in exact
+            )
+
+    def test_empty_required_on_empty_graph(self):
+        g = generators.empty_graph(4)
+        out = greedy_independent_set_containing(g, [2, 2, 2, 2], [])
+        assert out == {0, 1, 2, 3}
+
+
+class TestVariants:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown variant"):
+            sqrt_approx_ablation(_instance(), "nonsense")
+
+    def test_all_variants_feasible(self):
+        inst = _instance(seed=1)
+        for variant in ABLATION_VARIANTS:
+            schedule = sqrt_approx_ablation(inst, variant)
+            assert schedule.is_feasible(), variant
+
+    def test_paper_variant_matches_algorithm1(self):
+        for seed in range(5):
+            inst = _instance(seed=seed)
+            ablation = sqrt_approx_ablation(inst, "paper")
+            reference = sqrt_approx_schedule(inst).schedule
+            assert ablation.makespan == reference.makespan
+
+    def test_s1_only_matches_s1(self):
+        inst = _instance(seed=2)
+        s1_only = sqrt_approx_ablation(inst, "s1_only")
+        reference = sqrt_approx_schedule(inst)
+        assert s1_only.makespan == reference.s1.makespan
+
+    def test_min_never_worse_than_either_branch(self):
+        for seed in range(5):
+            inst = _instance(seed=seed)
+            paper = sqrt_approx_ablation(inst, "paper")
+            s1_only = sqrt_approx_ablation(inst, "s1_only")
+            s2_pref = sqrt_approx_ablation(inst, "s2_preferred")
+            assert paper.makespan <= s1_only.makespan
+            assert paper.makespan <= s2_pref.makespan
+
+    def test_single_machine_with_edges_raises(self):
+        inst = UniformInstance(BipartiteGraph(2, [(0, 1)]), [3, 3], [F(1)])
+        with pytest.raises(InfeasibleInstanceError):
+            sqrt_approx_ablation(inst, "paper")
+
+    def test_zero_jobs(self):
+        inst = UniformInstance(generators.empty_graph(0), [], [F(1), F(1)])
+        assert sqrt_approx_ablation(inst, "greedy_mis").makespan == 0
+
+    def test_tiny_instances_exact_in_all_variants(self):
+        inst = UniformInstance(BipartiteGraph(2, [(0, 1)]), [2, 2], [F(1), F(1)])
+        for variant in ABLATION_VARIANTS:
+            assert sqrt_approx_ablation(inst, variant).makespan == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2000),
+    n_side=st.integers(3, 10),
+    m=st.integers(2, 5),
+)
+def test_property_every_variant_is_feasible(seed, n_side, m):
+    inst = _instance(seed=seed, n_side=n_side, m=m)
+    for variant in ABLATION_VARIANTS:
+        schedule = sqrt_approx_ablation(inst, variant)
+        assert schedule.is_feasible()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2000))
+def test_property_paper_dominates_ablations_or_ties_often(seed):
+    """The control never loses to s1_only (it takes a min including S1)."""
+    inst = _instance(seed=seed, n_side=7, m=4)
+    paper = sqrt_approx_ablation(inst, "paper")
+    s1_only = sqrt_approx_ablation(inst, "s1_only")
+    assert paper.makespan <= s1_only.makespan

@@ -1,0 +1,131 @@
+"""Tests for Theorem 4 (exact algorithm for Q2 with unit jobs)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.q2_unit_exact import (
+    feasible_first_machine_counts,
+    q2_split_cost,
+    q2_unit_exact,
+)
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import (
+    complete_bipartite,
+    empty_graph,
+    matching_graph,
+    path_graph,
+)
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance, unit_uniform_instance
+
+from tests.conftest import random_bipartite
+
+
+class TestFeasibleCounts:
+    def test_empty_graph_all_counts(self):
+        counts = feasible_first_machine_counts(empty_graph(4))
+        assert counts == {0, 1, 2, 3, 4}
+
+    def test_complete_bipartite_only_sides(self):
+        counts = feasible_first_machine_counts(complete_bipartite(2, 5))
+        assert counts == {2, 5}
+
+    def test_path_even(self):
+        counts = feasible_first_machine_counts(path_graph(4))
+        assert counts == {2}
+
+    def test_matching_all_middle(self):
+        # k disjoint edges: any n1 from choosing one endpoint each = exactly k
+        counts = feasible_first_machine_counts(matching_graph(3))
+        assert counts == {3}
+
+    def test_mixed_components(self):
+        # one edge (1 each way) + 2 isolated vertices (0..2 extra)
+        g = BipartiteGraph(4, [(0, 1)])
+        counts = feasible_first_machine_counts(g)
+        assert counts == {1, 2, 3}
+
+    def test_exhaustive_cross_check(self):
+        rng = np.random.default_rng(90)
+        for _ in range(15):
+            g = random_bipartite(rng, max_side=4)
+            counts = feasible_first_machine_counts(g)
+            truth = set()
+            for mask in range(1 << g.n):
+                m1 = [v for v in range(g.n) if (mask >> v) & 1]
+                m2 = [v for v in range(g.n) if not (mask >> v) & 1]
+                if g.is_independent_set(m1) and g.is_independent_set(m2):
+                    truth.add(len(m1))
+            assert counts == truth
+
+
+class TestSplitCost:
+    def test_cost_formula(self):
+        speeds = (Fraction(3), Fraction(1))
+        assert q2_split_cost(6, 1, speeds) == Fraction(2)
+        assert q2_split_cost(0, 4, speeds) == Fraction(4)
+
+
+class TestExactAlgorithm:
+    def test_preconditions(self):
+        with pytest.raises(InvalidInstanceError):
+            q2_unit_exact(unit_uniform_instance(path_graph(2), [1, 1, 1]))
+        with pytest.raises(InvalidInstanceError):
+            q2_unit_exact(UniformInstance(path_graph(2), [2, 1], [1, 1]))
+        with pytest.raises(InvalidInstanceError):
+            q2_unit_exact(
+                unit_uniform_instance(path_graph(2), [1, 1]), method="nope"  # type: ignore[arg-type]
+            )
+
+    def test_empty(self):
+        inst = unit_uniform_instance(BipartiteGraph(0, []), [1, 1])
+        assert q2_unit_exact(inst).makespan == 0
+
+    def test_matches_bruteforce_subset_sum(self):
+        rng = np.random.default_rng(91)
+        for _ in range(25):
+            g = random_bipartite(rng, max_side=5)
+            speeds = sorted(
+                (Fraction(int(x)) for x in rng.integers(1, 7, 2)), reverse=True
+            )
+            inst = unit_uniform_instance(g, speeds)
+            s = q2_unit_exact(inst, method="subset_sum")
+            assert s.is_feasible()
+            assert s.makespan == brute_force_makespan(inst)
+
+    def test_paper_fptas_method_agrees(self):
+        rng = np.random.default_rng(92)
+        for _ in range(10):
+            g = random_bipartite(rng, max_side=4)
+            speeds = sorted(
+                (Fraction(int(x)) for x in rng.integers(1, 7, 2)), reverse=True
+            )
+            inst = unit_uniform_instance(g, speeds)
+            a = q2_unit_exact(inst, method="subset_sum")
+            b = q2_unit_exact(inst, method="fptas")
+            assert a.makespan == b.makespan
+
+    def test_speeds_drive_split(self):
+        # K_{3,3}: splits {3,3}; speeds decide nothing — but with a fast M1
+        # the optimum puts either side there
+        inst = unit_uniform_instance(complete_bipartite(3, 3), [3, 1])
+        s = q2_unit_exact(inst)
+        assert s.makespan == 3  # max(3/3, 3/1) = 3
+
+    def test_isolated_vertices_balance(self):
+        # one edge + 4 isolated: fast machine should take more
+        g = BipartiteGraph(6, [(0, 1)])
+        inst = unit_uniform_instance(g, [2, 1])
+        s = q2_unit_exact(inst)
+        assert s.makespan == 2  # 4 on fast (4/2=2), 2 on slow
+
+    def test_infeasible_only_when_single_machine_equivalent(self):
+        # Q2 with a bipartite graph is always feasible; check no raise
+        rng = np.random.default_rng(93)
+        for _ in range(10):
+            g = random_bipartite(rng, max_side=4)
+            inst = unit_uniform_instance(g, [1, 1])
+            q2_unit_exact(inst)

@@ -1,0 +1,153 @@
+"""Tests for Algorithm 1 (Theorem 9: sqrt(sum p_j)-approximation)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.sqrt_approx import (
+    satisfies_sqrt_guarantee,
+    sqrt_approx_schedule,
+)
+from repro.exceptions import InfeasibleInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import (
+    complete_bipartite,
+    empty_graph,
+    matching_graph,
+    path_graph,
+    star,
+)
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance, unit_uniform_instance
+
+from tests.conftest import random_uniform_instance
+
+
+class TestFeasibility:
+    def test_random_instances(self):
+        rng = np.random.default_rng(100)
+        for _ in range(30):
+            inst = random_uniform_instance(rng)
+            res = sqrt_approx_schedule(inst)
+            assert res.schedule.is_feasible()
+
+    def test_two_approx_solver_variant(self):
+        rng = np.random.default_rng(101)
+        for _ in range(15):
+            inst = random_uniform_instance(rng)
+            res = sqrt_approx_schedule(inst, s1_solver="two_approx")
+            assert res.schedule.is_feasible()
+
+    def test_empty_instance(self):
+        inst = UniformInstance(BipartiteGraph(0, []), [], [1, 1])
+        assert sqrt_approx_schedule(inst).schedule.makespan == 0
+
+    def test_single_machine_no_edges(self):
+        inst = UniformInstance(empty_graph(3), [1, 2, 3], [2])
+        res = sqrt_approx_schedule(inst)
+        assert res.schedule.makespan == 3
+
+    def test_single_machine_with_edges_raises(self):
+        inst = UniformInstance(matching_graph(1), [1, 1], [1])
+        with pytest.raises(InfeasibleInstanceError):
+            sqrt_approx_schedule(inst)
+
+
+class TestGuarantee:
+    def test_theorem9_vs_bruteforce(self):
+        rng = np.random.default_rng(102)
+        for _ in range(30):
+            inst = random_uniform_instance(rng, max_jobs=8, max_machines=4)
+            res = sqrt_approx_schedule(inst)
+            opt = brute_force_makespan(inst)
+            assert satisfies_sqrt_guarantee(res, opt, inst.total_p)
+
+    def test_capacity_bound_is_valid_lower_bound(self):
+        rng = np.random.default_rng(103)
+        checked = 0
+        for _ in range(30):
+            inst = random_uniform_instance(rng, max_jobs=8, max_machines=4)
+            res = sqrt_approx_schedule(inst)
+            if res.capacity_bound is None:
+                continue
+            checked += 1
+            opt = brute_force_makespan(inst)
+            assert res.capacity_bound <= opt
+        assert checked >= 5
+
+    def test_brute_force_branch_is_exact(self):
+        # sum p <= 4 goes through step 1
+        inst = UniformInstance(matching_graph(1), [2, 2], [2, 1])
+        res = sqrt_approx_schedule(inst)
+        assert res.chosen == "brute_force"
+        assert res.schedule.makespan == brute_force_makespan(inst)
+
+
+class TestStructure:
+    def test_s2_built_when_independent_set_exists(self):
+        # star: heavy centre + light leaves, m >= 3; sum p > 16 so the
+        # algorithm takes the approximation path rather than step 1
+        g = star(6)
+        inst = UniformInstance(g, [19, 1, 1, 1, 1, 1, 1], [4, 2, 1])
+        res = sqrt_approx_schedule(inst)
+        assert res.s2 is not None
+        assert res.independent_set is not None
+        assert res.capacity_bound is not None
+
+    def test_s2_skipped_on_two_machines(self):
+        g = path_graph(4)
+        inst = UniformInstance(g, [5, 5, 5, 5], [2, 1])
+        res = sqrt_approx_schedule(inst)
+        assert res.s2 is None
+        assert res.chosen == "s1"
+
+    def test_no_independent_set_when_heavy_conflict(self):
+        # two adjacent heavy jobs: I cannot exist
+        g = BipartiteGraph(4, [(0, 1)])
+        inst = UniformInstance(g, [10, 10, 1, 1], [2, 1, 1])
+        res = sqrt_approx_schedule(inst)
+        assert res.independent_set is None
+        assert res.s2 is None
+
+    def test_independent_set_contains_heavy_jobs(self):
+        g = BipartiteGraph(5, [(0, 2), (1, 2)])
+        p = [8, 8, 1, 1, 1]  # sum = 19, heavy: p^2 >= 19 -> jobs 0, 1
+        inst = UniformInstance(g, p, [3, 2, 1])
+        res = sqrt_approx_schedule(inst)
+        assert res.independent_set is not None
+        assert {0, 1} <= res.independent_set
+
+    def test_takes_better_candidate(self):
+        rng = np.random.default_rng(104)
+        for _ in range(20):
+            inst = random_uniform_instance(rng)
+            res = sqrt_approx_schedule(inst)
+            assert res.schedule.makespan == min(
+                (s.makespan for s in (res.s1, res.s2) if s is not None)
+            )
+
+    def test_s2_can_win_with_many_machines(self):
+        """With many machines and a spread-out graph, the capacity schedule
+        must beat the two-machine fallback at least sometimes."""
+        rng = np.random.default_rng(105)
+        wins = 0
+        for _ in range(20):
+            g = matching_graph(6)
+            p = [int(x) for x in rng.integers(1, 6, 12)]
+            inst = UniformInstance(g, p, [2, 1, 1, 1, 1, 1])
+            res = sqrt_approx_schedule(inst)
+            if res.chosen == "s2":
+                wins += 1
+        assert wins > 0
+
+
+class TestExactSquaredComparison:
+    def test_guarantee_checker(self):
+        g = matching_graph(1)
+        inst = UniformInstance(g, [3, 3], [1, 1])
+        res = sqrt_approx_schedule(inst)
+        # makespan 3, opt 3, sum p = 6: 9 <= 6 * 9 holds
+        assert satisfies_sqrt_guarantee(res, Fraction(3), 6)
+        # an impossible claim fails: 9 <= 6 * (1/4) is false
+        assert not satisfies_sqrt_guarantee(res, Fraction(1, 2), 6)

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests execute each
+one in a subprocess and assert a clean exit plus a non-empty, sensible
+stdout.  Slow examples are trimmed via environment-free defaults — if
+one grows past the timeout, that is a regression worth failing on.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 50, "examples should narrate what they do"
+
+
+def test_examples_inventory():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

@@ -1,0 +1,173 @@
+"""Tests for the BipartiteGraph container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidInstanceError, NotBipartiteError
+from repro.graphs.bipartite import BipartiteGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = BipartiteGraph(0, [])
+        assert g.n == 0 and g.edge_count == 0
+
+    def test_basic_edges(self):
+        g = BipartiteGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.edge_count == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_parallel_edges_collapse(self):
+        g = BipartiteGraph(2, [(0, 1), (1, 0), (0, 1)])
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(2, [(0, 2)])
+
+    def test_odd_cycle_rejected(self):
+        with pytest.raises(NotBipartiteError):
+            BipartiteGraph(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_even_cycle_accepted(self):
+        g = BipartiteGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.edge_count == 4
+
+    def test_declared_side_validated(self):
+        with pytest.raises(NotBipartiteError):
+            BipartiteGraph(2, [(0, 1)], side=[0, 0])
+
+    def test_declared_side_length_checked(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(2, [(0, 1)], side=[0])
+
+    def test_declared_side_values_checked(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(2, [(0, 1)], side=[0, 2])
+
+    def test_inferred_side_crosses_every_edge(self):
+        g = BipartiteGraph(6, [(0, 1), (1, 2), (3, 4)])
+        for u, v in g.edges():
+            assert g.side[u] != g.side[v]
+
+    def test_from_parts(self):
+        g = BipartiteGraph.from_parts(2, 3, [(0, 0), (1, 2)])
+        assert g.n == 5
+        assert g.side == (0, 0, 1, 1, 1)
+        assert g.has_edge(0, 2) and g.has_edge(1, 4)
+
+    def test_from_parts_range_check(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph.from_parts(2, 2, [(0, 2)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BipartiteGraph(-1, [])
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        g = BipartiteGraph(4, [(0, 1), (0, 3)])
+        assert g.neighbors(0) == {1, 3}
+        assert g.degree(0) == 2 and g.degree(2) == 0
+        assert g.max_degree() == 2
+
+    def test_isolated_vertices(self):
+        g = BipartiteGraph(4, [(0, 1)])
+        assert g.isolated_vertices() == [2, 3]
+
+    def test_edges_ordered(self):
+        g = BipartiteGraph(4, [(3, 2), (1, 0)])
+        assert sorted(g.edges()) == [(0, 1), (2, 3)]
+
+    def test_vertices_on_side_partition(self):
+        g = BipartiteGraph.from_parts(2, 2, [(0, 0)])
+        assert g.vertices_on_side(0) == [0, 1]
+        assert g.vertices_on_side(1) == [2, 3]
+
+
+class TestIndependence:
+    def test_independent_set_detection(self):
+        g = BipartiteGraph(4, [(0, 1), (2, 3)])
+        assert g.is_independent_set([0, 2])
+        assert g.is_independent_set([])
+        assert not g.is_independent_set([0, 1])
+
+    def test_closed_neighborhood(self):
+        g = BipartiteGraph(5, [(0, 1), (1, 2), (3, 4)])
+        assert g.closed_neighborhood([1]) == {0, 1, 2}
+        assert g.closed_neighborhood([0, 3]) == {0, 1, 3, 4}
+
+
+class TestStructuralOps:
+    def test_induced_subgraph(self):
+        g = BipartiteGraph(5, [(0, 1), (1, 2), (3, 4)])
+        sub, ids = g.induced_subgraph([1, 2, 4])
+        assert ids == [1, 2, 4]
+        assert sub.n == 3
+        assert sub.edge_count == 1  # only (1,2) survives
+        assert sub.has_edge(0, 1)
+
+    def test_induced_subgraph_inherits_sides(self):
+        g = BipartiteGraph.from_parts(2, 2, [(0, 0), (1, 1)])
+        sub, ids = g.induced_subgraph([0, 3])
+        assert [g.side[v] for v in ids] == list(sub.side)
+
+    def test_disjoint_union(self):
+        a = BipartiteGraph(2, [(0, 1)])
+        b = BipartiteGraph(3, [(0, 2)])
+        u = a.disjoint_union(b)
+        assert u.n == 5
+        assert u.has_edge(0, 1) and u.has_edge(2, 4)
+        assert u.edge_count == 2
+
+    def test_with_edges(self):
+        g = BipartiteGraph(4, [(0, 1)])
+        g2 = g.with_edges([(2, 3)])
+        assert g2.edge_count == 2 and g.edge_count == 1
+
+    def test_relabeled_permutation(self):
+        g = BipartiteGraph(3, [(0, 1)])
+        r = g.relabeled([2, 0, 1])
+        assert r.has_edge(2, 0)
+        assert not r.has_edge(0, 1)
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = BipartiteGraph(3, [(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            g.relabeled([0, 0, 1])
+
+
+class TestDunder:
+    def test_equality_by_structure(self):
+        a = BipartiteGraph(3, [(0, 1)])
+        b = BipartiteGraph(3, [(1, 0)])
+        c = BipartiteGraph(3, [(1, 2)])
+        assert a == b and a != c
+        assert hash(a) == hash(b)
+
+    def test_to_networkx_roundtrip(self):
+        g = BipartiteGraph(4, [(0, 1), (2, 3)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 2
+
+
+@given(st.integers(1, 8), st.integers(1, 8), st.data())
+def test_from_parts_always_bipartite_property(a, b, data):
+    """Every cross-edge set yields a valid graph whose witness matches parts."""
+    edges = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, a - 1), st.integers(0, b - 1)),
+            max_size=20,
+        )
+    )
+    g = BipartiteGraph.from_parts(a, b, edges)
+    assert g.n == a + b
+    for u, v in g.edges():
+        assert g.side[u] != g.side[v]

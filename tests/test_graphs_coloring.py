@@ -1,0 +1,138 @@
+"""Tests for proper and inequitable 2-colorings (Definition 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.coloring import (
+    inequitable_two_coloring,
+    is_proper_coloring,
+    proper_two_coloring,
+)
+from repro.graphs.generators import complete_bipartite, matching_graph, path_graph
+
+from tests.conftest import random_bipartite
+
+
+class TestProperTwoColoring:
+    def test_path(self):
+        colors = proper_two_coloring(path_graph(5))
+        assert colors == (0, 1, 0, 1, 0)
+
+    def test_is_proper(self):
+        g = complete_bipartite(3, 4)
+        assert is_proper_coloring(g, proper_two_coloring(g))
+
+    def test_canonical_root_color(self):
+        # smallest vertex of each component gets color 0
+        g = BipartiteGraph(4, [(1, 3)])
+        colors = proper_two_coloring(g)
+        assert colors[0] == 0 and colors[1] == 0 and colors[3] == 1
+
+    def test_independent_of_declared_sides(self):
+        g1 = BipartiteGraph(2, [(0, 1)], side=[0, 1])
+        g2 = BipartiteGraph(2, [(0, 1)], side=[1, 0])
+        assert proper_two_coloring(g1) == proper_two_coloring(g2)
+
+
+class TestInequitableColoring:
+    def test_classes_are_independent(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            g = random_bipartite(rng)
+            c1, c2 = inequitable_two_coloring(g)
+            assert g.is_independent_set(c1)
+            assert g.is_independent_set(c2)
+
+    def test_classes_partition(self):
+        g = complete_bipartite(2, 5)
+        c1, c2 = inequitable_two_coloring(g)
+        assert sorted(c1 + c2) == list(range(7))
+
+    def test_cardinality_maximised_unweighted(self):
+        # K_{2,5}: the larger class must take the 5-side
+        g = complete_bipartite(2, 5)
+        c1, c2 = inequitable_two_coloring(g)
+        assert len(c1) == 5 and len(c2) == 2
+
+    def test_isolated_vertices_join_class1(self):
+        g = BipartiteGraph(4, [(0, 1)])
+        c1, c2 = inequitable_two_coloring(g)
+        assert 2 in c1 and 3 in c1
+        assert len(c2) == 1
+
+    def test_weighted_orientation_per_component(self):
+        # component A: weights favour side {0}; component B: side {3, 4}
+        g = BipartiteGraph(5, [(0, 1), (2, 3), (2, 4)])
+        weights = [10, 1, 1, 5, 5]
+        c1, c2 = inequitable_two_coloring(g, weights)
+        assert set(c1) == {0, 3, 4}
+        assert set(c2) == {1, 2}
+
+    def test_weight_of_class1_is_maximum_over_orientations(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            g = random_bipartite(rng, max_side=5)
+            weights = [int(x) for x in rng.integers(1, 10, g.n)]
+            c1, c2 = inequitable_two_coloring(g, weights)
+            w1 = sum(weights[v] for v in c1)
+            w2 = sum(weights[v] for v in c2)
+            assert w1 >= w2
+            # brute force over component orientations
+            from repro.graphs.components import connected_components
+            from repro.graphs.coloring import proper_two_coloring
+
+            base = proper_two_coloring(g)
+            comps = connected_components(g)
+            best = 0
+            import itertools
+
+            for flips in itertools.product([0, 1], repeat=len(comps)):
+                total = 0
+                for comp, flip in zip(comps, flips):
+                    total += sum(
+                        weights[v] for v in comp if base[v] == flip
+                    )
+                best = max(best, total)
+            assert w1 == best
+
+    def test_weights_length_checked(self):
+        g = matching_graph(2)
+        with pytest.raises(ValueError):
+            inequitable_two_coloring(g, [1, 2])
+
+    def test_empty_graph(self):
+        c1, c2 = inequitable_two_coloring(BipartiteGraph(0, []))
+        assert c1 == [] and c2 == []
+
+
+class TestIsProperColoring:
+    def test_accepts_valid(self):
+        g = path_graph(4)
+        assert is_proper_coloring(g, [0, 1, 0, 1])
+
+    def test_rejects_conflict(self):
+        g = path_graph(3)
+        assert not is_proper_coloring(g, [0, 0, 1])
+
+    def test_rejects_wrong_length(self):
+        g = path_graph(3)
+        assert not is_proper_coloring(g, [0, 1])
+
+    def test_many_colors_fine(self):
+        g = path_graph(3)
+        assert is_proper_coloring(g, [5, 9, 5])
+
+
+@given(st.integers(1, 7), st.integers(1, 7), st.data())
+def test_inequitable_dominance_property(a, b, data):
+    """|V'_1| >= |V'_2| and both classes independent, for any cross edges."""
+    edges = data.draw(
+        st.lists(st.tuples(st.integers(0, a - 1), st.integers(0, b - 1)), max_size=25)
+    )
+    g = BipartiteGraph.from_parts(a, b, edges)
+    c1, c2 = inequitable_two_coloring(g)
+    assert len(c1) >= len(c2)
+    assert g.is_independent_set(c1) and g.is_independent_set(c2)
+    assert sorted(c1 + c2) == list(range(g.n))

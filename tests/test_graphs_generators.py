@@ -1,0 +1,163 @@
+"""Tests for the deterministic and random graph families."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators as gen
+from repro.graphs.components import connected_components
+
+
+class TestDeterministicFamilies:
+    def test_empty_graph(self):
+        g = gen.empty_graph(5)
+        assert g.n == 5 and g.edge_count == 0
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(3, 4)
+        assert g.n == 7 and g.edge_count == 12
+        assert all(g.degree(v) == 4 for v in range(3))
+
+    def test_crown(self):
+        g = gen.crown(4)
+        assert g.n == 8 and g.edge_count == 12
+        assert all(g.degree(v) == 3 for v in range(8))
+
+    def test_crown_size_one_is_two_isolated(self):
+        g = gen.crown(1)
+        assert g.n == 2 and g.edge_count == 0
+
+    def test_crown_rejects_zero(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.crown(0)
+
+    def test_path(self):
+        g = gen.path_graph(6)
+        assert g.edge_count == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_even_cycle(self):
+        g = gen.even_cycle(6)
+        assert g.edge_count == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    @pytest.mark.parametrize("bad", [3, 5, 2, 0])
+    def test_odd_or_small_cycle_rejected(self, bad):
+        with pytest.raises(InvalidInstanceError):
+            gen.even_cycle(bad)
+
+    def test_star(self):
+        g = gen.star(5)
+        assert g.degree(0) == 5
+        assert g.n == 6
+
+    def test_star_zero_leaves(self):
+        assert gen.star(0).n == 1
+
+    def test_double_star(self):
+        g = gen.double_star(3, 2)
+        assert g.n == 7
+        assert g.degree(0) == 4 and g.degree(1) == 3
+
+    def test_caterpillar(self):
+        g = gen.caterpillar(3, 2)
+        assert g.n == 9
+        assert g.edge_count == 8  # a tree
+        assert len(connected_components(g)) == 1
+
+    def test_matching_graph(self):
+        g = gen.matching_graph(3)
+        assert g.n == 6 and g.edge_count == 3
+        assert all(g.degree(v) == 1 for v in range(6))
+
+
+class TestRandomTree:
+    def test_tree_properties(self):
+        for seed in range(15):
+            n = 3 + seed
+            g = gen.random_tree(n, seed=seed)
+            assert g.n == n
+            assert g.edge_count == n - 1
+            assert len(connected_components(g)) == 1
+
+    def test_tiny_trees(self):
+        assert gen.random_tree(1).n == 1
+        assert gen.random_tree(2).edge_count == 1
+
+    def test_reproducible(self):
+        a = gen.random_tree(20, seed=5)
+        b = gen.random_tree(20, seed=5)
+        assert a == b
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.random_tree(0)
+
+    def test_distribution_not_degenerate(self):
+        # different seeds should give different trees essentially always
+        trees = {gen.random_tree(10, seed=s) for s in range(10)}
+        assert len(trees) > 5
+
+
+class TestRandomForest:
+    def test_forest_properties(self):
+        g = gen.random_forest(20, 4, seed=1)
+        assert g.n == 20
+        assert g.edge_count == 16  # n - #trees
+        assert len(connected_components(g)) == 4
+
+    def test_single_tree(self):
+        g = gen.random_forest(10, 1, seed=2)
+        assert len(connected_components(g)) == 1
+
+    def test_all_singletons(self):
+        g = gen.random_forest(5, 5, seed=3)
+        assert g.edge_count == 0
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.random_forest(3, 4)
+        with pytest.raises(InvalidInstanceError):
+            gen.random_forest(3, 0)
+
+
+class TestDegreeBounded:
+    def test_degree_bound_respected(self):
+        for d in (1, 2, 3, 4):
+            g = gen.random_bipartite_degree_bounded(8, 8, d, seed=d)
+            assert g.max_degree() <= d
+
+    def test_greedy_is_maximal(self):
+        # greedy yields a *maximal* degree-bounded subgraph: every absent
+        # cross edge is blocked by a saturated endpoint
+        g = gen.random_bipartite_degree_bounded(6, 6, 3, seed=1)
+        left = [v for v in range(g.n) if g.side[v] == 0]
+        right = [v for v in range(g.n) if g.side[v] == 1]
+        for u in left:
+            for w in right:
+                if not g.has_edge(u, w):
+                    assert g.degree(u) == 3 or g.degree(w) == 3
+
+    def test_reproducible(self):
+        a = gen.random_bipartite_degree_bounded(5, 7, 2, seed=9)
+        b = gen.random_bipartite_degree_bounded(5, 7, 2, seed=9)
+        assert a == b
+
+
+class TestRandomSubgraph:
+    def test_keep_all(self):
+        g = gen.complete_bipartite(3, 3)
+        assert gen.random_subgraph(g, 1.0, seed=0) == g
+
+    def test_keep_none(self):
+        g = gen.complete_bipartite(3, 3)
+        assert gen.random_subgraph(g, 0.0, seed=0).edge_count == 0
+
+    def test_bad_probability(self):
+        with pytest.raises(InvalidInstanceError):
+            gen.random_subgraph(gen.star(2), 1.5)
+
+    def test_vertex_count_preserved(self):
+        g = gen.crown(5)
+        sub = gen.random_subgraph(g, 0.5, seed=1)
+        assert sub.n == g.n

@@ -1,0 +1,103 @@
+"""Tests for maximum-weight independent sets (Algorithm 1, step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import complete_bipartite, crown, path_graph, star
+from repro.graphs.independent_set import (
+    independence_number,
+    max_weight_independent_set,
+    max_weight_independent_set_containing,
+)
+
+from tests.conftest import random_bipartite
+
+
+def brute_mwis(g: BipartiteGraph, weights, required=frozenset()) -> int:
+    best = -1
+    for mask in range(1 << g.n):
+        sel = {v for v in range(g.n) if (mask >> v) & 1}
+        if required <= sel and g.is_independent_set(sel):
+            best = max(best, sum(weights[v] for v in sel))
+    return best
+
+
+class TestMaxWeightIndependentSet:
+    def test_star_avoids_center(self):
+        s = max_weight_independent_set(star(4), [1] * 5)
+        assert s == {1, 2, 3, 4}
+
+    def test_heavy_center_wins(self):
+        s = max_weight_independent_set(star(4), [100, 1, 1, 1, 1])
+        assert s == {0}
+
+    def test_optimality_vs_bruteforce(self):
+        rng = np.random.default_rng(12)
+        for _ in range(25):
+            g = random_bipartite(rng, max_side=5)
+            weights = [int(x) for x in rng.integers(1, 15, g.n)]
+            s = max_weight_independent_set(g, weights)
+            assert g.is_independent_set(s)
+            assert sum(weights[v] for v in s) == brute_mwis(g, weights)
+
+    def test_crown_takes_one_side(self):
+        # crown(k) has alpha = k (for k >= 3 no cross-side mixing beats a side)
+        s = max_weight_independent_set(crown(4), [1] * 8)
+        assert len(s) == 4
+
+
+class TestContainingVariant:
+    def test_returns_none_for_conflicting_required(self):
+        g = path_graph(3)
+        assert max_weight_independent_set_containing(g, [1, 1, 1], {0, 1}) is None
+
+    def test_contains_required(self):
+        g = path_graph(5)
+        s = max_weight_independent_set_containing(g, [1] * 5, {1})
+        assert s is not None and 1 in s
+        assert g.is_independent_set(s)
+
+    def test_optimality_vs_bruteforce(self):
+        rng = np.random.default_rng(13)
+        trials = 0
+        while trials < 20:
+            g = random_bipartite(rng, max_side=5)
+            weights = [int(x) for x in rng.integers(1, 15, g.n)]
+            req_size = int(rng.integers(0, min(3, g.n) + 1))
+            required = set(int(v) for v in rng.choice(g.n, size=req_size, replace=False))
+            s = max_weight_independent_set_containing(g, weights, required)
+            expected = brute_mwis(g, weights, frozenset(required))
+            if s is None:
+                assert not g.is_independent_set(required)
+                continue
+            trials += 1
+            assert required <= s
+            assert g.is_independent_set(s)
+            assert sum(weights[v] for v in s) == expected
+
+    def test_empty_required_equals_plain_mwis(self):
+        rng = np.random.default_rng(14)
+        for _ in range(10):
+            g = random_bipartite(rng, max_side=5)
+            weights = [int(x) for x in rng.integers(1, 15, g.n)]
+            a = max_weight_independent_set_containing(g, weights, set())
+            b = max_weight_independent_set(g, weights)
+            assert a is not None
+            assert sum(weights[v] for v in a) == sum(weights[v] for v in b)
+
+
+class TestIndependenceNumber:
+    def test_known_values(self):
+        assert independence_number(complete_bipartite(3, 5)) == 5
+        assert independence_number(star(6)) == 6
+        assert independence_number(BipartiteGraph(4, [])) == 4
+        assert independence_number(path_graph(5)) == 3
+
+    def test_gallai_vs_mwis(self):
+        rng = np.random.default_rng(15)
+        for _ in range(20):
+            g = random_bipartite(rng, max_side=6)
+            alpha = independence_number(g)
+            mwis = max_weight_independent_set(g, [1] * g.n)
+            assert alpha == len(mwis)

@@ -1,0 +1,120 @@
+"""Tests for 1-PrExt (Definition 2 / Theorem 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.coloring import is_proper_coloring
+from repro.graphs.generators import complete_bipartite, path_graph
+from repro.graphs.precoloring import (
+    PrExtInstance,
+    claw_no_instance,
+    planted_yes_instance,
+    random_prext_instance,
+    solve_prext,
+)
+
+
+def brute_force_prext(instance: PrExtInstance) -> bool:
+    """Exhaustive ground truth for tiny instances."""
+    g, k = instance.graph, instance.k
+    import itertools
+
+    for assign in itertools.product(range(k), repeat=g.n):
+        if all(assign[v] == c for c, v in enumerate(instance.precolored)):
+            if is_proper_coloring(g, assign):
+                return True
+    return False
+
+
+class TestInstanceValidation:
+    def test_requires_three_colors(self):
+        g = path_graph(4)
+        with pytest.raises(InvalidInstanceError):
+            PrExtInstance(g, (0, 1))
+
+    def test_distinct_vertices(self):
+        g = path_graph(4)
+        with pytest.raises(InvalidInstanceError):
+            PrExtInstance(g, (0, 0, 1))
+
+    def test_range_check(self):
+        g = path_graph(3)
+        with pytest.raises(InvalidInstanceError):
+            PrExtInstance(g, (0, 1, 5))
+
+
+class TestSolver:
+    def test_claw_is_no(self):
+        assert solve_prext(claw_no_instance()) is None
+
+    def test_claw_with_padding_still_no(self):
+        assert solve_prext(claw_no_instance(padding=5)) is None
+
+    def test_claw_minus_edge_is_yes(self):
+        # remove one leaf edge: the centre regains a color
+        g = BipartiteGraph(4, [(0, 1), (0, 2)])
+        inst = PrExtInstance(g, (1, 2, 3))
+        assert solve_prext(inst) is not None
+
+    def test_k33_same_side_precolor_is_no(self):
+        # all three precolored vertices on one side of K_{3,3}: the other
+        # side sees all three colors
+        g = complete_bipartite(3, 3)
+        inst = PrExtInstance(g, (0, 1, 2))
+        assert solve_prext(inst) is None
+
+    def test_k33_split_precolor_is_yes(self):
+        g = complete_bipartite(3, 3)
+        inst = PrExtInstance(g, (0, 1, 3))
+        result = solve_prext(inst)
+        assert result is not None
+
+    def test_solution_is_proper_and_extends(self):
+        for seed in range(10):
+            inst = planted_yes_instance(10, seed=seed)
+            coloring = solve_prext(inst)
+            assert coloring is not None
+            assert is_proper_coloring(inst.graph, coloring)
+            for c, v in enumerate(inst.precolored):
+                assert coloring[v] == c
+
+    def test_agrees_with_bruteforce(self):
+        rng = np.random.default_rng(20)
+        yes = no = 0
+        for _ in range(30):
+            inst = random_prext_instance(7, edge_probability=0.45, seed=rng)
+            got = solve_prext(inst) is not None
+            want = brute_force_prext(inst)
+            assert got == want
+            yes += got
+            no += not got
+        # the sample should contain both answers, else the test is vacuous
+        assert yes > 0 and no > 0
+
+    def test_empty_edges_always_yes(self):
+        g = BipartiteGraph(5, [])
+        inst = PrExtInstance(g, (0, 1, 2))
+        assert solve_prext(inst) is not None
+
+
+class TestGenerators:
+    def test_planted_always_yes(self):
+        for seed in range(15):
+            inst = planted_yes_instance(12, edge_probability=0.5, seed=seed)
+            assert solve_prext(inst) is not None
+
+    def test_planted_reproducible(self):
+        a = planted_yes_instance(10, seed=4)
+        b = planted_yes_instance(10, seed=4)
+        assert a.graph == b.graph and a.precolored == b.precolored
+
+    def test_planted_minimum_size(self):
+        with pytest.raises(InvalidInstanceError):
+            planted_yes_instance(2)
+
+    def test_random_instance_valid(self):
+        inst = random_prext_instance(9, seed=1)
+        assert inst.k == 3
+        assert len(set(inst.precolored)) == 3

@@ -1,0 +1,227 @@
+"""Exhaustive verification of the Figure 1 forcing components (Lemmas 5-7).
+
+For every proper coloring of a small gadget (plus anchor) we check the
+lemma's disjunction *as stated in the paper*: counting, across the whole
+component, how many vertices avoid the respective color sets.
+"""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.coloring import is_proper_coloring
+from repro.hardness.gadgets import (
+    attach_gadget,
+    cheap_gadget_coloring,
+    enumerate_proper_colorings,
+    h1,
+    h2,
+    h3,
+)
+
+
+def count_avoiding(coloring, forbidden: set[int]) -> int:
+    """Vertices whose color is outside ``forbidden``."""
+    return sum(1 for c in coloring if c not in forbidden)
+
+
+class TestConstruction:
+    def test_h1_shape(self):
+        g = h1(4)
+        assert g.size == 4 and g.edges == ()
+        assert g.anchor_links == (0, 1, 2, 3)
+
+    def test_h2_shape(self):
+        g = h2(2, 3)
+        assert g.size == 5
+        assert len(g.edges) == 6  # complete join C(2) x D(3)
+        assert set(g.anchor_links) == set(g.layers["C"])
+
+    def test_h3_shape(self):
+        g = h3(1, 2, 3)
+        assert g.size == 3 + 1 + 2 + 3
+        # joins: A(3)xB(1) + B(1)xC(2) + C(2)xD(3) = 3 + 2 + 6
+        assert len(g.edges) == 11
+        assert set(g.anchor_links) == set(g.layers["B"])
+
+    def test_sizes_validated(self):
+        with pytest.raises(InvalidInstanceError):
+            h1(0)
+        with pytest.raises(InvalidInstanceError):
+            h2(0, 1)
+        with pytest.raises(InvalidInstanceError):
+            h3(1, 0, 1)
+
+    def test_gadgets_are_bipartite(self):
+        for g in (h1(3), h2(2, 3), h3(2, 2, 2)):
+            graph = g.as_graph_with_anchor()  # raises if an odd cycle existed
+            assert graph.n == g.size + 1
+
+    def test_vertex_accounting_theorem8(self):
+        """n' = n + 48k^2n + 4kn + 2 for the paper's six components."""
+        for k in (1, 2):
+            for n in (3, 7):
+                x, xp, xpp = 6 * k * k * n, k * n, 1
+                total = 2 * h1(x).size + 2 * h2(xp, x).size + 2 * h3(xpp, xp, x).size
+                assert total == 48 * k * k * n + 4 * k * n + 2
+
+
+class TestLemma5:
+    @pytest.mark.parametrize("x", [1, 2, 3])
+    @pytest.mark.parametrize("colors", [2, 3])
+    def test_all_colorings(self, x, colors):
+        gadget = h1(x)
+        graph = gadget.as_graph_with_anchor()
+        anchor = gadget.size
+        for coloring in enumerate_proper_colorings(graph, colors, {anchor: 0}):
+            # v colored c1: at least x vertices avoid c1
+            assert count_avoiding(coloring, {0}) >= x
+
+    def test_lemma_not_vacuous(self):
+        """With the anchor NOT colored c1 a cheap (all-c1) coloring exists."""
+        gadget = h1(3)
+        graph = gadget.as_graph_with_anchor()
+        anchor = gadget.size
+        found_cheap = any(
+            count_avoiding(c, {0}) == 1  # only the anchor itself avoids c1
+            for c in enumerate_proper_colorings(graph, 3, {anchor: 1})
+        )
+        assert found_cheap
+
+
+class TestLemma6:
+    @pytest.mark.parametrize("x_prime,x", [(1, 1), (1, 2), (2, 2), (2, 3)])
+    @pytest.mark.parametrize("colors", [3, 4])
+    def test_all_colorings(self, x_prime, x, colors):
+        gadget = h2(x_prime, x)
+        graph = gadget.as_graph_with_anchor()
+        anchor = gadget.size
+        for coloring in enumerate_proper_colorings(graph, colors, {anchor: 1}):
+            case_b = count_avoiding(coloring, {0, 1}) >= x_prime
+            case_c = count_avoiding(coloring, {0}) >= x
+            assert case_b or case_c, coloring
+
+    def test_cheap_coloring_when_anchor_c1(self):
+        gadget = h2(2, 3)
+        graph = gadget.as_graph_with_anchor()
+        anchor = gadget.size
+        # off-c1 cost can be as low as x' (only the C layer leaves c1:
+        # the anchor itself holds c1 and D returns to c1)
+        best = min(
+            count_avoiding(c, {0})
+            for c in enumerate_proper_colorings(graph, 3, {anchor: 0})
+        )
+        assert best == 2
+
+
+class TestLemma7:
+    @pytest.mark.parametrize(
+        "sizes", [(1, 1, 1), (1, 2, 2), (2, 1, 2), (1, 1, 3), (2, 2, 2)]
+    )
+    @pytest.mark.parametrize("colors", [3, 4])
+    def test_all_colorings(self, sizes, colors):
+        x_dprime, x_prime, x = sizes
+        gadget = h3(x_dprime, x_prime, x)
+        graph = gadget.as_graph_with_anchor()
+        anchor = gadget.size
+        for coloring in enumerate_proper_colorings(graph, colors, {anchor: 2}):
+            case_a = count_avoiding(coloring, {0, 1, 2}) >= x_dprime
+            case_b = count_avoiding(coloring, {0, 1}) >= x_prime
+            case_c = count_avoiding(coloring, {0}) >= x
+            assert case_a or case_b or case_c, coloring
+
+    @pytest.mark.parametrize("anchor_color", [0, 1])
+    def test_cheap_coloring_other_anchor_colors(self, anchor_color):
+        """When the anchor avoids c3 the gadget colors with only the C layer
+        off {c1} beyond B and the anchor itself — the YES-case economy."""
+        gadget = h3(1, 2, 2)
+        graph = gadget.as_graph_with_anchor()
+        anchor = gadget.size
+        best = min(
+            count_avoiding(c, {0})
+            for c in enumerate_proper_colorings(graph, 3, {anchor: anchor_color})
+        )
+        # B(1) + C(2) leave c1 (plus the anchor itself when it isn't c1);
+        # both size-x layers A and D stay on c1 — the YES-case economy
+        anchor_off = 1 if anchor_color != 0 else 0
+        assert best == anchor_off + 1 + 2
+
+
+class TestAttachGadget:
+    def test_attach_extends_graph(self):
+        base = BipartiteGraph(3, [(0, 1)])
+        extended, layers = attach_gadget(base, 2, h1(3))
+        assert extended.n == 6
+        assert all(extended.has_edge(2, v) for v in layers["layer"])
+
+    def test_layers_translated(self):
+        base = BipartiteGraph(2, [])
+        extended, layers = attach_gadget(base, 0, h2(1, 2))
+        assert min(v for verts in layers.values() for v in verts) == 2
+
+    def test_anchor_range_checked(self):
+        with pytest.raises(InvalidInstanceError):
+            attach_gadget(BipartiteGraph(2, []), 5, h1(1))
+
+
+class TestCheapColorings:
+    def test_h1_valid(self):
+        base = BipartiteGraph(1, [])
+        extended, layers = attach_gadget(base, 0, h1(3))
+        cheap = cheap_gadget_coloring("H1", layers, anchor_color=1)
+        full = [1] + [cheap[v] for v in range(1, 4)]
+        assert is_proper_coloring(extended, full)
+
+    @pytest.mark.parametrize("anchor_color", [0, 2])
+    def test_h2_valid(self, anchor_color):
+        base = BipartiteGraph(1, [])
+        extended, layers = attach_gadget(base, 0, h2(2, 3))
+        cheap = cheap_gadget_coloring("H2", layers, anchor_color)
+        full = [anchor_color] + [cheap[v] for v in range(1, extended.n)]
+        assert is_proper_coloring(extended, full)
+
+    @pytest.mark.parametrize("anchor_color", [0, 1])
+    def test_h3_valid(self, anchor_color):
+        base = BipartiteGraph(1, [])
+        extended, layers = attach_gadget(base, 0, h3(1, 2, 3))
+        cheap = cheap_gadget_coloring("H3", layers, anchor_color)
+        full = [anchor_color] + [cheap[v] for v in range(1, extended.n)]
+        assert is_proper_coloring(extended, full)
+
+    def test_punished_color_raises(self):
+        _, layers1 = attach_gadget(BipartiteGraph(1, []), 0, h1(2))
+        with pytest.raises(InvalidInstanceError):
+            cheap_gadget_coloring("H1", layers1, 0)
+        _, layers2 = attach_gadget(BipartiteGraph(1, []), 0, h2(1, 1))
+        with pytest.raises(InvalidInstanceError):
+            cheap_gadget_coloring("H2", layers2, 1)
+        _, layers3 = attach_gadget(BipartiteGraph(1, []), 0, h3(1, 1, 1))
+        with pytest.raises(InvalidInstanceError):
+            cheap_gadget_coloring("H3", layers3, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidInstanceError):
+            cheap_gadget_coloring("H9", {}, 0)
+
+
+class TestEnumerator:
+    def test_counts_path_colorings(self):
+        g = BipartiteGraph(3, [(0, 1), (1, 2)])
+        # 3 colors on P3: 3 * 2 * 2 = 12
+        assert sum(1 for _ in enumerate_proper_colorings(g, 3)) == 12
+
+    def test_fixed_respected(self):
+        g = BipartiteGraph(2, [(0, 1)])
+        cols = list(enumerate_proper_colorings(g, 2, {0: 1}))
+        assert cols == [(1, 0)]
+
+    def test_infeasible_fixed_yields_nothing(self):
+        g = BipartiteGraph(2, [(0, 1)])
+        assert list(enumerate_proper_colorings(g, 2, {0: 0, 1: 0})) == []
+
+    def test_bad_fixed_rejected(self):
+        g = BipartiteGraph(2, [])
+        with pytest.raises(InvalidInstanceError):
+            list(enumerate_proper_colorings(g, 2, {5: 0}))

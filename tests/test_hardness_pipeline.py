@@ -1,0 +1,150 @@
+"""Tests for :mod:`repro.hardness.pipeline` — schedulers as 1-PrExt deciders.
+
+The Theorem 8 reduction inflates instances by design (gadget layers of
+size ``6 k^2 n``), so the Q-side pipeline is exercised with the coloring
+oracle (``schedule_from_extension``) standing in for a gap-certified
+scheduler; the Theorem 24 reduction keeps the original ``n`` jobs, so
+brute force is a genuine exact scheduler there.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.precoloring import (
+    claw_no_instance,
+    planted_yes_instance,
+    solve_prext,
+)
+from repro.hardness.pipeline import (
+    decide_prext_via_q,
+    decide_prext_via_r,
+    decide_reduction,
+)
+from repro.hardness.q_reduction import theorem8_reduction
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.list_scheduling import graph_aware_greedy
+
+
+def _greedy_scheduler(instance):
+    schedule = graph_aware_greedy(instance)
+    assert schedule is not None, "greedy failed on a reduction instance"
+    return schedule
+
+
+def _oracle_scheduler(hard):
+    """A gap-certified scheduler for Q reductions: solve the seed 1-PrExt
+    exactly and schedule from the extension (YES), else fall back to
+    greedy (sound: on NO instances every schedule is >= the NO bound)."""
+
+    def run(instance):
+        coloring = solve_prext(hard.prext)
+        if coloring is not None:
+            return hard.schedule_from_extension(coloring)
+        return _greedy_scheduler(instance)
+
+    return run
+
+
+class TestQReductionDecider:
+    def test_oracle_decides_yes(self):
+        prext = planted_yes_instance(5, seed=1)
+        hard = theorem8_reduction(prext, k=2)
+        decision = decide_reduction(
+            hard, _oracle_scheduler(hard), certified_below_gap=True
+        )
+        assert decision.answer is True
+        assert decision.conclusive
+        assert decision.makespan <= decision.yes_bound < decision.no_bound
+        assert solve_prext(prext) is not None
+
+    def test_oracle_decides_no(self):
+        prext = claw_no_instance()
+        hard = theorem8_reduction(prext, k=2)
+        decision = decide_reduction(
+            hard, _oracle_scheduler(hard), certified_below_gap=True
+        )
+        assert decision.answer is False
+        assert decision.makespan >= decision.no_bound
+        assert solve_prext(prext) is None
+
+    def test_heuristic_never_falsely_certifies(self):
+        """Without the certificate flag, greedy can only say YES or
+        abstain — on a NO instance it must abstain (its makespan is
+        forced to the NO bound by the theorem)."""
+        prext = claw_no_instance()
+        decision = decide_prext_via_q(prext, _greedy_scheduler, k=2)
+        assert decision.answer is None
+
+    def test_heuristic_is_defeated_but_sound(self):
+        """The reduction gadgets are engineered to punish anything short
+        of a gap-certified scheduler: greedy (when it completes at all)
+        lands far above the NO bound even on YES instances, so it
+        abstains — and must never certify a wrong answer."""
+        abstentions = 0
+        for seed in range(6):
+            prext = planted_yes_instance(5, seed=seed)
+            try:
+                decision = decide_prext_via_q(prext, _greedy_scheduler, k=2)
+            except AssertionError:
+                continue  # greedy ran out of conflict-free machines
+            assert decision.answer in (True, None)
+            if decision.answer is True:
+                assert solve_prext(prext) is not None
+            else:
+                abstentions += 1
+        # the gadgets really do defeat the heuristic on this family
+        assert abstentions >= 1
+
+    def test_reduction_field(self):
+        prext = planted_yes_instance(4, seed=2)
+        hard = theorem8_reduction(prext, k=1)
+        decision = decide_reduction(hard, _oracle_scheduler(hard), True)
+        assert decision.reduction == "theorem8"
+
+
+class TestRReductionDecider:
+    def test_exact_scheduler_decides_yes(self):
+        prext = planted_yes_instance(6, seed=5)
+        decision = decide_prext_via_r(
+            prext, brute_force_optimal, d=8, certified_below_gap=True
+        )
+        assert decision.answer is True
+        assert solve_prext(prext) is not None
+
+    def test_exact_scheduler_decides_no(self):
+        prext = claw_no_instance()
+        decision = decide_prext_via_r(
+            prext, brute_force_optimal, d=8, certified_below_gap=True
+        )
+        assert decision.answer is False
+        assert solve_prext(prext) is None
+
+    def test_greedy_is_sound_without_certificate(self):
+        for seed in range(4):
+            prext = planted_yes_instance(6, seed=seed)
+            decision = decide_prext_via_r(prext, _greedy_scheduler, d=8)
+            assert decision.answer in (True, None)
+            if decision.answer is True:
+                assert solve_prext(prext) is not None
+
+    def test_reduction_field(self):
+        prext = planted_yes_instance(4, seed=2)
+        decision = decide_prext_via_r(
+            prext, brute_force_optimal, d=4, certified_below_gap=True
+        )
+        assert decision.reduction == "theorem24"
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 7), seed=st.integers(0, 300))
+def test_property_pipelines_match_direct_solver(n, seed):
+    """Both reductions, decided with gap-certified schedulers, agree with
+    the direct 1-PrExt backtracking solver on random planted instances."""
+    prext = planted_yes_instance(n, seed=seed)
+    truth = solve_prext(prext) is not None
+    hard = theorem8_reduction(prext, k=1)
+    q = decide_reduction(hard, _oracle_scheduler(hard), certified_below_gap=True)
+    r = decide_prext_via_r(prext, brute_force_optimal, d=6, certified_below_gap=True)
+    assert q.answer is truth
+    assert r.answer is truth

@@ -1,0 +1,123 @@
+"""Tests for Theorem 8's reduction (1-PrExt -> Qm unit jobs)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.precoloring import (
+    PrExtInstance,
+    claw_no_instance,
+    planted_yes_instance,
+    solve_prext,
+)
+from repro.hardness.q_reduction import (
+    theorem8_gadget_sizes,
+    theorem8_reduction,
+)
+from repro.scheduling.brute_force import brute_force_makespan
+
+TINY = (2, 1, 1)  # (x, x', x'') for exhaustively checkable instances
+
+
+class TestConstruction:
+    def test_faithful_vertex_count(self):
+        prext = planted_yes_instance(5, seed=0)
+        k = 2
+        q = theorem8_reduction(prext, k=k)
+        n = prext.graph.n
+        assert q.instance.n == n + 48 * k * k * n + 4 * k * n + 2
+
+    def test_faithful_speeds(self):
+        prext = planted_yes_instance(4, seed=1)
+        q = theorem8_reduction(prext, k=3, m=5)
+        n = prext.graph.n
+        assert q.instance.speeds[:3] == (Fraction(49 * 9), Fraction(15), Fraction(1))
+        assert q.instance.speeds[3] == Fraction(1, 3 * n)
+
+    def test_gadget_sizes_formula(self):
+        assert theorem8_gadget_sizes(2, 5) == (120, 10, 1)
+
+    def test_six_gadgets(self):
+        q = theorem8_reduction(planted_yes_instance(4, seed=2), k=1, gadget_sizes=TINY)
+        assert len(q.gadgets) == 6
+        kinds = sorted(g.kind for g in q.gadgets)
+        assert kinds == ["H1", "H1", "H2", "H2", "H3", "H3"]
+
+    def test_unit_jobs(self):
+        q = theorem8_reduction(planted_yes_instance(4, seed=3), k=1, gadget_sizes=TINY)
+        assert q.instance.has_unit_jobs
+
+    def test_preconditions(self):
+        prext = planted_yes_instance(4, seed=4)
+        with pytest.raises(InvalidInstanceError):
+            theorem8_reduction(prext, k=0)
+        with pytest.raises(InvalidInstanceError):
+            theorem8_reduction(prext, k=1, m=2)
+
+
+class TestYesSide:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_extension_schedule_feasible_and_within_bound(self, seed):
+        prext = planted_yes_instance(6, seed=seed)
+        coloring = solve_prext(prext)
+        assert coloring is not None
+        q = theorem8_reduction(prext, k=1, gadget_sizes=TINY)
+        s = q.schedule_from_extension(coloring)
+        assert s.is_feasible()
+        assert s.makespan <= q.yes_makespan_bound
+
+    def test_faithful_scale_yes_schedule(self):
+        """Full paper-sized gadgets: schedule construction stays exact."""
+        prext = planted_yes_instance(5, seed=7)
+        coloring = solve_prext(prext)
+        q = theorem8_reduction(prext, k=2)
+        s = q.schedule_from_extension(coloring)
+        assert s.is_feasible()
+        assert s.makespan <= q.yes_makespan_bound
+        # the paper's nominal claim: makespan close to n (here <= n + 2)
+        assert s.makespan <= prext.graph.n + 2
+
+    def test_rejects_non_extension(self):
+        prext = planted_yes_instance(5, seed=8)
+        q = theorem8_reduction(prext, k=1, gadget_sizes=TINY)
+        bad = [0] * prext.graph.n  # ignores the precoloring
+        with pytest.raises(InvalidInstanceError):
+            q.schedule_from_extension(bad)
+
+    def test_rejects_wrong_length(self):
+        prext = planted_yes_instance(5, seed=9)
+        q = theorem8_reduction(prext, k=1, gadget_sizes=TINY)
+        with pytest.raises(InvalidInstanceError):
+            q.schedule_from_extension([0, 1, 2])
+
+
+class TestNoSide:
+    def test_no_instance_optimum_respects_lower_bound(self):
+        """Exhaustive check: NO seeds force makespan >= no_bound."""
+        no = claw_no_instance()
+        assert solve_prext(no) is None
+        q = theorem8_reduction(no, k=1, gadget_sizes=TINY)
+        opt = brute_force_makespan(q.instance)
+        assert opt >= q.no_makespan_lower_bound
+
+    def test_yes_instance_beats_no_bound_scaled(self):
+        """On faithful sizes the YES schedule sits far below the NO bound."""
+        prext = planted_yes_instance(5, seed=10)
+        coloring = solve_prext(prext)
+        q = theorem8_reduction(prext, k=3)
+        s = q.schedule_from_extension(coloring)
+        assert s.makespan < q.no_makespan_lower_bound
+        assert q.gap > 2  # the separation grows with k
+
+    def test_gap_grows_with_k(self):
+        prext = planted_yes_instance(5, seed=11)
+        gaps = [theorem8_reduction(prext, k=k).gap for k in (1, 2, 4)]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_no_bound_for_m3_is_kn(self):
+        prext = planted_yes_instance(6, seed=12)
+        n = prext.graph.n
+        for k in (1, 2, 3):
+            q = theorem8_reduction(prext, k=k, m=3)
+            assert q.no_makespan_lower_bound == k * n

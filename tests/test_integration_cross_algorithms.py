@@ -1,0 +1,126 @@
+"""Integration: every registered algorithm audited on a shared corpus.
+
+For each small instance in the corpus and each applicable registry
+entry, the produced schedule must be feasible (unless the method is
+documented graph-blind), and methods with stated guarantees must meet
+them against the brute-force optimum.  This is the cross-module safety
+net: registry metadata, dispatch, the algorithms, serialisation and the
+renderers all get exercised together.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.gantt import render_gantt, render_schedule_summary
+from repro.exceptions import ReproError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.io import instance_from_dict, instance_to_dict, schedule_from_dict, schedule_to_dict
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import (
+    UniformInstance,
+    UnrelatedInstance,
+    identical_instance,
+    unit_uniform_instance,
+)
+from repro.solvers import available_algorithms, solve
+
+F = Fraction
+
+# methods that deliberately ignore the incompatibility graph
+GRAPH_BLIND = {"lpt", "lst"}
+# guarantee factor vs optimum (None = no bound / not checked here)
+GUARANTEES = {
+    "brute_force": 1,
+    "q2_unit_exact": 1,
+    "complete_multipartite": 1,
+    "dual_approx": F(4, 3),
+    "r2_two_approx": 2,
+    "r2_fptas": F(11, 10),
+    "q2_fptas": F(11, 10),
+    "bjw": 2,
+}
+
+
+def _corpus():
+    rng = np.random.default_rng(99)
+    out = []
+    out.append(("empty-P", identical_instance(generators.empty_graph(6), [4, 3, 3, 2, 2, 1], 3)))
+    out.append(("matching-Q", unit_uniform_instance(generators.matching_graph(3), [F(2), F(1), F(1)])))
+    out.append(("K23-Q", unit_uniform_instance(generators.complete_bipartite(2, 3), [F(3), F(1), F(1)])))
+    out.append(("crown-Q2", unit_uniform_instance(generators.crown(3), [F(2), F(1)])))
+    out.append(("path-P", identical_instance(generators.path_graph(6), [3, 1, 4, 1, 5, 2], 3)))
+    gil = gnnp(4, 0.3, seed=4)
+    out.append(("gilbert-Q", UniformInstance(gil, [int(x) for x in rng.integers(1, 6, size=gil.n)], [F(3), F(2), F(1)])))
+    g2 = generators.matching_graph(3)
+    out.append(("matching-R2", UnrelatedInstance(g2, rng.integers(1, 12, size=(2, g2.n)).tolist())))
+    g3 = generators.empty_graph(5)
+    out.append(("empty-R3", UnrelatedInstance(g3, rng.integers(1, 12, size=(3, g3.n)).tolist())))
+    return out
+
+
+CORPUS = _corpus()
+
+
+@pytest.mark.parametrize("name,inst", CORPUS, ids=[c[0] for c in CORPUS])
+def test_corpus_all_applicable_algorithms(name, inst):
+    opt = brute_force_makespan(inst)
+    for spec in available_algorithms(inst):
+        try:
+            schedule = solve(inst, algorithm=spec.name)
+        except ReproError:
+            # methods without completeness (greedy, color splits) may
+            # legitimately fail on some corpus members
+            assert spec.name in {"greedy", "r_color_split", "two_machine_split"}
+            continue
+        if spec.name not in GRAPH_BLIND:
+            assert schedule.is_feasible(), f"{spec.name} on {name}"
+            assert schedule.makespan >= opt - 0  # optimum is a true lower bound
+        factor = GUARANTEES.get(spec.name)
+        if factor is not None and spec.name not in GRAPH_BLIND:
+            assert (
+                schedule.makespan <= factor * opt
+            ), f"{spec.name} exceeded its {factor}x guarantee on {name}"
+
+
+@pytest.mark.parametrize("name,inst", CORPUS, ids=[c[0] for c in CORPUS])
+def test_corpus_auto_dispatch_feasible(name, inst):
+    schedule = solve(inst)
+    assert schedule.is_feasible()
+    # auto never does worse than 2x on this corpus (its methods are the
+    # exact ones, the FPTAS, LPT-on-edgeless, or LST-on-edgeless)
+    assert schedule.makespan <= 2 * brute_force_makespan(inst)
+
+
+@pytest.mark.parametrize("name,inst", CORPUS, ids=[c[0] for c in CORPUS])
+def test_corpus_serialisation_round_trip(name, inst):
+    restored = instance_from_dict(instance_to_dict(inst))
+    assert restored.n == inst.n and restored.m == inst.m
+    # schedules survive the round trip with identical makespans
+    schedule = solve(inst)
+    data = schedule_to_dict(schedule)
+    back = schedule_from_dict(data)
+    assert back.makespan == schedule.makespan
+    assert back.assignment == schedule.assignment
+
+
+@pytest.mark.parametrize("name,inst", CORPUS, ids=[c[0] for c in CORPUS])
+def test_corpus_renderers_accept_every_schedule(name, inst):
+    schedule = solve(inst)
+    gantt = render_gantt(schedule)
+    summary = render_schedule_summary(schedule)
+    assert "Cmax" in gantt and "machine" in summary
+    # one bar per machine
+    assert sum(1 for line in gantt.split("\n") if line.startswith("M")) == inst.m
+
+
+def test_corpus_exact_methods_agree():
+    """Where multiple exact methods apply, they agree with brute force."""
+    inst = unit_uniform_instance(generators.complete_bipartite(2, 2), [F(2), F(1)])
+    opt = brute_force_makespan(inst)
+    assert solve(inst, algorithm="q2_unit_exact").makespan == opt
+    assert solve(inst, algorithm="complete_multipartite").makespan == opt
+    assert solve(inst).makespan == opt

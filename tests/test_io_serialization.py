@@ -1,0 +1,167 @@
+"""Tests for :mod:`repro.io` — lossless JSON round trips."""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+    save_json,
+    load_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.scheduling.schedule import Schedule
+
+F = Fraction
+
+
+class TestGraphRoundTrip:
+    def test_simple(self):
+        g = BipartiteGraph(4, [(0, 1), (2, 3)])
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_empty(self):
+        g = generators.empty_graph(3)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_zero_vertices(self):
+        g = BipartiteGraph(0)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_side_witness_preserved(self):
+        g = BipartiteGraph.from_parts(2, 2, [(0, 0)])
+        restored = graph_from_dict(graph_to_dict(g))
+        assert restored.side == g.side
+
+    def test_json_serialisable(self):
+        g = gnnp(10, 0.2, seed=1)
+        text = json.dumps(graph_to_dict(g))
+        assert graph_from_dict(json.loads(text)) == g
+
+    def test_rejects_wrong_kind(self):
+        data = graph_to_dict(BipartiteGraph(1))
+        data["kind"] = "schedule"
+        with pytest.raises(InvalidInstanceError):
+            graph_from_dict(data)
+
+    def test_rejects_future_format(self):
+        data = graph_to_dict(BipartiteGraph(1))
+        data["format"] = "repro/v99"
+        with pytest.raises(InvalidInstanceError):
+            graph_from_dict(data)
+
+
+class TestInstanceRoundTrip:
+    def test_uniform(self):
+        g = generators.crown(3)
+        inst = UniformInstance(g, [3, 1, 4, 1, 5, 9], [F(3), F(3, 2), F(1)])
+        restored = instance_from_dict(instance_to_dict(inst))
+        assert isinstance(restored, UniformInstance)
+        assert restored.p == inst.p
+        assert restored.speeds == inst.speeds
+        assert restored.graph == inst.graph
+
+    def test_uniform_exact_fractions(self):
+        g = generators.empty_graph(1)
+        inst = UniformInstance(g, [1], [F(1, 1_000_000_007)])
+        restored = instance_from_dict(instance_to_dict(inst))
+        assert restored.speeds == (F(1, 1_000_000_007),)
+
+    def test_unrelated_with_forbidden(self):
+        g = BipartiteGraph(2, [(0, 1)])
+        inst = UnrelatedInstance(g, [[F(1, 3), None], [None, F(7, 2)]])
+        restored = instance_from_dict(instance_to_dict(inst))
+        assert isinstance(restored, UnrelatedInstance)
+        assert restored.times == inst.times
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"kind": "mystery"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict("not a dict")
+
+
+class TestScheduleRoundTrip:
+    def test_feasible_schedule(self):
+        g = BipartiteGraph(2, [(0, 1)])
+        inst = UniformInstance(g, [2, 3], [F(2), F(1)])
+        schedule = Schedule(inst, [0, 1])
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert restored.assignment == schedule.assignment
+        assert restored.makespan == schedule.makespan
+
+    def test_infeasible_schedule_survives(self):
+        g = BipartiteGraph(2, [(0, 1)])
+        inst = UniformInstance(g, [2, 3], [F(2), F(1)])
+        bad = Schedule(inst, [0, 0], check=False)
+        data = schedule_to_dict(bad)
+        assert data["feasible"] is False
+        restored = schedule_from_dict(data)
+        assert not restored.is_feasible()
+
+    def test_check_flag_enforces(self):
+        g = BipartiteGraph(2, [(0, 1)])
+        inst = UniformInstance(g, [2, 3], [F(2), F(1)])
+        data = schedule_to_dict(Schedule(inst, [0, 0], check=False))
+        from repro.exceptions import InvalidScheduleError
+
+        with pytest.raises(InvalidScheduleError):
+            schedule_from_dict(data, check=True)
+
+
+class TestFileHelpers:
+    def test_save_and_load_instance(self, tmp_path):
+        g = gnnp(6, 0.3, seed=7)
+        inst = UniformInstance(g, [1] * g.n, [F(2), F(1)])
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        restored = load_instance(path)
+        assert restored.graph == inst.graph
+        assert restored.speeds == inst.speeds
+
+    def test_save_json_returns_path(self, tmp_path):
+        p = save_json({"format": "repro/v1", "kind": "graph", "n": 0,
+                       "side": [], "edges": []}, tmp_path / "g.json")
+        assert p.exists()
+        assert load_json(p)["kind"] == "graph"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(0, 15),
+    p=st.floats(0.0, 1.0),
+    seed=st.integers(0, 999),
+)
+def test_property_graph_round_trip(n, p, seed):
+    g = gnnp(max(n, 1), p, seed=seed)
+    assert graph_from_dict(json.loads(json.dumps(graph_to_dict(g)))) == g
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 9), min_size=1, max_size=8),
+    num=st.integers(1, 50),
+    den=st.integers(1, 50),
+)
+def test_property_uniform_round_trip(sizes, num, den):
+    g = generators.empty_graph(len(sizes))
+    inst = UniformInstance(g, sizes, [F(num, den)])
+    restored = instance_from_dict(instance_to_dict(inst))
+    assert restored.p == tuple(sizes)
+    assert restored.speeds == (F(num, den),)

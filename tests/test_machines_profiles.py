@@ -1,0 +1,110 @@
+"""Tests for :mod:`repro.machines.profiles` — speed-profile generators."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.machines.profiles import (
+    geometric_speeds,
+    identical_speeds,
+    power_law_speeds,
+    random_integer_speeds,
+    theorem8_speeds,
+    two_fast_speeds,
+)
+
+F = Fraction
+
+ALL_PROFILES = [
+    lambda m: identical_speeds(m),
+    lambda m: geometric_speeds(m),
+    lambda m: power_law_speeds(m),
+    lambda m: random_integer_speeds(m, seed=0),
+]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("profile", ALL_PROFILES + [lambda m: two_fast_speeds(m)])
+    @pytest.mark.parametrize("m", [2, 5, 9])
+    def test_non_increasing_positive_fractions(self, profile, m):
+        speeds = profile(m)
+        assert len(speeds) == m
+        assert all(isinstance(s, Fraction) and s > 0 for s in speeds)
+        assert all(speeds[i] >= speeds[i + 1] for i in range(m - 1))
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_single_machine_supported(self, profile):
+        assert len(profile(1)) == 1
+
+    def test_two_fast_needs_two_machines(self):
+        with pytest.raises(InvalidInstanceError):
+            two_fast_speeds(1)
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_zero_machines_rejected(self, profile):
+        with pytest.raises(InvalidInstanceError):
+            profile(0)
+
+
+class TestSpecifics:
+    def test_identical_all_one(self):
+        assert identical_speeds(4) == (F(1),) * 4
+
+    def test_geometric_ratio(self):
+        speeds = geometric_speeds(4, ratio=3)
+        assert speeds == (F(27), F(9), F(3), F(1))
+
+    def test_geometric_ratio_must_exceed_one(self):
+        with pytest.raises(InvalidInstanceError):
+            geometric_speeds(3, ratio=1)
+
+    def test_power_law_shape(self):
+        speeds = power_law_speeds(4, exponent=2)
+        # s_i = (m - i)^exponent / 1: 16, 9, 4, 1
+        assert speeds[0] > speeds[1] > speeds[2] > speeds[3] == min(speeds)
+
+    def test_two_fast(self):
+        speeds = two_fast_speeds(5, fast=4)
+        assert speeds[0] == speeds[1] == F(4)
+        assert all(s == F(1) for s in speeds[2:])
+
+    def test_random_integer_bounds(self):
+        speeds = random_integer_speeds(20, low=2, high=5, seed=1)
+        assert all(F(2) <= s <= F(5) for s in speeds)
+
+    def test_random_integer_bad_range(self):
+        with pytest.raises(InvalidInstanceError):
+            random_integer_speeds(3, low=5, high=2)
+
+    def test_random_integer_reproducible(self):
+        assert random_integer_speeds(6, seed=42) == random_integer_speeds(6, seed=42)
+
+
+class TestTheorem8Speeds:
+    def test_paper_values(self):
+        k, n = 2, 10
+        speeds = theorem8_speeds(k, n, m=5)
+        assert speeds[0] == F(49 * k * k)
+        assert speeds[1] == F(5 * k)
+        assert speeds[2] == F(1)
+        assert speeds[3] == speeds[4] == F(1, k * n)
+
+    def test_minimum_three_machines(self):
+        speeds = theorem8_speeds(1, 4, m=3)
+        assert len(speeds) == 3
+
+    def test_sorted(self):
+        speeds = theorem8_speeds(3, 7, m=6)
+        assert all(speeds[i] >= speeds[i + 1] for i in range(len(speeds) - 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(1, 12), seed=st.integers(0, 1000))
+def test_property_random_profile_valid(m, seed):
+    speeds = random_integer_speeds(m, seed=seed)
+    assert len(speeds) == m
+    assert all(s >= 1 for s in speeds)
+    assert list(speeds) == sorted(speeds, reverse=True)

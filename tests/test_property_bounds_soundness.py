@@ -1,0 +1,101 @@
+"""Cross-module property tests: every lower bound is a true lower bound.
+
+The experiment tables divide measured makespans by ``C**max`` and
+friends; those ratios are only meaningful if the bounds never exceed
+the real optimum.  These properties pin that soundness on random
+instances, against the brute-force oracle.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.bounds import (
+    area_lower_bound,
+    min_cover_time,
+    pmax_lower_bound,
+    uniform_capacity_lower_bound,
+    unrelated_lower_bound,
+)
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.graphs.matching import maximum_matching_size
+
+F = Fraction
+
+
+def _uniform_instance(n_half, m, seed, p_edge=0.3, p_max=6):
+    rng = np.random.default_rng(seed)
+    graph = gnnp(n_half, p_edge, seed=rng)
+    p = [int(x) for x in rng.integers(1, p_max + 1, size=graph.n)]
+    speeds = sorted((F(int(x)) for x in rng.integers(1, 5, size=m)), reverse=True)
+    return UniformInstance(graph, p, speeds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_half=st.integers(1, 4), m=st.integers(2, 4), seed=st.integers(0, 5000))
+def test_capacity_bound_below_optimum(n_half, m, seed):
+    inst = _uniform_instance(n_half, m, seed)
+    opt = brute_force_makespan(inst)
+    assert uniform_capacity_lower_bound(inst) <= opt
+    assert area_lower_bound(inst) <= opt
+    assert pmax_lower_bound(inst) <= opt
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_half=st.integers(1, 4), m=st.integers(2, 4), seed=st.integers(0, 5000))
+def test_capacity_bound_with_matching_demand(n_half, m, seed):
+    """Algorithm 1's second condition: at least mu(G) jobs must leave
+    machine 1 in any schedule (one machine holds an independent set, and
+    alpha = n - mu), so C** with that off-machine demand stays sound."""
+    inst = _uniform_instance(n_half, m, seed)
+    mu = maximum_matching_size(inst.graph)
+    if mu == 0:
+        return
+    # the weight that must leave M1 is at least the mu lightest jobs
+    lightest = sorted(inst.p)[:mu]
+    bound = uniform_capacity_lower_bound(inst, sum(lightest))
+    assert bound <= brute_force_makespan(inst)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    demand=st.integers(0, 60),
+    speed_ints=st.lists(st.integers(1, 9), min_size=1, max_size=5),
+)
+def test_min_cover_time_is_exact_threshold(demand, speed_ints):
+    """min_cover_time returns the *least* T with capacity(T) >= demand:
+    capacity holds at T and fails just below it."""
+    speeds = [F(s) for s in speed_ints]
+    t = min_cover_time(speeds, demand)
+    capacity = sum((s * t).__floor__() for s in speeds)
+    assert capacity >= demand
+    if t > 0:
+        just_below = t * F(999, 1000)
+        capacity_below = sum((s * just_below).__floor__() for s in speeds)
+        assert capacity_below < demand
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 7), m=st.integers(1, 3), seed=st.integers(0, 5000))
+def test_unrelated_bound_below_optimum(n, m, seed):
+    rng = np.random.default_rng(seed)
+    graph = generators.empty_graph(n)
+    times = rng.integers(1, 15, size=(m, n)).tolist()
+    inst = UnrelatedInstance(graph, times)
+    assert unrelated_lower_bound(inst) <= brute_force_makespan(inst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    demand=st.integers(1, 40),
+    extra=st.integers(1, 20),
+    speed_ints=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+)
+def test_min_cover_time_is_monotone_in_demand(demand, extra, speed_ints):
+    speeds = [F(s) for s in speed_ints]
+    assert min_cover_time(speeds, demand) <= min_cover_time(speeds, demand + extra)

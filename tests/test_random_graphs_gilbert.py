@@ -1,0 +1,61 @@
+"""Tests for the Gilbert G(n,n,p) sampler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.random_graphs.gilbert import gnnp, gnnp_edge_count_distribution
+
+
+class TestSampler:
+    def test_shape(self):
+        g = gnnp(5, 0.5, seed=0)
+        assert g.n == 10
+        assert g.vertices_on_side(0) == list(range(5))
+        assert g.vertices_on_side(1) == list(range(5, 10))
+
+    def test_p_zero_empty(self):
+        assert gnnp(6, 0.0, seed=1).edge_count == 0
+
+    def test_p_one_complete(self):
+        g = gnnp(4, 1.0, seed=2)
+        assert g.edge_count == 16
+
+    def test_n_zero(self):
+        assert gnnp(0, 0.5).n == 0
+
+    def test_reproducible(self):
+        assert gnnp(8, 0.3, seed=7) == gnnp(8, 0.3, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert gnnp(8, 0.3, seed=7) != gnnp(8, 0.3, seed=8)
+
+    def test_bad_probability(self):
+        with pytest.raises(InvalidInstanceError):
+            gnnp(3, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            gnnp(-1, 0.5)
+
+    def test_edge_count_concentrates(self):
+        """Empirical mean edge count within 5 sigma of n^2 p."""
+        n, p, samples = 20, 0.25, 40
+        mean, var = gnnp_edge_count_distribution(n, p)
+        rng = np.random.default_rng(3)
+        counts = [gnnp(n, p, rng).edge_count for _ in range(samples)]
+        observed = sum(counts) / samples
+        tolerance = 5 * (var / samples) ** 0.5
+        assert abs(observed - mean) <= tolerance
+
+
+class TestDistributionFormulas:
+    def test_mean_var(self):
+        mean, var = gnnp_edge_count_distribution(10, 0.5)
+        assert mean == 50.0
+        assert var == 25.0
+
+    def test_extremes(self):
+        assert gnnp_edge_count_distribution(10, 0.0) == (0.0, 0.0)
+        mean, var = gnnp_edge_count_distribution(10, 1.0)
+        assert mean == 100.0 and var == 0.0

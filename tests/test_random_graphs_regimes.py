@@ -1,0 +1,65 @@
+"""Tests for the p(n) regime classification and representatives."""
+
+import math
+
+import pytest
+
+from repro.random_graphs.regimes import (
+    Regime,
+    classify_regime,
+    probability_for_regime,
+)
+
+
+class TestClassify:
+    def test_subcritical(self):
+        assert classify_regime(1000, 1e-5) is Regime.SUBCRITICAL
+
+    def test_critical(self):
+        assert classify_regime(1000, 2.0 / 1000) is Regime.CRITICAL
+
+    def test_supercritical(self):
+        assert classify_regime(1000, 0.1) is Regime.SUPERCRITICAL
+
+    def test_thresholds_configurable(self):
+        assert classify_regime(100, 0.05, hi=4.0) is Regime.SUPERCRITICAL
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            classify_regime(0, 0.1)
+
+
+class TestRepresentatives:
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    def test_subcritical_below_1_over_n(self, n):
+        p = probability_for_regime(Regime.SUBCRITICAL, n)
+        assert p * n < 1.0
+
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    def test_critical_is_a_over_n(self, n):
+        p = probability_for_regime(Regime.CRITICAL, n, a=3.0)
+        assert p == pytest.approx(min(1.0, 3.0 / n))
+
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    def test_supercritical_above_1_over_n(self, n):
+        p = probability_for_regime(Regime.SUPERCRITICAL, n)
+        assert p * n > 1.0
+        assert p <= 1.0
+
+    def test_supercritical_meets_theorem15(self):
+        # n p - log n -> infinity along the representative
+        for n in (100, 1000, 10000):
+            p = probability_for_regime(Regime.SUPERCRITICAL, n)
+            assert n * p - math.log(n) > 0
+
+    def test_consistency_with_classifier(self):
+        for n in (200, 2000):
+            for regime in Regime:
+                p = probability_for_regime(regime, n)
+                assert classify_regime(n, p) is regime
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            probability_for_regime(Regime.CRITICAL, 100, a=0)
+        with pytest.raises(ValueError):
+            probability_for_regime(Regime.CRITICAL, 1)

@@ -1,0 +1,105 @@
+"""Tests for the Monte-Carlo estimators vs the Section 4.1 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import complete_bipartite
+from repro.random_graphs.gilbert import gnnp
+from repro.random_graphs.statistics import (
+    GraphStatistics,
+    graph_statistics,
+    sample_statistics,
+)
+from repro.random_graphs.theory import (
+    matching_fraction_lower_bound,
+    ratio_limit_constant,
+    smaller_class_fraction_bound,
+)
+
+
+class TestGraphStatistics:
+    def test_complete_bipartite(self):
+        g = complete_bipartite(4, 4)
+        stats = graph_statistics(g, 4)
+        assert stats.matching_size == 4
+        assert stats.independence_number == 4
+        assert stats.smaller_class == 4 and stats.larger_class == 4
+        assert stats.isolated_side2 == 0
+
+    def test_empty_graph(self):
+        g = BipartiteGraph.from_parts(3, 3, [])
+        stats = graph_statistics(g, 3)
+        assert stats.matching_size == 0
+        assert stats.smaller_class == 0
+        assert stats.lemma14_ratio is None
+        assert stats.isolated_side2 == 3
+
+    def test_fractions(self):
+        g = complete_bipartite(5, 5)
+        stats = graph_statistics(g, 5)
+        assert stats.matching_fraction == 1.0
+        assert stats.smaller_class_fraction == 1.0
+
+    def test_lemma14_ratio_definition(self):
+        g = complete_bipartite(2, 3)
+        stats = graph_statistics(g, 3)
+        # |V'_2| = 2, mu = 2
+        assert stats.lemma14_ratio == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_count_and_determinism(self):
+        a = sample_statistics(10, 0.2, samples=5, seed=3)
+        b = sample_statistics(10, 0.2, samples=5, seed=3)
+        assert len(a) == 5
+        assert a == b
+
+    def test_lemma12_bound_holds_empirically(self):
+        """E[|V'_2|/n] below the Lemma 12 curve (plus slack) at a = 2."""
+        n, a = 80, 2.0
+        stats = sample_statistics(n, a / n, samples=12, seed=5)
+        bound = smaller_class_fraction_bound(n, a)
+        mean_frac = np.mean([s.smaller_class_fraction for s in stats])
+        assert mean_frac <= bound + 0.05
+
+    def test_lemma13_bound_holds_empirically(self):
+        """mu/n above the Mastin-Jaillet lower bound at a = 2."""
+        n, a = 80, 2.0
+        stats = sample_statistics(n, a / n, samples=12, seed=6)
+        bound = matching_fraction_lower_bound(a)
+        mean_frac = np.mean([s.matching_fraction for s in stats])
+        assert mean_frac >= bound - 0.05
+
+    def test_lemma14_ratio_below_constant(self):
+        """|V'_2| / mu below e/(e-1) (+ slack) across the a sweep."""
+        n = 60
+        for a in (0.5, 1.0, 2.0, 4.0):
+            stats = sample_statistics(n, a / n, samples=10, seed=int(10 * a))
+            ratios = [s.lemma14_ratio for s in stats if s.lemma14_ratio is not None]
+            assert ratios, "graphs at this density should have edges"
+            assert np.mean(ratios) <= ratio_limit_constant() + 0.1
+
+    def test_supercritical_matching_near_perfect(self):
+        n = 100
+        p = np.log(n) ** 2 / n
+        stats = sample_statistics(n, p, samples=5, seed=8)
+        assert np.mean([s.matching_fraction for s in stats]) > 0.9
+
+    def test_subcritical_smaller_class_vanishes(self):
+        """|V'_2|/n shrinks along the subcritical representative.
+
+        At p = 1/(n log n) the expected fraction decays like 1/log n —
+        slow, so the assertion tracks the rate instead of a fixed epsilon.
+        """
+        means = []
+        for n in (100, 400, 1600):
+            p = 1.0 / (n * np.log(n))
+            stats = sample_statistics(n, p, samples=5, seed=9)
+            for s in stats:
+                # structural fact behind Corollary 11's estimate: every
+                # class-2 vertex is non-isolated, so |V'_2| <= |E|
+                assert s.smaller_class <= s.edge_count
+            means.append(np.mean([s.smaller_class_fraction for s in stats]))
+        assert means[-1] < means[0]
+        assert means[-1] < 2.0 / np.log(1600)

@@ -1,0 +1,107 @@
+"""Tests for the closed-form bounds of Section 4.1."""
+
+import math
+
+import pytest
+
+from repro.random_graphs.theory import (
+    matching_fraction_lower_bound,
+    ratio_bound_lemma14,
+    ratio_limit_constant,
+    smaller_class_fraction_bound,
+    zito_min_maximal_matching_bound,
+)
+
+
+class TestLemma12Bound:
+    def test_limit_form(self):
+        # 1 - (1 - a/n)^n -> 1 - e^-a
+        for a in (0.5, 1.0, 3.0):
+            val = smaller_class_fraction_bound(10**6, a)
+            assert val == pytest.approx(1.0 - math.exp(-a), abs=1e-4)
+
+    def test_monotone_in_a(self):
+        vals = [smaller_class_fraction_bound(1000, a) for a in (0.1, 1, 2, 5)]
+        assert vals == sorted(vals)
+
+    def test_bounds(self):
+        assert 0.0 <= smaller_class_fraction_bound(100, 0) == 0.0
+        assert smaller_class_fraction_bound(100, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smaller_class_fraction_bound(0, 1)
+        with pytest.raises(ValueError):
+            smaller_class_fraction_bound(10, 11)
+
+
+class TestLemma13Bound:
+    def test_zero_a(self):
+        assert matching_fraction_lower_bound(0) == 0.0
+
+    def test_monotone(self):
+        vals = [matching_fraction_lower_bound(a) for a in (0.5, 1, 2, 4, 8)]
+        assert vals == sorted(vals)
+
+    def test_limit_is_one(self):
+        assert matching_fraction_lower_bound(50) == pytest.approx(
+            1.0 - math.exp(-1.0), abs=1e-6
+        )
+        # NB the bound saturates at 1 - e^{e^{-a}-1} -> 1 - e^{-1}, not 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            matching_fraction_lower_bound(-1)
+
+
+class TestLemma14Ratio:
+    def test_monotone_increasing(self):
+        vals = [ratio_bound_lemma14(a) for a in (0.1, 0.5, 1, 2, 5, 20)]
+        assert vals == sorted(vals)
+
+    def test_below_limit(self):
+        for a in (0.1, 1.0, 5.0):
+            assert ratio_bound_lemma14(a) < ratio_limit_constant()
+        # for large a the bound saturates to the limit in float precision
+        assert ratio_bound_lemma14(100.0) <= ratio_limit_constant()
+
+    def test_approaches_limit(self):
+        assert ratio_bound_lemma14(40) == pytest.approx(
+            ratio_limit_constant(), rel=1e-6
+        )
+
+    def test_paper_constant(self):
+        # the paper states the limit e/(e-1) < 1.6
+        assert ratio_limit_constant() == pytest.approx(1.5819767, abs=1e-6)
+        assert ratio_limit_constant() < 1.6
+
+    def test_small_a_near_one(self):
+        # as a -> 0 both numerator and denominator -> a, ratio -> 1
+        assert ratio_bound_lemma14(1e-6) == pytest.approx(1.0, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ratio_bound_lemma14(0)
+
+
+class TestZitoBound:
+    def test_close_to_n_for_dense(self):
+        # p = 0.5, n = 1000: deficiency 2 log(np)/log 2 is tiny vs n
+        bound = zito_min_maximal_matching_bound(1000, 0.5)
+        assert 970 < bound < 1000
+
+    def test_fraction_tends_to_one(self):
+        fracs = [
+            zito_min_maximal_matching_bound(n, math.log(n) ** 2 / n) / n
+            for n in (100, 1000, 10000, 100000)
+        ]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zito_min_maximal_matching_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            zito_min_maximal_matching_bound(10, 0.0)
+        with pytest.raises(ValueError):
+            zito_min_maximal_matching_bound(10, 0.05)  # np <= 1

@@ -1,0 +1,116 @@
+"""Tests for the literature baselines."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import complete_bipartite, empty_graph, matching_graph
+from repro.scheduling.baselines import (
+    bjw_identical_approx,
+    two_machine_split,
+    unconstrained_lpt,
+)
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance, identical_instance
+
+from tests.conftest import random_bipartite
+
+
+class TestBjwApprox:
+    def test_requires_identical(self):
+        inst = UniformInstance(matching_graph(1), [1, 1], [2, 1, 1])
+        with pytest.raises(InvalidInstanceError):
+            bjw_identical_approx(inst)
+
+    def test_requires_three_machines(self):
+        inst = identical_instance(matching_graph(1), [1, 1], 2)
+        with pytest.raises(InvalidInstanceError):
+            bjw_identical_approx(inst)
+
+    def test_feasible_output(self):
+        rng = np.random.default_rng(50)
+        for _ in range(20):
+            g = random_bipartite(rng)
+            p = [int(x) for x in rng.integers(1, 10, g.n)]
+            m = int(rng.integers(3, 6))
+            inst = identical_instance(g, p, m)
+            s = bjw_identical_approx(inst)
+            assert s.is_feasible()
+
+    def test_two_approximation_bound(self):
+        """[3]: factor 2 for P|G=bipartite|Cmax with m >= 3 — verified
+        against brute force on small instances."""
+        rng = np.random.default_rng(51)
+        for _ in range(15):
+            g = random_bipartite(rng, max_side=4)
+            p = [int(x) for x in rng.integers(1, 8, g.n)]
+            inst = identical_instance(g, p, 3)
+            s = bjw_identical_approx(inst)
+            opt = brute_force_makespan(inst)
+            assert s.makespan <= 2 * opt
+
+    def test_empty_graph_degrades_to_lpt(self):
+        inst = identical_instance(empty_graph(6), [5, 4, 3, 3, 2, 1], 3)
+        s = bjw_identical_approx(inst)
+        assert s.is_feasible()
+        assert s.makespan <= 2 * brute_force_makespan(inst)
+
+
+class TestTwoMachineSplit:
+    def test_feasible_everywhere(self):
+        rng = np.random.default_rng(52)
+        for _ in range(20):
+            g = random_bipartite(rng)
+            p = [int(x) for x in rng.integers(1, 10, g.n)]
+            m = int(rng.integers(2, 5))
+            speeds = sorted(
+                (Fraction(int(x)) for x in rng.integers(1, 6, m)), reverse=True
+            )
+            inst = UniformInstance(g, p, speeds)
+            s = two_machine_split(inst)
+            assert s.is_feasible()
+            assert all(i in (0, 1) for i in s.assignment)
+
+    def test_heavier_class_on_fast_machine(self):
+        g = complete_bipartite(1, 3)
+        inst = UniformInstance(g, [1, 5, 5, 5], [10, 1])
+        s = two_machine_split(inst)
+        assert s.jobs_on(0) == [1, 2, 3]
+
+    def test_single_machine_no_edges(self):
+        inst = UniformInstance(empty_graph(3), [1, 2, 3], [2])
+        s = two_machine_split(inst)
+        assert s.makespan == Fraction(6, 2)
+
+    def test_single_machine_with_edges_rejected(self):
+        inst = UniformInstance(matching_graph(1), [1, 1], [1])
+        with pytest.raises(InvalidInstanceError):
+            two_machine_split(inst)
+
+
+class TestUnconstrainedLpt:
+    def test_ignores_graph(self):
+        g = complete_bipartite(2, 2)
+        inst = UniformInstance(g, [1, 1, 1, 1], [1, 1])
+        s = unconstrained_lpt(inst)
+        assert s.makespan == 2  # two unit jobs per machine
+        # greedy pairs {0,2} / {1,3}, both of which cross the biclique
+        assert not s.is_feasible()
+
+    def test_one_job_per_machine_is_feasible(self):
+        g = complete_bipartite(2, 2)
+        inst = UniformInstance(g, [1, 1, 1, 1], [1, 1, 1, 1])
+        s = unconstrained_lpt(inst)
+        assert s.makespan == 1
+        assert s.is_feasible()  # singletons are always independent
+
+    def test_tracks_graph_free_optimum(self):
+        inst = UniformInstance(empty_graph(5), [4, 3, 3, 2, 2], [1, 1])
+        s = unconstrained_lpt(inst)
+        # LPT lands at 8 here (optimum is 7 = {4,3} vs {3,2,2}), within the
+        # classical 7/6 factor for two identical machines
+        assert s.makespan == 8
+        assert s.makespan <= Fraction(7, 6) * 7

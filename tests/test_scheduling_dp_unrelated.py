@@ -1,0 +1,161 @@
+"""Tests for the two-machine DP / FPTAS engine (Theorem 20 substitute)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.scheduling.dp_unrelated import solve_r2_dp
+
+
+def exhaustive_best(times) -> Fraction:
+    n = len(times[0])
+    best = None
+    for mask in range(1 << n):
+        l1 = l2 = Fraction(0)
+        ok = True
+        for j in range(n):
+            if (mask >> j) & 1:
+                if times[1][j] is None:
+                    ok = False
+                    break
+                l2 += Fraction(times[1][j])
+            else:
+                if times[0][j] is None:
+                    ok = False
+                    break
+                l1 += Fraction(times[0][j])
+        if ok:
+            span = max(l1, l2)
+            if best is None or span < best:
+                best = span
+    assert best is not None
+    return best
+
+
+def makespan_of(times, assignment) -> Fraction:
+    loads = [Fraction(0), Fraction(0)]
+    for j, i in enumerate(assignment):
+        assert times[i][j] is not None
+        loads[i] += Fraction(times[i][j])
+    return max(loads)
+
+
+class TestExactMode:
+    def test_trivial(self):
+        res = solve_r2_dp([[5], [1]])
+        assert res.makespan == 1 and res.assignment == (1,)
+
+    def test_empty(self):
+        res = solve_r2_dp([[], []])
+        assert res.makespan == 0 and res.assignment == ()
+
+    def test_balances(self):
+        res = solve_r2_dp([[3, 3, 3, 3], [3, 3, 3, 3]])
+        assert res.makespan == 6
+
+    def test_exact_vs_enumeration(self):
+        rng = np.random.default_rng(40)
+        for _ in range(30):
+            n = int(rng.integers(1, 10))
+            times = [[int(x) for x in rng.integers(1, 25, n)] for _ in range(2)]
+            res = solve_r2_dp(times)
+            assert res.makespan == exhaustive_best(times)
+            assert makespan_of(times, res.assignment) == res.makespan
+
+    def test_rational_times(self):
+        times = [[Fraction(1, 3), Fraction(1, 2)], [Fraction(1, 2), Fraction(1, 3)]]
+        res = solve_r2_dp(times)
+        assert res.makespan == Fraction(1, 3)
+        assert res.assignment == (0, 1)
+
+    def test_forbidden_pairs(self):
+        times = [[1, None, 1], [None, 1, 1]]
+        res = solve_r2_dp(times)
+        assert res.assignment[0] == 0 and res.assignment[1] == 1
+
+    def test_job_forbidden_everywhere(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_r2_dp([[None], [None]])
+
+    def test_wrong_machine_count(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_r2_dp([[1], [1], [1]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_r2_dp([[1, 2], [1]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_r2_dp([[-1], [1]])
+
+    def test_zero_times_fine(self):
+        res = solve_r2_dp([[0, 0], [0, 0]])
+        assert res.makespan == 0
+
+
+class TestFptasMode:
+    def test_eps_guarantee_random(self):
+        rng = np.random.default_rng(41)
+        for _ in range(20):
+            n = int(rng.integers(1, 9))
+            times = [[int(x) for x in rng.integers(1, 30, n)] for _ in range(2)]
+            opt = exhaustive_best(times)
+            for eps in (1, Fraction(1, 2), Fraction(1, 10)):
+                res = solve_r2_dp(times, eps=eps)
+                assert opt <= res.makespan <= (1 + Fraction(eps)) * opt
+                assert makespan_of(times, res.assignment) == res.makespan
+
+    def test_reported_makespan_is_achievable(self):
+        """Even in trimmed mode the makespan equals the returned assignment's."""
+        rng = np.random.default_rng(42)
+        times = [[int(x) for x in rng.integers(1, 100, 40)] for _ in range(2)]
+        res = solve_r2_dp(times, eps=Fraction(1, 3))
+        assert makespan_of(times, res.assignment) == res.makespan
+
+    def test_bad_eps_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_r2_dp([[1], [1]], eps=0)
+        with pytest.raises(InvalidInstanceError):
+            solve_r2_dp([[1], [1]], eps=-1)
+
+    def test_coarse_eps_still_two_approx(self):
+        rng = np.random.default_rng(43)
+        for _ in range(10):
+            n = int(rng.integers(2, 8))
+            times = [[int(x) for x in rng.integers(1, 20, n)] for _ in range(2)]
+            res = solve_r2_dp(times, eps=1)
+            assert res.makespan <= 2 * exhaustive_best(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 40), st.integers(1, 40)),
+        min_size=1,
+        max_size=9,
+    )
+)
+def test_exactness_property(jobs):
+    times = [[a for a, _ in jobs], [b for _, b in jobs]]
+    res = solve_r2_dp(times)
+    assert res.makespan == exhaustive_best(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 40), st.integers(1, 40)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.fractions(min_value=Fraction(1, 20), max_value=2, max_denominator=20),
+)
+def test_fptas_guarantee_property(jobs, eps):
+    times = [[a for a, _ in jobs], [b for _, b in jobs]]
+    opt = exhaustive_best(times)
+    res = solve_r2_dp(times, eps=eps)
+    assert opt <= res.makespan <= (1 + eps) * opt

@@ -1,0 +1,183 @@
+"""Tests for :mod:`repro.scheduling.dual_approx` — the [11] PTAS substrate."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.dual_approx import (
+    _pack_big_jobs,
+    dual_approx_identical,
+    dual_feasibility_test,
+)
+from repro.scheduling.instance import UniformInstance, identical_instance
+
+F = Fraction
+
+
+def _inst(p, m):
+    return identical_instance(generators.empty_graph(len(p)), p, m)
+
+
+class TestPackBigJobs:
+    def test_empty(self):
+        assert _pack_big_jobs([], 5) == []
+
+    def test_oversized_item(self):
+        assert _pack_big_jobs([6], 5) is None
+
+    def test_single_bin(self):
+        bins = _pack_big_jobs([2, 3], 5)
+        assert len(bins) == 1
+        assert sorted(bins[0]) == [0, 1]
+
+    def test_pairs_do_not_fit(self):
+        # 3 + 3 > 5, so every item needs its own bin
+        bins = _pack_big_jobs([3, 3, 3], 5)
+        assert len(bins) == 3
+
+    def test_two_bins_needed(self):
+        bins = _pack_big_jobs([3, 3, 2, 2], 5)
+        assert len(bins) == 2
+
+    def test_perfect_fit(self):
+        bins = _pack_big_jobs([4, 4, 2, 2], 6)
+        assert len(bins) == 2
+
+    def test_classic_ffd_trap(self):
+        # sizes where greedy first-fit-decreasing uses 3 bins but 2 suffice
+        bins = _pack_big_jobs([4, 3, 3, 2, 2, 2], 8)
+        assert len(bins) == 2
+
+    def test_bins_respect_capacity(self):
+        units = [5, 4, 3, 3, 2, 2, 1]
+        bins = _pack_big_jobs(units, 7)
+        for b in bins:
+            assert sum(units[i] for i in b) <= 7
+
+    def test_all_items_packed_once(self):
+        units = [3, 3, 2, 2, 1]
+        bins = _pack_big_jobs(units, 4)
+        flat = sorted(i for b in bins for i in b)
+        assert flat == list(range(len(units)))
+
+
+class TestDualFeasibilityTest:
+    def test_accepts_generous_deadline(self):
+        inst = _inst([5, 4, 3, 2], 2)
+        schedule = dual_feasibility_test(inst, F(14), F(1, 3))
+        assert schedule is not None
+        assert schedule.makespan <= F(14) * F(4, 3)
+
+    def test_rejects_impossible_deadline(self):
+        inst = _inst([5, 5, 5], 1)
+        assert dual_feasibility_test(inst, F(14), F(1, 3)) is None
+
+    def test_rejects_below_pmax(self):
+        inst = _inst([10, 1], 2)
+        assert dual_feasibility_test(inst, F(9), F(1, 3)) is None
+
+    def test_rejects_below_average(self):
+        inst = _inst([4, 4, 4, 4], 2)
+        assert dual_feasibility_test(inst, F(7), F(1, 3)) is None
+
+    def test_zero_jobs(self):
+        inst = identical_instance(generators.empty_graph(0), [], 2)
+        schedule = dual_feasibility_test(inst, F(1), F(1, 2))
+        assert schedule is not None and schedule.makespan == 0
+
+    def test_graph_with_edges_rejected(self):
+        inst = identical_instance(BipartiteGraph(2, [(0, 1)]), [1, 1], 2)
+        with pytest.raises(InvalidInstanceError):
+            dual_feasibility_test(inst, F(2), F(1, 2))
+
+    def test_uniform_speeds_rejected(self):
+        inst = UniformInstance(generators.empty_graph(2), [1, 1], [F(2), F(1)])
+        with pytest.raises(InvalidInstanceError):
+            dual_feasibility_test(inst, F(2), F(1, 2))
+
+    def test_bad_eps_rejected(self):
+        inst = _inst([1], 1)
+        with pytest.raises(InvalidInstanceError):
+            dual_feasibility_test(inst, F(1), F(0))
+
+    def test_monotone_in_deadline(self):
+        inst = _inst([7, 6, 5, 4, 3, 2], 3)
+        opt = brute_force_makespan(inst)
+        assert dual_feasibility_test(inst, opt, F(1, 4)) is not None
+        # any deadline below the area bound must be rejected
+        below = F(sum(inst.p), inst.m) - F(1, 100)
+        assert dual_feasibility_test(inst, below, F(1, 4)) is None
+
+
+class TestDualApproxIdentical:
+    @pytest.mark.parametrize(
+        "p,m",
+        [
+            ([5, 4, 3, 2, 1], 2),
+            ([7, 7, 7, 7], 2),
+            ([10, 1, 1, 1, 1, 1], 3),
+            ([6, 5, 4, 3, 2, 1], 3),
+            ([9], 4),
+        ],
+    )
+    def test_within_guarantee(self, p, m):
+        inst = _inst(p, m)
+        opt = brute_force_makespan(inst)
+        for eps in (F(1), F(1, 2), F(1, 4)):
+            result = dual_approx_identical(inst, eps)
+            assert result.schedule.makespan <= (1 + eps) * opt
+            assert result.schedule.is_feasible()
+
+    def test_tighter_eps_never_worse_by_much(self):
+        inst = _inst([13, 11, 7, 7, 5, 3, 2, 2], 3)
+        opt = brute_force_makespan(inst)
+        loose = dual_approx_identical(inst, F(1))
+        tight = dual_approx_identical(inst, F(1, 5))
+        assert tight.schedule.makespan <= (1 + F(1, 5)) * opt
+        assert loose.schedule.makespan <= 2 * opt
+
+    def test_zero_jobs(self):
+        inst = identical_instance(generators.empty_graph(0), [], 3)
+        result = dual_approx_identical(inst)
+        assert result.schedule.makespan == 0 and result.tests_run == 0
+
+    def test_single_machine_exact(self):
+        inst = _inst([3, 2, 1], 1)
+        result = dual_approx_identical(inst, F(1, 4))
+        assert result.schedule.makespan == 6
+
+    def test_reports_test_count(self):
+        inst = _inst([5, 4, 3], 2)
+        result = dual_approx_identical(inst, F(1, 2))
+        assert result.tests_run >= 1
+
+    def test_eps_accepts_float_and_str(self):
+        inst = _inst([4, 3, 2, 1], 2)
+        opt = brute_force_makespan(inst)
+        for eps in (0.5, "1/2"):
+            result = dual_approx_identical(inst, eps)
+            assert result.schedule.makespan <= F(3, 2) * opt
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.lists(st.integers(1, 15), min_size=1, max_size=9),
+    m=st.integers(1, 4),
+    eps_den=st.integers(1, 4),
+)
+def test_property_dual_approx_guarantee(p, m, eps_den):
+    """Random instances: makespan <= (1 + eps) * OPT, schedule feasible."""
+    inst = _inst(p, m)
+    eps = F(1, eps_den)
+    opt = brute_force_makespan(inst)
+    result = dual_approx_identical(inst, eps)
+    assert result.schedule.is_feasible()
+    assert result.schedule.makespan <= (1 + eps) * opt
+    # the accepted deadline is never below the trivial lower bounds
+    assert result.deadline >= max(F(max(p)), F(sum(p), m)) or result.deadline >= opt

@@ -1,0 +1,81 @@
+"""Tests for :func:`repro.scheduling.baselines.r_color_split`."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.scheduling.baselines import r_color_split
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UnrelatedInstance
+
+F = Fraction
+
+
+class TestRColorSplit:
+    def test_zero_jobs(self):
+        inst = UnrelatedInstance(generators.empty_graph(0), [[], []])
+        assert r_color_split(inst).makespan == 0
+
+    def test_picks_best_pair(self):
+        # machine 0 fast for class 1, machine 2 fast for class 2
+        graph = generators.complete_bipartite(2, 2)
+        inst = UnrelatedInstance(
+            graph,
+            [[1, 1, 50, 50], [20, 20, 20, 20], [50, 50, 1, 1]],
+        )
+        schedule = r_color_split(inst)
+        assert schedule.is_feasible()
+        assert schedule.makespan == 2
+
+    def test_single_class_on_best_machine(self):
+        graph = generators.empty_graph(3)
+        inst = UnrelatedInstance(graph, [[5, 5, 5], [1, 1, 1]])
+        schedule = r_color_split(inst)
+        assert schedule.makespan == 3  # all three on machine 1
+
+    def test_respects_forbidden(self):
+        graph = generators.complete_bipartite(1, 1)
+        inst = UnrelatedInstance(graph, [[None, 2], [3, None]])
+        schedule = r_color_split(inst)
+        assert schedule.is_feasible()
+        assert schedule.assignment == (1, 0)
+
+    def test_infeasible_when_everything_forbidden(self):
+        graph = generators.complete_bipartite(1, 1)
+        # class 1 = job 0 only allowed on machine 0; class 2 = job 1 only
+        # allowed on machine 0 too -> no pair works
+        inst = UnrelatedInstance(graph, [[1, 1], [None, None]])
+        with pytest.raises(InfeasibleInstanceError):
+            r_color_split(inst)
+
+    def test_three_machines_all_usable(self):
+        graph = generators.matching_graph(3)
+        rng = np.random.default_rng(5)
+        times = rng.integers(1, 9, size=(3, 6)).tolist()
+        schedule = r_color_split(UnrelatedInstance(graph, times))
+        assert schedule.is_feasible()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(1, 3),
+    m=st.integers(2, 4),
+    seed=st.integers(0, 5000),
+)
+def test_property_feasible_and_bounded(k, m, seed):
+    """The split is always feasible and never worse than putting each
+    class on the single overall-best machine pair found by brute force."""
+    graph = generators.matching_graph(k)
+    rng = np.random.default_rng(seed)
+    times = rng.integers(1, 10, size=(m, 2 * k)).tolist()
+    inst = UnrelatedInstance(graph, times)
+    schedule = r_color_split(inst)
+    assert schedule.is_feasible()
+    assert schedule.makespan >= brute_force_makespan(inst)

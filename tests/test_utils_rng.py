@@ -1,0 +1,41 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).integers(0, 1 << 30, 10)
+        b = ensure_rng(42).integers(0, 1 << 30, 10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_and_deterministic(self):
+        kids_a = spawn_rngs(7, 3)
+        kids_b = spawn_rngs(7, 3)
+        for a, b in zip(kids_a, kids_b):
+            assert (a.integers(0, 1 << 30, 5) == b.integers(0, 1 << 30, 5)).all()
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn_rngs(7, 2)
+        a = kids[0].integers(0, 1 << 30, 20)
+        b = kids[1].integers(0, 1 << 30, 20)
+        assert not (a == b).all()
+
+    def test_count_zero(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

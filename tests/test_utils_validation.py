@@ -1,0 +1,43 @@
+"""Tests for input validation primitives."""
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.validation import (
+    check_positive_int,
+    check_positive_ints,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.0, "1", None, True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int(bad, "x")
+
+    def test_sequence_helper_reports_index(self):
+        with pytest.raises(InvalidInstanceError, match=r"p\[1\]"):
+            check_positive_ints([1, 0, 2], "p")
+
+    def test_sequence_helper_returns_tuple(self):
+        assert check_positive_ints([1, 2], "p") == (1, 2)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5.0])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(InvalidInstanceError):
+            check_probability(bad)
