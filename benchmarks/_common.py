@@ -2,14 +2,37 @@
 
 Every experiment writes its regenerated table to ``benchmarks/out/`` (so
 EXPERIMENTS.md can reference concrete artefacts) and prints it (visible
-with ``pytest -s``).
+with ``pytest -s``).  Instance sweeps go through :func:`run_batch`, the
+benchmark-side handle on the :mod:`repro.runtime` engine, instead of
+per-benchmark ad-hoc loops.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Iterable
+
+from repro.runtime import BatchResult, BatchRunner
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def run_batch(
+    items: Iterable[Any],
+    algorithm: str = "auto",
+    workers: int = 1,
+    cache: str | Path | None = None,
+) -> list[BatchResult]:
+    """Solve an instance sweep through the batch engine, in input order.
+
+    ``items`` accepts everything :meth:`BatchRunner.run` does —
+    instances, ``(name, instance)`` pairs, or tasks.  Records carry the
+    resolved algorithm, exact makespan, the environment's exact lower
+    bound, the makespan/bound ratio, and per-solve wall time, which is
+    what the experiment tables are built from.
+    """
+    runner = BatchRunner(algorithm=algorithm, workers=workers, cache=cache)
+    return runner.run_to_list(items)
 
 
 def emit_table(experiment_id: str, text: str) -> None:

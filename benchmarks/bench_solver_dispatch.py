@@ -16,9 +16,9 @@ from repro.graphs import generators
 from repro.random_graphs.gilbert import gnnp
 from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import UnrelatedInstance, unit_uniform_instance
-from repro.solvers import _auto_choice, solve
+from repro.solvers import solve
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_table, run_batch
 
 F = Fraction
 
@@ -47,16 +47,17 @@ def _cases():
 
 def test_e14_dispatch_table(benchmark):
     def build():
+        cases = list(_cases())
+        results = run_batch((name, inst) for name, inst, _ in cases)
         rows = []
-        for name, inst, must_be_exact in _cases():
-            chosen = _auto_choice(inst)
-            schedule = solve(inst)
+        for (name, inst, must_be_exact), rec in zip(cases, results):
+            assert rec.error is None, (name, rec.error)
             opt = brute_force_makespan(inst)
-            ratio = float(schedule.makespan / opt)
+            ratio = float(rec.makespan / opt)
             if must_be_exact:
-                assert schedule.makespan == opt, name
+                assert rec.makespan == opt, name
             rows.append(
-                [name, chosen, float(opt), float(schedule.makespan), ratio]
+                [name, rec.chosen, float(opt), float(rec.makespan), ratio]
             )
         return rows
 

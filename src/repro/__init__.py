@@ -80,7 +80,7 @@ from repro.core import (
 from repro.hardness import theorem8_reduction, theorem24_reduction
 from repro.random_graphs import gnnp
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # imported below the paper-facing API so the registry sees every algorithm
 from repro.core import (
@@ -96,7 +96,14 @@ from repro.scheduling import (
     lst_two_approx,
     r_color_split,
 )
-from repro.solvers import ALGORITHMS, AlgorithmSpec, available_algorithms, solve
+from repro.solvers import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    auto_choice,
+    available_algorithms,
+    solve,
+)
+from repro.runtime import BatchResult, BatchRunner, BatchStats, BatchTask, ResultCache
 
 __all__ = [
     "ReproError",
@@ -154,7 +161,13 @@ __all__ = [
     "r_color_split",
     "ALGORITHMS",
     "AlgorithmSpec",
+    "auto_choice",
     "available_algorithms",
     "solve",
+    "BatchResult",
+    "BatchRunner",
+    "BatchStats",
+    "BatchTask",
+    "ResultCache",
     "__version__",
 ]

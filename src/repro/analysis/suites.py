@@ -1,13 +1,17 @@
-"""Named instance suites shared by the benchmarks.
+"""Named instance suites shared by the benchmarks, and batch aggregation.
 
 Keeping the workloads in one place makes experiment tables comparable:
 E2 (Algorithm 1 ratios), E5/E6 (R2 algorithms) and E9 (baseline
-comparison) all draw from these families.
+comparison) all draw from these families.  :func:`summarize_batch`
+closes the loop on the other side: it folds a
+:class:`~repro.runtime.batch.BatchResult` stream (from
+:class:`~repro.runtime.batch.BatchRunner` or a results JSONL) into the
+per-algorithm aggregate rows the experiment tables are built from.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Any, Iterable, Literal
 
 import numpy as np
 
@@ -30,6 +34,8 @@ __all__ = [
     "speed_profile_suite",
     "random_r2_instance",
     "standard_uniform_suite",
+    "summarize_batch",
+    "batch_summary_table",
 ]
 
 WeightKind = Literal["unit", "uniform", "heavy_tailed", "one_giant"]
@@ -114,6 +120,74 @@ def standard_uniform_suite(
         for sname, speeds in speed_profile_suite(m, rng):
             out.append((f"{gname}/{sname}", UniformInstance(graph, p, speeds)))
     return out
+
+
+def _as_result_dict(result: Any) -> dict[str, Any]:
+    """Accept ``BatchResult`` objects or their JSONL dicts alike."""
+    if isinstance(result, dict):
+        return result
+    to_dict = getattr(result, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(f"cannot summarise {type(result).__name__} as a batch result")
+
+
+def summarize_batch(results: Iterable[Any]) -> list[list[Any]]:
+    """Per-algorithm aggregate rows for a batch result stream.
+
+    Each row: ``[algorithm, count, cached, errors, mean ratio,
+    worst ratio, solve time (ms)]``, sorted by algorithm name.  Ratios
+    average only the records that carry one (a zero lower bound or an
+    errored solve contributes to the counts but not the ratio columns);
+    the time column sums fresh-solve wall time, so a fully warm batch
+    reads 0.
+    """
+    grouped: dict[str, dict[str, Any]] = {}
+    for raw in results:
+        record = _as_result_dict(raw)
+        name = record.get("chosen") or record.get("algorithm") or "?"
+        agg = grouped.setdefault(
+            name,
+            {"count": 0, "cached": 0, "errors": 0, "ratios": [], "time": 0.0},
+        )
+        agg["count"] += 1
+        if record.get("cached"):
+            agg["cached"] += 1
+        if record.get("error") is not None:
+            agg["errors"] += 1
+        ratio = record.get("ratio")
+        if ratio is not None:
+            agg["ratios"].append(float(ratio))
+        if not record.get("cached"):
+            agg["time"] += float(record.get("wall_time_s", 0.0))
+    rows: list[list[Any]] = []
+    for name in sorted(grouped):
+        agg = grouped[name]
+        ratios = agg["ratios"]
+        rows.append(
+            [
+                name,
+                agg["count"],
+                agg["cached"],
+                agg["errors"],
+                sum(ratios) / len(ratios) if ratios else float("nan"),
+                max(ratios) if ratios else float("nan"),
+                agg["time"] * 1e3,
+            ]
+        )
+    return rows
+
+
+def batch_summary_table(results: Iterable[Any], title: str | None = None) -> str:
+    """Render :func:`summarize_batch` as an aligned monospace table."""
+    from repro.analysis.tables import format_table
+
+    return format_table(
+        ["algorithm", "count", "cached", "errors", "mean ratio", "worst ratio",
+         "solve time (ms)"],
+        summarize_batch(results),
+        title=title,
+    )
 
 
 def random_r2_instance(

@@ -13,6 +13,10 @@ Commands
     schedule JSON.
 ``structure``
     Print the structural fingerprint of an instance's graph.
+``batch``
+    Expand a batch spec file and run every instance through the
+    :mod:`repro.runtime` engine (worker pool, dedup, result cache),
+    streaming JSONL results and printing a per-algorithm summary.
 ``experiment``
     Re-run one experiment (E1..) by invoking its benchmark file through
     pytest.
@@ -31,7 +35,6 @@ from repro import __version__
 from repro.analysis.gantt import render_gantt, render_schedule_summary
 from repro.analysis.tables import format_table, render_number
 from repro.exceptions import ReproError
-from repro.graphs import generators
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.structure import analyze_structure
 from repro.io import (
@@ -40,25 +43,13 @@ from repro.io import (
     save_json,
     schedule_to_dict,
 )
-from repro.random_graphs.gilbert import gnnp
+from repro.runtime import GRAPH_FAMILIES, BatchRunner, build_family_graph, load_spec_file
 from repro.scheduling.instance import UniformInstance
 from repro.solvers import available_algorithms, solve
 
 __all__ = ["main", "build_parser"]
 
-_FAMILIES = (
-    "gnnp",
-    "complete_bipartite",
-    "crown",
-    "path",
-    "cycle",
-    "star",
-    "matching",
-    "tree",
-    "forest",
-    "empty",
-    "degree_bounded",
-)
+_FAMILIES = GRAPH_FAMILIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +101,29 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("structure", help="analyze an instance's graph structure")
     st.add_argument("instance", type=str, help="instance JSON path")
 
+    bat = sub.add_parser(
+        "batch", help="run a batch spec through the runtime engine"
+    )
+    bat.add_argument("spec", type=str, help="batch spec JSON path")
+    bat.add_argument(
+        "--algorithm", type=str, default="auto",
+        help="default algorithm for entries without their own",
+    )
+    bat.add_argument("--workers", type=int, default=1, help="worker process count")
+    bat.add_argument(
+        "--chunk-jobs", type=int, default=256,
+        help="submissions drawn per scheduling round",
+    )
+    bat.add_argument("--out", type=str, default=None, help="results JSONL path")
+    bat.add_argument(
+        "--cache", type=str, default=None,
+        help="persistent result cache (JSONL; created on first run)",
+    )
+    bat.add_argument(
+        "--no-summary", action="store_true",
+        help="skip the per-algorithm summary table",
+    )
+
     exp = sub.add_parser("experiment", help="re-run one experiment (E1, E2, ...)")
     exp.add_argument("experiment_id", type=str, help="experiment id, e.g. E3")
 
@@ -120,33 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_graph(args: argparse.Namespace) -> BipartiteGraph:
-    n = args.n
-    b = args.b if args.b is not None else n
-    if args.family == "gnnp":
-        return gnnp(n, args.p, seed=args.seed)
-    if args.family == "complete_bipartite":
-        return generators.complete_bipartite(n, b)
-    if args.family == "crown":
-        return generators.crown(n)
-    if args.family == "path":
-        return generators.path_graph(n)
-    if args.family == "cycle":
-        return generators.even_cycle(n)
-    if args.family == "star":
-        return generators.star(n)
-    if args.family == "matching":
-        return generators.matching_graph(n)
-    if args.family == "tree":
-        return generators.random_tree(n, seed=args.seed)
-    if args.family == "forest":
-        return generators.random_forest(n, args.trees, seed=args.seed)
-    if args.family == "empty":
-        return generators.empty_graph(n)
-    if args.family == "degree_bounded":
-        return generators.random_bipartite_degree_bounded(
-            n, b, args.max_degree, seed=args.seed
-        )
-    raise ReproError(f"unhandled family {args.family}")  # pragma: no cover
+    return build_family_graph(
+        args.family,
+        args.n,
+        b=args.b,
+        p=args.p,
+        max_degree=args.max_degree,
+        trees=args.trees,
+        seed=args.seed,
+    )
 
 
 def _cmd_info() -> int:
@@ -216,6 +212,52 @@ def _cmd_structure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import contextlib
+    import time
+    from pathlib import Path
+
+    from repro.io import dump_jsonl_line
+
+    tasks = load_spec_file(args.spec)
+    runner = BatchRunner(
+        algorithm=args.algorithm,
+        workers=args.workers,
+        chunk_jobs=args.chunk_jobs,
+        cache=args.cache,
+    )
+    start = time.perf_counter()
+    results = []
+    with contextlib.ExitStack() as stack:
+        fh = (
+            stack.enter_context(Path(args.out).open("w", encoding="utf-8"))
+            if args.out
+            else None
+        )
+        for result in runner.run(tasks):
+            results.append(result)
+            if fh is not None:
+                fh.write(dump_jsonl_line(result.to_dict()) + "\n")
+                fh.flush()
+    elapsed = time.perf_counter() - start
+    stats = runner.stats
+    print(
+        f"batch: {stats.total} instances ({stats.solved} solved, "
+        f"{stats.cached} cached, {stats.errors} errors) with "
+        f"{args.workers} worker(s) in {elapsed:.3f}s "
+        f"(solver time {stats.wall_time_s:.3f}s)"
+    )
+    if args.out:
+        print(f"results written to {args.out}")
+    if args.cache:
+        print(f"cache: {args.cache}")
+    if not args.no_summary:
+        from repro.analysis.suites import batch_summary_table
+
+        print(batch_summary_table(results, title="per-algorithm summary"))
+    return 1 if stats.errors else 0
+
+
 def _cmd_experiment(experiment_id: str) -> int:
     import subprocess
     from pathlib import Path
@@ -279,6 +321,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_solve(args)
         if args.command == "structure":
             return _cmd_structure(args)
+        if args.command == "batch":
+            return _cmd_batch(args)
         if args.command == "experiment":
             return _cmd_experiment(args.experiment_id)
         if args.command == "report":

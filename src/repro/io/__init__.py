@@ -1,10 +1,18 @@
-"""Serialisation of graphs, instances and schedules (JSON).
+"""Serialisation of graphs, instances and schedules (JSON + JSONL).
 
 The on-disk format is versioned and loss-free: rationals (speeds,
 unrelated processing times) are stored as ``"num/den"`` strings so a
-round trip through JSON preserves exact values.
+round trip through JSON preserves exact values.  Record streams (batch
+results, caches) use JSON Lines via :mod:`repro.io.jsonl`.
 """
 
+from repro.io.jsonl import (
+    append_jsonl,
+    dump_jsonl_line,
+    iter_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
 from repro.io.serialization import (
     FORMAT_VERSION,
     graph_to_dict,
@@ -31,4 +39,9 @@ __all__ = [
     "load_json",
     "load_instance",
     "save_instance",
+    "append_jsonl",
+    "dump_jsonl_line",
+    "iter_jsonl",
+    "read_jsonl",
+    "write_jsonl",
 ]

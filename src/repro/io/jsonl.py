@@ -1,0 +1,50 @@
+"""JSON-Lines streaming for record-shaped data.
+
+The batch engine (:mod:`repro.runtime`) emits one JSON object per solved
+instance; JSONL keeps those streams appendable and greppable, and lets a
+consumer aggregate results without loading the whole file.  Records are
+written compactly (no indentation) with sorted keys so byte-identical
+records imply identical content.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = ["dump_jsonl_line", "append_jsonl", "write_jsonl", "iter_jsonl", "read_jsonl"]
+
+
+def dump_jsonl_line(record: dict[str, Any]) -> str:
+    """One record as a compact, key-sorted JSON line (no trailing newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def append_jsonl(record: dict[str, Any], path: str | Path) -> None:
+    """Append one record to ``path`` (created if missing)."""
+    with Path(path).open("a", encoding="utf-8") as fh:
+        fh.write(dump_jsonl_line(record) + "\n")
+
+
+def write_jsonl(records: Iterable[dict[str, Any]], path: str | Path) -> Path:
+    """Write an iterable of records to ``path``, replacing its contents."""
+    p = Path(path)
+    with p.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(dump_jsonl_line(record) + "\n")
+    return p
+
+
+def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Lazily yield records from ``path``; blank lines are skipped."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """All records from ``path`` as a list."""
+    return list(iter_jsonl(path))

@@ -1,0 +1,44 @@
+"""High-throughput batch execution over the solver registry.
+
+The runtime layer turns "solve this instance" into "solve this stream of
+instances as fast as the hardware allows": :class:`BatchRunner` fans
+work across a process pool, deduplicates semantically identical tasks by
+content hash, serves repeats from a persistent JSONL cache, and streams
+structured :class:`BatchResult` records through :mod:`repro.io`.
+
+Spec files (:mod:`repro.runtime.specs`) describe instance collections
+declaratively for ``python -m repro batch``; the benchmark harness and
+:mod:`repro.analysis.suites` consume the same record stream.
+"""
+
+from repro.runtime.batch import (
+    RESULT_FORMAT,
+    BatchResult,
+    BatchRunner,
+    BatchStats,
+    BatchTask,
+)
+from repro.runtime.cache import ResultCache, canonical_instance_payload, task_key
+from repro.runtime.specs import (
+    GRAPH_FAMILIES,
+    SPEC_FORMAT,
+    build_family_graph,
+    expand_specs,
+    load_spec_file,
+)
+
+__all__ = [
+    "RESULT_FORMAT",
+    "SPEC_FORMAT",
+    "GRAPH_FAMILIES",
+    "BatchResult",
+    "BatchRunner",
+    "BatchStats",
+    "BatchTask",
+    "ResultCache",
+    "canonical_instance_payload",
+    "task_key",
+    "build_family_graph",
+    "expand_specs",
+    "load_spec_file",
+]

@@ -1,0 +1,398 @@
+"""The batch execution engine: many instances, one driver.
+
+Every benchmark and example used to hand-roll the same loop — build an
+instance, call :func:`repro.solvers.solve`, time it, compute a lower
+bound, collect a row.  :class:`BatchRunner` centralises that loop and
+adds the throughput machinery the one-at-a-time path cannot offer:
+
+* **fan-out** across a :mod:`multiprocessing` worker pool with chunked
+  task batching (``workers=1`` stays in-process, exactly reproducing the
+  sequential semantics);
+* **deduplication** — semantically identical (instance, algorithm)
+  tasks are solved once per batch, keyed by the canonical content hash
+  of :mod:`repro.runtime.cache`;
+* **caching** — an optional JSONL-backed :class:`ResultCache` carries
+  results across runs, so a warm re-run touches no solver at all;
+* **streaming** — results are yielded in submission order as structured
+  :class:`BatchResult` records and can be appended to JSONL through
+  :mod:`repro.io` while the batch is still running.
+
+Determinism: every registered solver is deterministic (randomness lives
+in instance *generation*, which happens before the runner sees the
+payload), so results are invariant under the worker count and under
+cache warmth — properties the test-suite pins down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import islice
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterable, Iterator, NamedTuple
+
+from repro.exceptions import InvalidInstanceError, ReproError
+from repro.io import dump_jsonl_line, instance_from_dict, instance_to_dict
+from repro.runtime.cache import ResultCache, task_key
+from repro.scheduling.bounds import (
+    uniform_capacity_lower_bound,
+    unrelated_lower_bound,
+)
+from repro.scheduling.instance import (
+    SchedulingInstance,
+    UniformInstance,
+    UnrelatedInstance,
+)
+from repro.solvers import auto_choice, solve
+
+__all__ = [
+    "RESULT_FORMAT",
+    "BatchTask",
+    "BatchResult",
+    "BatchStats",
+    "BatchRunner",
+]
+
+RESULT_FORMAT = "repro/batch-result/v1"
+
+
+class BatchTask(NamedTuple):
+    """One unit of batch work: a named, serialised instance.
+
+    ``payload`` is the canonical JSON dict of
+    :func:`repro.io.instance_to_dict` — keeping tasks as plain data makes
+    them cheap to hash, pickle to workers, and load from spec files.
+    ``algorithm=None`` defers to the runner's default.
+    """
+
+    name: str
+    payload: dict[str, Any]
+    algorithm: str | None = None
+
+
+def _frac_str(value: Fraction | None) -> str | None:
+    return None if value is None else f"{value.numerator}/{value.denominator}"
+
+
+def _frac_parse(text: str | None) -> Fraction | None:
+    return None if text is None else Fraction(text)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The structured outcome of solving one batch item.
+
+    Scalar summary only (no schedule): records must stay cheap to pickle
+    back from workers and to stream as JSONL.  ``makespan`` and
+    ``lower_bound`` are exact rationals; ``ratio`` is their float
+    quotient (``None`` when the lower bound is zero or the solve
+    errored).  ``cached`` marks results served from the cache or from
+    intra-batch deduplication rather than a fresh solve.
+    """
+
+    index: int
+    name: str
+    key: str
+    algorithm: str
+    chosen: str | None
+    instance_kind: str
+    n: int
+    m: int
+    edges: int
+    makespan: Fraction | None
+    lower_bound: Fraction | None
+    ratio: float | None
+    feasible: bool
+    wall_time_s: float
+    cached: bool = False
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSONL-ready record (rationals as ``"num/den"`` strings)."""
+        return {
+            "format": RESULT_FORMAT,
+            "kind": "batch_result",
+            "index": self.index,
+            "name": self.name,
+            "key": self.key,
+            "algorithm": self.algorithm,
+            "chosen": self.chosen,
+            "instance_kind": self.instance_kind,
+            "n": self.n,
+            "m": self.m,
+            "edges": self.edges,
+            "makespan": _frac_str(self.makespan),
+            "lower_bound": _frac_str(self.lower_bound),
+            "ratio": self.ratio,
+            "feasible": self.feasible,
+            "wall_time_s": self.wall_time_s,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BatchResult":
+        """Inverse of :meth:`to_dict`."""
+        if data.get("kind") != "batch_result":
+            raise InvalidInstanceError(
+                f"expected kind 'batch_result', found {data.get('kind')!r}"
+            )
+        return cls(
+            index=int(data["index"]),
+            name=str(data["name"]),
+            key=str(data["key"]),
+            algorithm=str(data["algorithm"]),
+            chosen=data.get("chosen"),
+            instance_kind=str(data["instance_kind"]),
+            n=int(data["n"]),
+            m=int(data["m"]),
+            edges=int(data["edges"]),
+            makespan=_frac_parse(data.get("makespan")),
+            lower_bound=_frac_parse(data.get("lower_bound")),
+            ratio=data.get("ratio"),
+            feasible=bool(data.get("feasible", False)),
+            wall_time_s=float(data.get("wall_time_s", 0.0)),
+            cached=bool(data.get("cached", False)),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class BatchStats:
+    """Aggregate counters for one :meth:`BatchRunner.run` pass.
+
+    ``wall_time_s`` sums the *solver* time of fresh solves (cache hits
+    contribute nothing), i.e. the compute the batch actually spent.
+    """
+
+    total: int = 0
+    solved: int = 0
+    cached: int = 0
+    errors: int = 0
+    wall_time_s: float = 0.0
+
+
+def _instance_lower_bound(instance: SchedulingInstance) -> Fraction | None:
+    """The strongest cheap exact lower bound for the environment."""
+    if isinstance(instance, UniformInstance):
+        return uniform_capacity_lower_bound(instance)
+    if isinstance(instance, UnrelatedInstance):
+        return unrelated_lower_bound(instance)
+    return None
+
+
+def _solve_task(task: tuple[str, dict[str, Any], str]) -> tuple[str, dict[str, Any]]:
+    """Worker entry point: solve one deduplicated task.
+
+    Must stay module-level (picklable).  Returns the cache-shape record;
+    the driver stamps per-submission fields (index, name, cached).
+    """
+    key, payload, algorithm = task
+    instance = instance_from_dict(payload)
+    record: dict[str, Any] = {
+        "format": RESULT_FORMAT,
+        "kind": "batch_result",
+        "index": -1,
+        "name": "",
+        "key": key,
+        "algorithm": algorithm,
+        "chosen": None,
+        "instance_kind": str(payload.get("kind")),
+        "n": instance.n,
+        "m": instance.m,
+        "edges": instance.graph.edge_count,
+        "makespan": None,
+        "lower_bound": None,
+        "ratio": None,
+        "feasible": False,
+        "wall_time_s": 0.0,
+        "cached": False,
+        "error": None,
+    }
+    try:
+        chosen = auto_choice(instance) if algorithm == "auto" else algorithm
+        record["chosen"] = chosen
+        start = perf_counter()
+        schedule = solve(instance, algorithm=chosen)
+        record["wall_time_s"] = perf_counter() - start
+    except ReproError as exc:
+        record["error"] = str(exc)
+        return key, record
+    record["feasible"] = schedule.is_feasible()
+    record["makespan"] = _frac_str(schedule.makespan)
+    lower = _instance_lower_bound(instance)
+    record["lower_bound"] = _frac_str(lower)
+    if lower is not None and lower > 0 and schedule.makespan is not None:
+        record["ratio"] = float(schedule.makespan / lower)
+    return key, record
+
+
+class BatchRunner:
+    """Drive many solves through dedup, cache, and a worker pool.
+
+    Parameters
+    ----------
+    algorithm:
+        Default algorithm for items that do not carry their own
+        (``"auto"`` applies the registry's dispatch policy per instance).
+    workers:
+        Process count.  ``1`` (default) solves in-process; ``>1`` fans
+        tasks out over a :class:`multiprocessing.Pool`.
+    chunk_jobs:
+        How many submissions are drawn from the input iterable per
+        scheduling round; bounds driver memory on huge streams.
+    cache:
+        ``None`` (dedup only within the run), a path (JSONL-backed
+        persistent cache), or a ready :class:`ResultCache`.
+
+    Accepted input items (mixable within one iterable):
+
+    * a :class:`SchedulingInstance`;
+    * a ``(name, instance)`` pair;
+    * a :class:`BatchTask` / ``(name, payload_dict, algorithm)`` triple;
+    * a raw serialised instance dict.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "auto",
+        workers: int = 1,
+        chunk_jobs: int = 256,
+        cache: ResultCache | str | Path | None = None,
+    ) -> None:
+        if workers < 1:
+            raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
+        if chunk_jobs < 1:
+            raise InvalidInstanceError(f"chunk_jobs must be >= 1, got {chunk_jobs}")
+        self.algorithm = algorithm
+        self.workers = workers
+        self.chunk_jobs = chunk_jobs
+        if isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------ #
+    # input normalisation
+    # ------------------------------------------------------------------ #
+
+    def _normalize(self, item: Any, index: int) -> BatchTask:
+        if isinstance(item, BatchTask):
+            return item
+        if isinstance(item, SchedulingInstance):
+            return BatchTask(f"instance-{index}", instance_to_dict(item), None)
+        if isinstance(item, dict):
+            return BatchTask(f"instance-{index}", item, None)
+        if isinstance(item, tuple):
+            if len(item) == 2:
+                name, inst = item
+                payload = inst if isinstance(inst, dict) else instance_to_dict(inst)
+                return BatchTask(str(name), payload, None)
+            if len(item) == 3:
+                name, inst, algorithm = item
+                payload = inst if isinstance(inst, dict) else instance_to_dict(inst)
+                return BatchTask(str(name), payload, algorithm)
+        raise InvalidInstanceError(
+            f"cannot interpret batch item {index}: {type(item).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, items: Iterable[Any]) -> Iterator[BatchResult]:
+        """Yield one :class:`BatchResult` per input item, in input order.
+
+        Resets :attr:`stats`.  The input is consumed lazily in
+        ``chunk_jobs``-sized rounds; within each round, unseen tasks are
+        solved (possibly in parallel) before any of the round's results
+        are yielded.
+        """
+        self.stats = BatchStats()
+        iterator = enumerate(items)
+        pool = multiprocessing.Pool(self.workers) if self.workers > 1 else None
+        try:
+            while True:
+                chunk = list(islice(iterator, self.chunk_jobs))
+                if not chunk:
+                    break
+                yield from self._run_chunk(chunk, pool)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    def _run_chunk(
+        self,
+        chunk: list[tuple[int, Any]],
+        pool: multiprocessing.pool.Pool | None,
+    ) -> Iterator[BatchResult]:
+        prepared: list[tuple[int, BatchTask, str, bool]] = []
+        to_solve: list[tuple[str, dict[str, Any], str]] = []
+        scheduled: set[str] = set()
+        for index, item in chunk:
+            task = self._normalize(item, index)
+            algorithm = task.algorithm or self.algorithm
+            key = task_key(task.payload, algorithm)
+            fresh = key not in self.cache and key not in scheduled
+            if fresh:
+                scheduled.add(key)
+                to_solve.append((key, task.payload, algorithm))
+            prepared.append((index, task, key, fresh))
+
+        if to_solve:
+            if pool is None:
+                solved = map(_solve_task, to_solve)
+            else:
+                chunksize = max(1, len(to_solve) // (self.workers * 4))
+                solved = pool.imap_unordered(_solve_task, to_solve, chunksize)
+            for key, record in solved:
+                self.cache.put(key, record)
+
+        for index, task, key, fresh in prepared:
+            record = dict(self.cache.record(key))
+            record["index"] = index
+            record["name"] = task.name
+            record["cached"] = not fresh
+            if not fresh:
+                record["wall_time_s"] = 0.0
+            result = BatchResult.from_dict(record)
+            self.stats.total += 1
+            if fresh:
+                self.stats.solved += 1
+                self.stats.wall_time_s += result.wall_time_s
+            else:
+                self.stats.cached += 1
+            if result.error is not None:
+                self.stats.errors += 1
+            yield result
+
+    # ------------------------------------------------------------------ #
+    # convenience drivers
+    # ------------------------------------------------------------------ #
+
+    def run_to_list(self, items: Iterable[Any]) -> list[BatchResult]:
+        """Materialise :meth:`run`."""
+        return list(self.run(items))
+
+    def run_to_jsonl(
+        self,
+        items: Iterable[Any],
+        path: str | Path,
+        append: bool = False,
+    ) -> BatchStats:
+        """Stream results to a JSONL file as they are produced.
+
+        Returns the final :attr:`stats`.  ``append=False`` (default)
+        truncates ``path`` first.  One file handle spans the whole run
+        (flushed per record so a concurrent reader sees complete lines).
+        """
+        out = Path(path)
+        with out.open("a" if append else "w", encoding="utf-8") as fh:
+            for result in self.run(items):
+                fh.write(dump_jsonl_line(result.to_dict()) + "\n")
+                fh.flush()
+        return self.stats

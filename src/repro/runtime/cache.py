@@ -1,0 +1,101 @@
+"""Canonical instance hashing and the batch result cache.
+
+Two identical instances submitted twice (within one batch, or across
+batch runs sharing a cache file) should cost one solve.  "Identical"
+means *semantically* identical: the key is a SHA-256 over the canonical
+JSON serialisation of the instance (:func:`repro.io.instance_to_dict`,
+keys sorted, compact separators) plus the algorithm name, so it is
+stable across processes, Python versions and insertion orders — unlike
+``hash()`` — and safe to persist.
+
+The cache itself is a plain ``key -> record`` dictionary with optional
+JSONL persistence: every stored record is appended to the backing file
+as it arrives, so a crashed batch still leaves a warm cache behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.io import append_jsonl
+
+__all__ = ["canonical_instance_payload", "task_key", "ResultCache"]
+
+
+def canonical_instance_payload(payload: dict[str, Any]) -> str:
+    """The canonical JSON text of a serialised instance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def task_key(payload: dict[str, Any], algorithm: str) -> str:
+    """Content hash identifying one (instance, algorithm) solve task.
+
+    The package version participates in the hash: solver behaviour and
+    the ``auto`` dispatch policy are code, so a persistent cache written
+    by one release must not answer for another.  Imported lazily to
+    avoid a cycle (``repro/__init__`` imports this package).
+    """
+    from repro import __version__
+
+    digest = hashlib.sha256()
+    digest.update(__version__.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(algorithm.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical_instance_payload(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """``task_key -> result record`` map, optionally backed by JSONL.
+
+    Parameters
+    ----------
+    path:
+        When given, existing records are loaded eagerly and every
+        :meth:`put` is appended to the file.  ``None`` keeps the cache
+        purely in-memory (intra-batch deduplication still works).
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: dict[str, dict[str, Any]] = {}
+        if self.path is not None and self.path.exists():
+            # tolerate malformed lines: a run killed mid-append leaves a
+            # truncated tail, and that must not brick the whole cache
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = record.get("key") if isinstance(record, dict) else None
+                if isinstance(key, str):
+                    self._records[key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def record(self, key: str) -> dict[str, Any]:
+        """The stored record for ``key`` (``KeyError`` if absent).
+
+        Hit/fresh accounting lives in :class:`~repro.runtime.batch.BatchStats`,
+        which counts per submission — the right granularity for a batch.
+        """
+        return self._records[key]
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        """Store ``record`` under ``key`` (and append it to the file)."""
+        if key in self._records:
+            return
+        self._records[key] = record
+        if self.path is not None:
+            append_jsonl(record, self.path)

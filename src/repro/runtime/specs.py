@@ -1,0 +1,236 @@
+"""Declarative batch specs: JSON descriptions of instance collections.
+
+``python -m repro batch specs.json`` needs a way to describe hundreds of
+instances without shipping hundreds of files.  A spec file
+(``"format": "repro/batch-spec/v1"``) lists entries of three shapes::
+
+    {"format": "repro/batch-spec/v1",
+     "defaults": {"algorithm": "auto", "speeds": "3,2,1", "jobs": "unit"},
+     "instances": [
+       {"name": "pinned", "instance": { ...instance_to_dict payload... }},
+       {"path": "instances/hospital.json", "algorithm": "sqrt_approx"},
+       {"family": "gnnp", "n": 20, "p": 0.15, "seed": 7, "count": 50}
+     ]}
+
+* ``instance`` — an inline serialised instance (:mod:`repro.io` schema);
+* ``path`` — an instance JSON on disk, resolved relative to the spec;
+* ``family`` — a generated instance from the same graph families the
+  ``generate`` command offers, replicated ``count`` times with
+  consecutive seeds (``seed``, ``seed + 1``, ...), so one line yields a
+  whole deterministic sweep.
+
+``defaults`` are merged under every entry.  Expansion is eager and
+deterministic: the same spec always produces the same
+:class:`~repro.runtime.batch.BatchTask` list, which is what makes batch
+caching across runs effective.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.io import instance_to_dict, load_json
+from repro.random_graphs.gilbert import gnnp
+from repro.runtime.batch import BatchTask
+from repro.scheduling.instance import UniformInstance
+
+__all__ = [
+    "SPEC_FORMAT",
+    "GRAPH_FAMILIES",
+    "build_family_graph",
+    "parse_speeds",
+    "parse_jobs",
+    "expand_specs",
+    "load_spec_file",
+]
+
+SPEC_FORMAT = "repro/batch-spec/v1"
+
+GRAPH_FAMILIES = (
+    "gnnp",
+    "complete_bipartite",
+    "crown",
+    "path",
+    "cycle",
+    "star",
+    "matching",
+    "tree",
+    "forest",
+    "empty",
+    "degree_bounded",
+)
+
+# spec keys that configure the entry rather than the graph family
+_ENTRY_KEYS = frozenset(
+    {"name", "algorithm", "count", "speeds", "jobs", "family", "instance", "path"}
+)
+_FAMILY_KEYS = frozenset({"n", "b", "p", "max_degree", "trees", "seed"})
+
+
+def build_family_graph(
+    family: str,
+    n: int,
+    *,
+    b: int | None = None,
+    p: float = 0.1,
+    max_degree: int = 4,
+    trees: int = 3,
+    seed: int | None = None,
+) -> BipartiteGraph:
+    """Build one graph from a named family (shared with the CLI).
+
+    ``n`` is the primary size parameter; ``b`` defaults to ``n`` for the
+    two-sided families.
+    """
+    second = n if b is None else b
+    if family == "gnnp":
+        return gnnp(n, p, seed=seed)
+    if family == "complete_bipartite":
+        return generators.complete_bipartite(n, second)
+    if family == "crown":
+        return generators.crown(n)
+    if family == "path":
+        return generators.path_graph(n)
+    if family == "cycle":
+        return generators.even_cycle(n)
+    if family == "star":
+        return generators.star(n)
+    if family == "matching":
+        return generators.matching_graph(n)
+    if family == "tree":
+        return generators.random_tree(n, seed=seed)
+    if family == "forest":
+        return generators.random_forest(n, trees, seed=seed)
+    if family == "empty":
+        return generators.empty_graph(n)
+    if family == "degree_bounded":
+        return generators.random_bipartite_degree_bounded(
+            n, second, max_degree, seed=seed
+        )
+    known = ", ".join(GRAPH_FAMILIES)
+    raise InvalidInstanceError(f"unknown graph family {family!r}; known: {known}")
+
+
+def parse_speeds(value: str | Sequence[Any]) -> list[Fraction]:
+    """Machine speeds from ``"3,3/2,1"`` or a JSON list, fastest first."""
+    if isinstance(value, str):
+        parts: Sequence[Any] = [part.strip() for part in value.split(",")]
+    else:
+        parts = value
+    speeds = sorted((Fraction(str(part)) for part in parts), reverse=True)
+    if not speeds:
+        raise InvalidInstanceError("speeds must name at least one machine")
+    return speeds
+
+
+def parse_jobs(value: str | Sequence[int], n: int, seed: int | None) -> list[int]:
+    """Processing requirements for ``n`` jobs.
+
+    ``"unit"`` (all ones), an explicit integer list, or one of the named
+    weight profiles from :func:`repro.analysis.suites.job_weight_profile`
+    (``"uniform"``, ``"heavy_tailed"``, ``"one_giant"``) drawn with the
+    entry's seed.
+    """
+    if isinstance(value, str):
+        if value == "unit":
+            return [1] * n
+        if value in ("uniform", "heavy_tailed", "one_giant"):
+            from repro.analysis.suites import job_weight_profile
+
+            return list(job_weight_profile(n, value, seed=seed))
+        raise InvalidInstanceError(
+            f"unknown jobs spec {value!r}; use 'unit', 'uniform', "
+            "'heavy_tailed', 'one_giant', or an integer list"
+        )
+    return [int(x) for x in value]
+
+
+def _family_tasks(entry: dict[str, Any], index: int) -> list[BatchTask]:
+    family = entry["family"]
+    unknown = set(entry) - _ENTRY_KEYS - _FAMILY_KEYS
+    if unknown:
+        raise InvalidInstanceError(
+            f"spec entry {index}: unknown keys {sorted(unknown)}"
+        )
+    count = int(entry.get("count", 1))
+    if count < 1:
+        raise InvalidInstanceError(f"spec entry {index}: count must be >= 1")
+    base_seed = int(entry.get("seed", 0))
+    algorithm = entry.get("algorithm")
+    n = int(entry.get("n", 20))
+    tasks: list[BatchTask] = []
+    for replica in range(count):
+        seed = base_seed + replica
+        graph = build_family_graph(
+            family,
+            n,
+            b=entry.get("b"),
+            p=float(entry.get("p", 0.1)),
+            max_degree=int(entry.get("max_degree", 4)),
+            trees=int(entry.get("trees", 3)),
+            seed=seed,
+        )
+        speeds = parse_speeds(entry.get("speeds", "1,1,1"))
+        jobs = parse_jobs(entry.get("jobs", "unit"), graph.n, seed)
+        instance = UniformInstance(graph, jobs, speeds)
+        base_name = entry.get("name", f"{family}-n{n}")
+        name = base_name if count == 1 else f"{base_name}-s{seed}"
+        tasks.append(BatchTask(name, instance_to_dict(instance), algorithm))
+    return tasks
+
+
+def expand_specs(
+    data: dict[str, Any], base_dir: str | Path = "."
+) -> list[BatchTask]:
+    """Expand a parsed spec document into concrete batch tasks."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError("spec must be a JSON object")
+    fmt = data.get("format", SPEC_FORMAT)
+    if fmt != SPEC_FORMAT:
+        raise InvalidInstanceError(
+            f"unsupported spec format {fmt!r} (this build reads {SPEC_FORMAT})"
+        )
+    entries = data.get("instances")
+    if not isinstance(entries, list) or not entries:
+        raise InvalidInstanceError("spec needs a non-empty 'instances' list")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise InvalidInstanceError("'defaults' must be a JSON object")
+    base = Path(base_dir)
+    tasks: list[BatchTask] = []
+    for index, raw in enumerate(entries):
+        if not isinstance(raw, dict):
+            raise InvalidInstanceError(f"spec entry {index} must be an object")
+        entry = {**defaults, **raw}
+        algorithm = entry.get("algorithm")
+        if "instance" in entry:
+            name = entry.get("name", f"inline-{index}")
+            tasks.append(BatchTask(name, entry["instance"], algorithm))
+        elif "path" in entry:
+            path = base / entry["path"]
+            name = entry.get("name", Path(entry["path"]).stem)
+            tasks.append(BatchTask(name, load_json(path), algorithm))
+        elif "family" in entry:
+            tasks.extend(_family_tasks(entry, index))
+        else:
+            raise InvalidInstanceError(
+                f"spec entry {index} needs 'instance', 'path', or 'family'"
+            )
+    return tasks
+
+
+def load_spec_file(path: str | Path) -> list[BatchTask]:
+    """Read and expand a spec file (entry paths resolve next to it)."""
+    import json
+
+    spec_path = Path(path)
+    try:
+        data = load_json(spec_path)
+    except json.JSONDecodeError as exc:
+        raise InvalidInstanceError(f"spec {spec_path} is not valid JSON: {exc}")
+    return expand_specs(data, spec_path.parent)

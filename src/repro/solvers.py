@@ -62,7 +62,13 @@ from repro.scheduling.list_scheduling import graph_aware_greedy
 from repro.scheduling.lp_rounding import lst_two_approx
 from repro.scheduling.schedule import Schedule
 
-__all__ = ["AlgorithmSpec", "ALGORITHMS", "available_algorithms", "solve"]
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "auto_choice",
+    "available_algorithms",
+    "solve",
+]
 
 
 @dataclass(frozen=True)
@@ -272,7 +278,13 @@ _AUTO_UNIFORM = (
 _AUTO_UNRELATED = ("r2_fptas",)
 
 
-def _auto_choice(instance: SchedulingInstance) -> str:
+def auto_choice(instance: SchedulingInstance) -> str:
+    """The algorithm name ``solve(instance, "auto")`` would run.
+
+    Exposed so batch drivers (:mod:`repro.runtime`) and reports can record
+    which registered method the dispatch policy resolved to without
+    re-implementing the policy.
+    """
     if _is_uniform(instance):
         for name in _AUTO_UNIFORM:
             if ALGORITHMS[name].applies(instance):
@@ -300,6 +312,10 @@ def _auto_choice(instance: SchedulingInstance) -> str:
     )
 
 
+# backwards-compatible alias (benchmarks imported the private name)
+_auto_choice = auto_choice
+
+
 def solve(instance: SchedulingInstance, algorithm: str = "auto") -> Schedule:
     """Schedule ``instance`` with the requested (or auto-chosen) method.
 
@@ -307,7 +323,7 @@ def solve(instance: SchedulingInstance, algorithm: str = "auto") -> Schedule:
     docstring.  Explicit names come from :data:`ALGORITHMS`; asking for a
     method whose preconditions fail raises :exc:`InvalidInstanceError`.
     """
-    name = _auto_choice(instance) if algorithm == "auto" else algorithm
+    name = auto_choice(instance) if algorithm == "auto" else algorithm
     spec = ALGORITHMS.get(name)
     if spec is None:
         known = ", ".join(sorted(ALGORITHMS))

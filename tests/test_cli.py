@@ -135,6 +135,69 @@ class TestStructure:
         assert "complete_multipartite" in out
 
 
+class TestBatch:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro/batch-spec/v1",
+                    "defaults": {"speeds": "2,1"},
+                    "instances": [
+                        {"family": "crown", "n": 4, "count": 3},
+                        {"family": "gnnp", "n": 5, "p": 0.2, "seed": 9, "count": 2},
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_runs_spec_and_writes_jsonl(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        assert main(["batch", str(spec_path), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "5 instances" in stdout
+        assert "per-algorithm summary" in stdout
+        from repro.io import read_jsonl
+
+        records = read_jsonl(out)
+        assert len(records) == 5
+        assert all(r["kind"] == "batch_result" for r in records)
+        # crown replicas are identical graphs: deduplicated, not re-solved
+        assert sum(1 for r in records if r["cached"]) == 2
+
+    def test_warm_cache_rerun_solves_nothing(self, spec_path, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        args = ["batch", str(spec_path), "--cache", str(cache), "--no-summary"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "(0 solved, 5 cached" in capsys.readouterr().out
+
+    def test_workers_flag(self, spec_path, capsys):
+        assert main(["batch", str(spec_path), "--workers", "2",
+                     "--no-summary"]) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_missing_spec_is_an_error(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_spec_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"instances": []}', encoding="utf-8")
+        assert main(["batch", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_spec_json_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "trunc.json"
+        bad.write_text('{"instances": [', encoding="utf-8")
+        assert main(["batch", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
