@@ -1,0 +1,98 @@
+"""E10 — unrelated workload families (repro.workloads): R-algorithms head-to-head.
+
+Sweeps the named ``p_ij`` models (``uniform_pij``, ``correlated``,
+``restricted_assignment``, ``two_value``; plus the Theorem 24
+``hardness_r`` geometry at ``m = 3``) across graph families and drives
+``r2_two_approx`` / ``r2_fptas`` / ``lst`` / ``r_color_split``
+head-to-head through the batch engine.  Ratios are against the exact
+unrelated lower bound, aggregated per (model, algorithm) by
+:func:`repro.analysis.suites.summarize_models`.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI smoke shape (tiny ``n``, one
+seed) — the point of that run is that the R-pipeline (workloads ->
+specs/tasks -> runner -> aggregation) cannot silently rot, not the
+numbers.
+"""
+
+import os
+
+from repro.analysis.suites import (
+    model_ratio_table,
+    summarize_models,
+    unrelated_workload_suite,
+)
+from repro.io import instance_to_dict
+from repro.runtime import BatchTask
+
+from benchmarks._common import emit_table, run_batch
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N = 6 if SMOKE else 16
+SEEDS = 1 if SMOKE else 3
+FAMILIES = ("gnnp", "path") if SMOKE else ("gnnp", "path", "crown")
+
+R2_ALGORITHMS = ("r2_two_approx", "r2_fptas", "lst", "r_color_split")
+RM_ALGORITHMS = ("lst", "r_color_split")
+
+
+def _tasks(suite, algorithms):
+    return [
+        BatchTask(name, instance_to_dict(inst), algorithm)
+        for name, inst in suite
+        for algorithm in algorithms
+    ]
+
+
+def test_e10_r2_model_families(benchmark):
+    """The four p_ij models on two machines: every R2 method applies."""
+
+    def build():
+        suite = unrelated_workload_suite(
+            n=N, m=2, graph_families=FAMILIES, seeds=SEEDS, seed=0
+        )
+        return run_batch(_tasks(suite, R2_ALGORITHMS))
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert results and all(r.error is None for r in results)
+    # the exact lower bound is genuine: no method lands below it
+    assert all(r.ratio is None or r.ratio >= 1.0 for r in results)
+    rows = summarize_models(results)
+    assert {row[0] for row in rows} == {
+        "uniform_pij", "correlated", "restricted_assignment", "two_value"
+    }
+    emit_table(
+        "E10_unrelated_families",
+        model_ratio_table(
+            results,
+            title="E10: unrelated workload models x R2 algorithms "
+            "(ratio vs exact R lower bound)",
+        ),
+    )
+
+
+def test_e10_hardness_r_families(benchmark):
+    """Theorem 24 geometry at m = 3: only the graph-blind/fallback methods
+    apply, and the adversarial gap shows up as large ratios."""
+
+    def build():
+        suite = unrelated_workload_suite(
+            n=max(N, 6),
+            m=3,
+            models=("hardness_r",),
+            graph_families=FAMILIES,
+            seeds=SEEDS,
+            seed=0,
+        )
+        return run_batch(_tasks(suite, RM_ALGORITHMS))
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert results and all(r.error is None for r in results)
+    split = [r for r in results if r.chosen == "r_color_split"]
+    assert split and all(r.feasible for r in split)
+    emit_table(
+        "E10_hardness_r",
+        model_ratio_table(
+            results,
+            title="E10 (Thm 24 context): hardness_r instances, m = 3",
+        ),
+    )

@@ -80,7 +80,7 @@ from repro.core import (
 from repro.hardness import theorem8_reduction, theorem24_reduction
 from repro.random_graphs import gnnp
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # imported below the paper-facing API so the registry sees every algorithm
 from repro.core import (
@@ -104,6 +104,11 @@ from repro.solvers import (
     solve,
 )
 from repro.runtime import BatchResult, BatchRunner, BatchStats, BatchTask, ResultCache
+from repro.workloads import (
+    UNRELATED_MODELS,
+    build_machines_instance,
+    build_unrelated_instance,
+)
 
 __all__ = [
     "ReproError",
@@ -169,5 +174,8 @@ __all__ = [
     "BatchStats",
     "BatchTask",
     "ResultCache",
+    "UNRELATED_MODELS",
+    "build_machines_instance",
+    "build_unrelated_instance",
     "__version__",
 ]

@@ -34,8 +34,12 @@ __all__ = [
     "speed_profile_suite",
     "random_r2_instance",
     "standard_uniform_suite",
+    "unrelated_workload_suite",
+    "workload_model_of",
     "summarize_batch",
+    "summarize_models",
     "batch_summary_table",
+    "model_ratio_table",
 ]
 
 WeightKind = Literal["unit", "uniform", "heavy_tailed", "one_giant"]
@@ -132,22 +136,22 @@ def _as_result_dict(result: Any) -> dict[str, Any]:
     raise TypeError(f"cannot summarise {type(result).__name__} as a batch result")
 
 
-def summarize_batch(results: Iterable[Any]) -> list[list[Any]]:
-    """Per-algorithm aggregate rows for a batch result stream.
+def _aggregate_by(
+    results: Iterable[Any], label_of: Any
+) -> list[list[Any]]:
+    """Fold a result stream into per-label aggregate rows (shared core).
 
-    Each row: ``[algorithm, count, cached, errors, mean ratio,
-    worst ratio, solve time (ms)]``, sorted by algorithm name.  Ratios
-    average only the records that carry one (a zero lower bound or an
-    errored solve contributes to the counts but not the ratio columns);
-    the time column sums fresh-solve wall time, so a fully warm batch
-    reads 0.
+    Each row: ``[*label, count, cached, errors, mean ratio, worst ratio,
+    solve time (ms)]`` sorted by label.  ``label_of(record)`` may return a
+    string or a tuple (tuples spread over several leading columns).
     """
-    grouped: dict[str, dict[str, Any]] = {}
+    grouped: dict[tuple, dict[str, Any]] = {}
     for raw in results:
         record = _as_result_dict(raw)
-        name = record.get("chosen") or record.get("algorithm") or "?"
+        label = label_of(record)
+        key = label if isinstance(label, tuple) else (label,)
         agg = grouped.setdefault(
-            name,
+            key,
             {"count": 0, "cached": 0, "errors": 0, "ratios": [], "time": 0.0},
         )
         agg["count"] += 1
@@ -161,12 +165,12 @@ def summarize_batch(results: Iterable[Any]) -> list[list[Any]]:
         if not record.get("cached"):
             agg["time"] += float(record.get("wall_time_s", 0.0))
     rows: list[list[Any]] = []
-    for name in sorted(grouped):
-        agg = grouped[name]
+    for key in sorted(grouped):
+        agg = grouped[key]
         ratios = agg["ratios"]
         rows.append(
             [
-                name,
+                *key,
                 agg["count"],
                 agg["cached"],
                 agg["errors"],
@@ -178,6 +182,50 @@ def summarize_batch(results: Iterable[Any]) -> list[list[Any]]:
     return rows
 
 
+def summarize_batch(results: Iterable[Any]) -> list[list[Any]]:
+    """Per-algorithm aggregate rows for a batch result stream.
+
+    Each row: ``[algorithm, count, cached, errors, mean ratio,
+    worst ratio, solve time (ms)]``, sorted by algorithm name.  Ratios
+    average only the records that carry one (a zero lower bound or an
+    errored solve contributes to the counts but not the ratio columns);
+    the time column sums fresh-solve wall time, so a fully warm batch
+    reads 0.
+    """
+    return _aggregate_by(
+        results,
+        lambda record: record.get("chosen") or record.get("algorithm") or "?",
+    )
+
+
+def workload_model_of(name: str) -> str:
+    """The workload-model tag of a batch task name (``model/rest`` or ``?``).
+
+    Spec-v2 ``machines`` entries and :func:`unrelated_workload_suite` both
+    name tasks ``<model>/<family>-...``, which is what makes per-model
+    aggregation possible downstream.
+    """
+    return name.split("/", 1)[0] if "/" in name else "?"
+
+
+def summarize_models(results: Iterable[Any]) -> list[list[Any]]:
+    """Per-(model, algorithm) aggregate rows for a batch result stream.
+
+    The model tag comes from the task-name prefix (see
+    :func:`workload_model_of`); ratios are against the environment's
+    exact lower bound (:func:`repro.scheduling.bounds.unrelated_lower_bound`
+    for ``R`` records), so the table reads directly as "how far above the
+    bound does each algorithm land on each workload family".
+    """
+    return _aggregate_by(
+        results,
+        lambda record: (
+            workload_model_of(str(record.get("name", ""))),
+            record.get("chosen") or record.get("algorithm") or "?",
+        ),
+    )
+
+
 def batch_summary_table(results: Iterable[Any], title: str | None = None) -> str:
     """Render :func:`summarize_batch` as an aligned monospace table."""
     from repro.analysis.tables import format_table
@@ -186,6 +234,18 @@ def batch_summary_table(results: Iterable[Any], title: str | None = None) -> str
         ["algorithm", "count", "cached", "errors", "mean ratio", "worst ratio",
          "solve time (ms)"],
         summarize_batch(results),
+        title=title,
+    )
+
+
+def model_ratio_table(results: Iterable[Any], title: str | None = None) -> str:
+    """Render :func:`summarize_models` as an aligned monospace table."""
+    from repro.analysis.tables import format_table
+
+    return format_table(
+        ["model", "algorithm", "count", "cached", "errors", "mean ratio",
+         "worst ratio", "solve time (ms)"],
+        summarize_models(results),
         title=title,
     )
 
@@ -205,3 +265,42 @@ def random_r2_instance(
         [int(x) for x in rng.integers(lo, hi + 1, size=graph.n)] for _ in range(2)
     ]
     return UnrelatedInstance(graph, times)
+
+
+DEFAULT_UNRELATED_MODELS = (
+    "uniform_pij",
+    "correlated",
+    "restricted_assignment",
+    "two_value",
+)
+
+
+def unrelated_workload_suite(
+    n: int = 16,
+    m: int = 2,
+    models: tuple[str, ...] = DEFAULT_UNRELATED_MODELS,
+    graph_families: tuple[str, ...] = ("gnnp", "path", "crown"),
+    seeds: int = 2,
+    seed: int = 0,
+) -> list[tuple[str, UnrelatedInstance]]:
+    """Named unrelated instances: workload models x graph families x seeds.
+
+    Names follow the ``model/family-n{n}-s{seed}`` convention that
+    :func:`summarize_models` groups on.  Every cell is deterministic: cell
+    ``(model, family, r)`` uses integer seed ``seed + r`` for both the
+    graph and the time matrix, so adding models or families never
+    perturbs the other cells.  ``hardness_r`` (Theorem 24 geometry) needs
+    ``m >= 3`` and is therefore not in the default model list.
+    """
+    from repro.runtime.specs import build_family_graph
+    from repro.workloads import build_unrelated_instance
+
+    out: list[tuple[str, UnrelatedInstance]] = []
+    for model in models:
+        for family in graph_families:
+            for replica in range(seeds):
+                s = seed + replica
+                graph = build_family_graph(family, n, seed=s)
+                inst = build_unrelated_instance(graph, model, m, seed=s)
+                out.append((f"{model}/{family}-n{n}-s{s}", inst))
+    return out

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from fractions import Fraction
 from typing import Sequence
 
 from repro import __version__
@@ -46,6 +45,13 @@ from repro.io import (
 from repro.runtime import GRAPH_FAMILIES, BatchRunner, build_family_graph, load_spec_file
 from repro.scheduling.instance import UniformInstance
 from repro.solvers import available_algorithms, solve
+from repro.workloads import (
+    UNRELATED_MODELS,
+    build_unrelated_instance,
+    parse_jobs,
+    parse_speeds,
+)
+from repro.workloads.parsing import JOB_PROFILES
 
 __all__ = ["main", "build_parser"]
 
@@ -77,13 +83,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--speeds",
         type=str,
         default="1,1,1",
-        help="comma-separated machine speeds (fractions allowed: '3,3/2,1')",
+        help="comma-separated machine speeds (fractions allowed: '3,3/2,1'; "
+        "kind=uniform only)",
     )
     gen.add_argument(
         "--jobs",
         type=str,
         default="unit",
-        help="'unit', or comma-separated integer processing requirements",
+        help="'unit', a named weight profile ('uniform', 'heavy_tailed', "
+        "'one_giant'), or comma-separated integer processing requirements",
+    )
+    gen.add_argument(
+        "--kind",
+        choices=("uniform", "unrelated"),
+        default="uniform",
+        help="machine environment (Q with --speeds, or R via a workload model)",
+    )
+    gen.add_argument(
+        "--model",
+        choices=tuple(sorted(UNRELATED_MODELS)),
+        default="uniform_pij",
+        help="p_ij model for kind=unrelated (repro.workloads)",
+    )
+    gen.add_argument(
+        "--m", type=int, default=2, help="machine count (kind=unrelated)"
     )
     gen.add_argument("--out", type=str, required=True, help="output JSON path")
 
@@ -157,18 +180,21 @@ def _cmd_info() -> int:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = _make_graph(args)
-    speeds = sorted(
-        (Fraction(s.strip()) for s in args.speeds.split(",")), reverse=True
-    )
-    if args.jobs == "unit":
-        p = [1] * graph.n
+    named = args.jobs == "unit" or args.jobs in JOB_PROFILES
+    jobs_value = args.jobs if named else args.jobs.split(",")
+    p = parse_jobs(jobs_value, graph.n, args.seed)
+    if args.kind == "unrelated":
+        instance = build_unrelated_instance(
+            graph, args.model, args.m, p=p, seed=args.seed
+        )
+        detail = f"model={args.model}"
     else:
-        p = [int(x) for x in args.jobs.split(",")]
-    instance = UniformInstance(graph, p, speeds)
+        instance = UniformInstance(graph, p, parse_speeds(args.speeds))
+        detail = f"sum p={instance.total_p}"
     path = save_json(instance_to_dict(instance), args.out)
     print(
-        f"wrote {path}: n={instance.n}, m={instance.m}, "
-        f"|E|={graph.edge_count}, sum p={instance.total_p}"
+        f"wrote {path}: kind={args.kind}, n={instance.n}, m={instance.m}, "
+        f"|E|={instance.graph.edge_count}, {detail}"
     )
     return 0
 

@@ -22,6 +22,8 @@ from repro.runtime.cache import ResultCache, canonical_instance_payload, task_ke
 from repro.runtime.specs import (
     GRAPH_FAMILIES,
     SPEC_FORMAT,
+    SPEC_FORMAT_V2,
+    SPEC_FORMATS,
     build_family_graph,
     expand_specs,
     load_spec_file,
@@ -30,6 +32,8 @@ from repro.runtime.specs import (
 __all__ = [
     "RESULT_FORMAT",
     "SPEC_FORMAT",
+    "SPEC_FORMAT_V2",
+    "SPEC_FORMATS",
     "GRAPH_FAMILIES",
     "BatchResult",
     "BatchRunner",

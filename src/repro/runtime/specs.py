@@ -2,7 +2,8 @@
 
 ``python -m repro batch specs.json`` needs a way to describe hundreds of
 instances without shipping hundreds of files.  A spec file
-(``"format": "repro/batch-spec/v1"``) lists entries of three shapes::
+(``"format": "repro/batch-spec/v1"`` or ``".../v2"``) lists entries of
+three shapes::
 
     {"format": "repro/batch-spec/v1",
      "defaults": {"algorithm": "auto", "speeds": "3,2,1", "jobs": "unit"},
@@ -19,17 +20,35 @@ instances without shipping hundreds of files.  A spec file
   consecutive seeds (``seed``, ``seed + 1``, ...), so one line yields a
   whole deterministic sweep.
 
-``defaults`` are merged under every entry.  Expansion is eager and
-deterministic: the same spec always produces the same
-:class:`~repro.runtime.batch.BatchTask` list, which is what makes batch
-caching across runs effective.
+Format **v2** additionally lets a ``family`` entry (or ``defaults``)
+carry a ``machines`` block describing the machine environment through
+:mod:`repro.workloads` — this is how unrelated (``R``) sweeps reach the
+batch engine::
+
+    {"format": "repro/batch-spec/v2",
+     "defaults": {"machines": {"kind": "unrelated", "model": "correlated",
+                               "m": 3}},
+     "instances": [
+       {"family": "gnnp", "n": 12, "p": 0.2, "seed": 0, "count": 25},
+       {"family": "crown", "n": 8, "count": 10,
+        "machines": {"kind": "uniform", "profile": "geometric", "m": 4}}
+     ]}
+
+v1 files keep loading unchanged (and ``machines`` is rejected there).
+
+``defaults`` are merged under every entry; the entry *shape* keys
+(``instance`` / ``path`` / ``family``) must stay on the entries
+themselves.  Expansion is eager and deterministic: the same spec always
+produces the same :class:`~repro.runtime.batch.BatchTask` list with
+unique task names (colliding names are disambiguated by entry index),
+which is what makes batch caching across runs effective.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
+from collections import Counter
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any
 
 from repro.exceptions import InvalidInstanceError
 from repro.graphs import generators
@@ -38,9 +57,12 @@ from repro.io import instance_to_dict, load_json
 from repro.random_graphs.gilbert import gnnp
 from repro.runtime.batch import BatchTask
 from repro.scheduling.instance import UniformInstance
+from repro.workloads import build_machines_instance, parse_jobs, parse_speeds
 
 __all__ = [
     "SPEC_FORMAT",
+    "SPEC_FORMAT_V2",
+    "SPEC_FORMATS",
     "GRAPH_FAMILIES",
     "build_family_graph",
     "parse_speeds",
@@ -50,6 +72,8 @@ __all__ = [
 ]
 
 SPEC_FORMAT = "repro/batch-spec/v1"
+SPEC_FORMAT_V2 = "repro/batch-spec/v2"
+SPEC_FORMATS = (SPEC_FORMAT, SPEC_FORMAT_V2)
 
 GRAPH_FAMILIES = (
     "gnnp",
@@ -67,9 +91,20 @@ GRAPH_FAMILIES = (
 
 # spec keys that configure the entry rather than the graph family
 _ENTRY_KEYS = frozenset(
-    {"name", "algorithm", "count", "speeds", "jobs", "family", "instance", "path"}
+    {
+        "name",
+        "algorithm",
+        "count",
+        "speeds",
+        "jobs",
+        "family",
+        "instance",
+        "path",
+        "machines",
+    }
 )
 _FAMILY_KEYS = frozenset({"n", "b", "p", "max_degree", "trees", "seed"})
+_SHAPE_KEYS = frozenset({"instance", "path", "family"})
 
 
 def build_family_graph(
@@ -116,47 +151,43 @@ def build_family_graph(
     raise InvalidInstanceError(f"unknown graph family {family!r}; known: {known}")
 
 
-def parse_speeds(value: str | Sequence[Any]) -> list[Fraction]:
-    """Machine speeds from ``"3,3/2,1"`` or a JSON list, fastest first."""
-    if isinstance(value, str):
-        parts: Sequence[Any] = [part.strip() for part in value.split(",")]
-    else:
-        parts = value
-    speeds = sorted((Fraction(str(part)) for part in parts), reverse=True)
-    if not speeds:
-        raise InvalidInstanceError("speeds must name at least one machine")
-    return speeds
+def _machines_label(machines: dict[str, Any]) -> str:
+    """The tag default task names (and per-model aggregation) group on.
 
-
-def parse_jobs(value: str | Sequence[int], n: int, seed: int | None) -> list[int]:
-    """Processing requirements for ``n`` jobs.
-
-    ``"unit"`` (all ones), an explicit integer list, or one of the named
-    weight profiles from :func:`repro.analysis.suites.job_weight_profile`
-    (``"uniform"``, ``"heavy_tailed"``, ``"one_giant"``) drawn with the
-    entry's seed.
+    Mirrors the builder's defaults: an unrelated block without an explicit
+    ``model`` builds ``uniform_pij``, so it must be *labelled* that too.
     """
-    if isinstance(value, str):
-        if value == "unit":
-            return [1] * n
-        if value in ("uniform", "heavy_tailed", "one_giant"):
-            from repro.analysis.suites import job_weight_profile
-
-            return list(job_weight_profile(n, value, seed=seed))
-        raise InvalidInstanceError(
-            f"unknown jobs spec {value!r}; use 'unit', 'uniform', "
-            "'heavy_tailed', 'one_giant', or an integer list"
-        )
-    return [int(x) for x in value]
+    kind = machines.get("kind")
+    if kind == "unrelated":
+        return str(machines.get("model", "uniform_pij"))
+    label = machines.get("model") or machines.get("profile") or kind
+    return str(label)
 
 
-def _family_tasks(entry: dict[str, Any], index: int) -> list[BatchTask]:
+def _family_tasks(
+    entry: dict[str, Any], index: int, *, v2: bool
+) -> list[BatchTask]:
     family = entry["family"]
     unknown = set(entry) - _ENTRY_KEYS - _FAMILY_KEYS
     if unknown:
         raise InvalidInstanceError(
             f"spec entry {index}: unknown keys {sorted(unknown)}"
         )
+    machines = entry.get("machines")
+    if machines is not None:
+        if not v2:
+            raise InvalidInstanceError(
+                f"spec entry {index}: 'machines' needs format {SPEC_FORMAT_V2!r}"
+            )
+        if not isinstance(machines, dict):
+            raise InvalidInstanceError(
+                f"spec entry {index}: 'machines' must be a JSON object"
+            )
+        if "speeds" in entry:
+            raise InvalidInstanceError(
+                f"spec entry {index}: with a 'machines' block, put speeds "
+                "inside it ({'kind': 'uniform', 'speeds': ...})"
+            )
     count = int(entry.get("count", 1))
     if count < 1:
         raise InvalidInstanceError(f"spec entry {index}: count must be >= 1")
@@ -175,13 +206,53 @@ def _family_tasks(entry: dict[str, Any], index: int) -> list[BatchTask]:
             trees=int(entry.get("trees", 3)),
             seed=seed,
         )
-        speeds = parse_speeds(entry.get("speeds", "1,1,1"))
-        jobs = parse_jobs(entry.get("jobs", "unit"), graph.n, seed)
-        instance = UniformInstance(graph, jobs, speeds)
-        base_name = entry.get("name", f"{family}-n{n}")
+        if machines is None:
+            jobs = parse_jobs(entry.get("jobs", "unit"), graph.n, seed)
+            speeds = parse_speeds(entry.get("speeds", "1,1,1"))
+            instance = UniformInstance(graph, jobs, speeds)
+            default_base = f"{family}-n{n}"
+        else:
+            # no explicit job vector -> p=None, so unrelated models keep
+            # their documented seeded base-requirement draw (uniform kinds
+            # default to unit jobs inside the builder)
+            jobs_spec = entry.get("jobs")
+            jobs = (
+                None
+                if jobs_spec is None
+                else parse_jobs(jobs_spec, graph.n, seed)
+            )
+            instance = build_machines_instance(
+                graph, machines, p=jobs, seed=seed
+            )
+            default_base = f"{_machines_label(machines)}/{family}-n{n}"
+        base_name = entry.get("name", default_base)
         name = base_name if count == 1 else f"{base_name}-s{seed}"
         tasks.append(BatchTask(name, instance_to_dict(instance), algorithm))
     return tasks
+
+
+def _dedupe_task_names(
+    indexed: list[tuple[int, BatchTask]]
+) -> list[BatchTask]:
+    """Make task names unique: colliding names get an entry-index suffix.
+
+    Without this, two overlapping ``family`` entries emit identical names
+    (both ``{"family": "path", "n": 4, "count": 2, "seed": 0}`` entries
+    yield ``path-n4-s0`` / ``path-n4-s1``) and the JSONL result rows
+    become ambiguous.
+    """
+    counts = Counter(task.name for _, task in indexed)
+    out: list[BatchTask] = []
+    for index, task in indexed:
+        if counts[task.name] > 1:
+            task = task._replace(name=f"{task.name}-e{index}")
+        out.append(task)
+    if len({task.name for task in out}) != len(out):
+        raise InvalidInstanceError(
+            "spec task names collide even after entry-index disambiguation; "
+            "give the overlapping entries distinct 'name's"
+        )
+    return out
 
 
 def expand_specs(
@@ -191,37 +262,60 @@ def expand_specs(
     if not isinstance(data, dict):
         raise InvalidInstanceError("spec must be a JSON object")
     fmt = data.get("format", SPEC_FORMAT)
-    if fmt != SPEC_FORMAT:
+    if fmt not in SPEC_FORMATS:
+        supported = " or ".join(repr(f) for f in SPEC_FORMATS)
         raise InvalidInstanceError(
-            f"unsupported spec format {fmt!r} (this build reads {SPEC_FORMAT})"
+            f"unsupported spec format {fmt!r} (this build reads {supported})"
         )
+    v2 = fmt == SPEC_FORMAT_V2
     entries = data.get("instances")
     if not isinstance(entries, list) or not entries:
         raise InvalidInstanceError("spec needs a non-empty 'instances' list")
     defaults = data.get("defaults", {})
     if not isinstance(defaults, dict):
         raise InvalidInstanceError("'defaults' must be a JSON object")
+    shadowed = _SHAPE_KEYS & set(defaults)
+    if shadowed:
+        raise InvalidInstanceError(
+            f"'defaults' must not contain the entry-shape keys "
+            f"{sorted(shadowed)}; they would shadow every entry's own "
+            "shape — move them into the individual entries"
+        )
     base = Path(base_dir)
-    tasks: list[BatchTask] = []
+    indexed: list[tuple[int, BatchTask]] = []
     for index, raw in enumerate(entries):
         if not isinstance(raw, dict):
             raise InvalidInstanceError(f"spec entry {index} must be an object")
         entry = {**defaults, **raw}
         algorithm = entry.get("algorithm")
         if "instance" in entry:
+            if "machines" in raw:
+                raise InvalidInstanceError(
+                    f"spec entry {index}: 'machines' only applies to "
+                    "'family' entries (inline instances fix their own "
+                    "machine data)"
+                )
             name = entry.get("name", f"inline-{index}")
-            tasks.append(BatchTask(name, entry["instance"], algorithm))
+            indexed.append((index, BatchTask(name, entry["instance"], algorithm)))
         elif "path" in entry:
+            if "machines" in raw:
+                raise InvalidInstanceError(
+                    f"spec entry {index}: 'machines' only applies to "
+                    "'family' entries (on-disk instances fix their own "
+                    "machine data)"
+                )
             path = base / entry["path"]
             name = entry.get("name", Path(entry["path"]).stem)
-            tasks.append(BatchTask(name, load_json(path), algorithm))
+            indexed.append((index, BatchTask(name, load_json(path), algorithm)))
         elif "family" in entry:
-            tasks.extend(_family_tasks(entry, index))
+            indexed.extend(
+                (index, task) for task in _family_tasks(entry, index, v2=v2)
+            )
         else:
             raise InvalidInstanceError(
                 f"spec entry {index} needs 'instance', 'path', or 'family'"
             )
-    return tasks
+    return _dedupe_task_names(indexed)
 
 
 def load_spec_file(path: str | Path) -> list[BatchTask]:

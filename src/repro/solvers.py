@@ -209,7 +209,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "two_machine_split",
             "feasible two-machine split (no ratio bound)",
             "Algorithm 1 fallback shape",
-            lambda inst: _is_uniform(inst) and (inst.m >= 2 or inst.graph.edge_count == 0),
+            lambda inst: _is_uniform(inst) and inst.m >= 2,
             two_machine_split,
         ),
         AlgorithmSpec(

@@ -1,0 +1,58 @@
+"""Scenario generation: named workload models for the batch engine.
+
+The batch layer (:mod:`repro.runtime`) moves *streams* of instances
+through the solver registry; this package is where those streams come
+from.  It turns a conflict graph (any family from
+:func:`repro.runtime.build_family_graph`) plus a declarative machine
+description into a concrete :class:`~repro.scheduling.instance`:
+
+* **unrelated models** (:mod:`repro.workloads.unrelated`) — named
+  ``p_ij`` matrix families for ``R|G = bipartite|Cmax``: iid
+  (``uniform_pij``), machine-effect x job-effect (``correlated``),
+  ``p_ij in {p_j, sentinel}`` (``restricted_assignment``), and two-point
+  (``two_value``) distributions;
+* **adversarial models** (:mod:`repro.workloads.adversarial`) —
+  ``hardness_q`` / ``hardness_r`` lift the Theorem 8 and Theorem 24
+  reductions of :mod:`repro.hardness` into sweepable instances;
+* **builders** (:mod:`repro.workloads.builder`) — the model registry and
+  the ``machines`` block dispatcher behind batch-spec v2
+  (``{"kind": "uniform" | "unrelated", ...}``);
+* **parsing** (:mod:`repro.workloads.parsing`) — speed / job-vector
+  parsing shared by the CLI and the spec loader, with diagnostics
+  (:exc:`~repro.exceptions.InvalidInstanceError`, never a raw
+  ``ValueError``).
+
+Every model is deterministic under an integer seed: the same
+``(graph, model, params, seed)`` always yields the same instance, which
+is what makes spec-driven sweeps cacheable across runs.
+"""
+
+from repro.workloads.adversarial import hardness_q, hardness_r
+from repro.workloads.builder import (
+    UNRELATED_MODELS,
+    UNIFORM_PROFILES,
+    build_machines_instance,
+    build_unrelated_instance,
+)
+from repro.workloads.parsing import parse_jobs, parse_speeds
+from repro.workloads.unrelated import (
+    correlated,
+    restricted_assignment,
+    two_value,
+    uniform_pij,
+)
+
+__all__ = [
+    "UNRELATED_MODELS",
+    "UNIFORM_PROFILES",
+    "uniform_pij",
+    "correlated",
+    "restricted_assignment",
+    "two_value",
+    "hardness_q",
+    "hardness_r",
+    "build_unrelated_instance",
+    "build_machines_instance",
+    "parse_speeds",
+    "parse_jobs",
+]

@@ -1,0 +1,79 @@
+"""Adversarial workload models lifted from the hardness reductions.
+
+Theorems 8 and 24 are usually run one instance at a time through
+:mod:`repro.hardness.pipeline`; these wrappers re-cut them as workload
+models so batch sweeps can include adversarial geometry next to the
+random ``p_ij`` families.  The incompatibility graph is the caller's
+(any generated family); the three 1-PrExt precolored vertices are drawn
+from the seed, so the same ``(graph, seed)`` always yields the same
+instance.
+
+The scheduling instances are real — what is *not* carried over is the
+YES/NO answer bookkeeping of
+:class:`~repro.hardness.q_reduction.QHardnessInstance`: a sweep only
+needs the instance geometry (gadget-forced speeds for ``Q``, the
+``1``-vs-``d`` time matrix for ``R``) that makes approximation ratios
+blow up.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.precoloring import PrExtInstance
+from repro.hardness.q_reduction import theorem8_reduction
+from repro.hardness.r_reduction import theorem24_reduction
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.utils.rng import ensure_rng
+
+__all__ = ["hardness_q", "hardness_r"]
+
+
+def _seeded_prext(graph: BipartiteGraph, seed) -> PrExtInstance:
+    """A 1-PrExt seed on ``graph``: three distinct vertices drawn from the
+    seed take the three colors."""
+    if graph.n < 3:
+        raise InvalidInstanceError(
+            f"hardness models need at least 3 vertices, got {graph.n}"
+        )
+    rng = ensure_rng(seed)
+    verts = rng.choice(graph.n, size=3, replace=False)
+    return PrExtInstance(graph, tuple(int(v) for v in verts))
+
+
+def hardness_q(
+    graph: BipartiteGraph,
+    *,
+    k: int = 2,
+    m: int = 3,
+    gadget_sizes: tuple[int, int, int] | None = (4, 2, 1),
+    seed=None,
+) -> UniformInstance:
+    """A Theorem 8 instance: gadget-attached unit jobs on speeds
+    ``49k^2, 5k, 1, 1/(kn), ...``.
+
+    ``gadget_sizes = (x, x', x'')`` defaults to a small structurally
+    faithful shape so sweeps stay tractable; pass ``None`` for the
+    paper's ``(6k^2 n, kn, 1)`` sizes.  The job count grows by the
+    attached gadget vertices (six gadgets, cf. Figure 1).
+    """
+    prext = _seeded_prext(graph, seed)
+    return theorem8_reduction(prext, k, m=m, gadget_sizes=gadget_sizes).instance
+
+
+def hardness_r(
+    graph: BipartiteGraph,
+    *,
+    d: int | None = None,
+    m: int = 3,
+    seed=None,
+) -> UnrelatedInstance:
+    """A Theorem 24 instance: time 1 along a proper extension, ``d`` off it.
+
+    ``d`` defaults to ``max(2, n^2)`` — big enough that any algorithm
+    paying it once shows up clearly in ratio tables (the theorem's point:
+    for ``m >= 3`` no reasonable guarantee exists).
+    """
+    prext = _seeded_prext(graph, seed)
+    gap = max(2, graph.n * graph.n) if d is None else int(d)
+    return theorem24_reduction(prext, gap, m=m).instance

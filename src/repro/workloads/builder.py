@@ -1,0 +1,185 @@
+"""Model registry and the spec-level ``machines`` block dispatcher.
+
+Batch-spec v2 entries describe their machine environment declaratively::
+
+    "machines": {"kind": "unrelated", "model": "correlated", "m": 3,
+                 "noise": 2}
+    "machines": {"kind": "uniform", "speeds": "3,3/2,1"}
+    "machines": {"kind": "uniform", "profile": "geometric", "m": 4}
+    "machines": {"kind": "uniform", "model": "hardness_q", "k": 2}
+
+:func:`build_machines_instance` turns one such block plus a conflict
+graph (and the entry's job vector / seed) into a concrete instance;
+:func:`build_unrelated_instance` is the name-indexed entry point the CLI
+and the suites use directly.  Unknown model parameters are reported as
+:exc:`~repro.exceptions.InvalidInstanceError` diagnostics, never as raw
+``TypeError`` tracebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.machines import profiles
+from repro.scheduling.instance import (
+    SchedulingInstance,
+    UniformInstance,
+    UnrelatedInstance,
+)
+from repro.workloads.adversarial import hardness_q, hardness_r
+from repro.workloads.parsing import parse_speeds
+from repro.workloads.unrelated import (
+    correlated,
+    restricted_assignment,
+    two_value,
+    uniform_pij,
+)
+
+__all__ = [
+    "UNRELATED_MODELS",
+    "UNIFORM_PROFILES",
+    "build_unrelated_instance",
+    "build_machines_instance",
+]
+
+
+def _run_hardness_r(graph, m, *, p=None, seed=None, **params):
+    # the reduction fixes the time matrix; the job vector does not apply
+    return hardness_r(graph, m=m, seed=seed, **params)
+
+
+UNRELATED_MODELS: dict[str, Callable[..., UnrelatedInstance]] = {
+    "uniform_pij": uniform_pij,
+    "correlated": correlated,
+    "restricted_assignment": restricted_assignment,
+    "two_value": two_value,
+    "hardness_r": _run_hardness_r,
+}
+
+UNIFORM_PROFILES: dict[str, Callable[..., tuple]] = {
+    "identical": profiles.identical_speeds,
+    "geometric": profiles.geometric_speeds,
+    "power_law": profiles.power_law_speeds,
+    "random_int": profiles.random_integer_speeds,
+    "two_fast": profiles.two_fast_speeds,
+}
+
+# profiles whose extra parameters include a seed
+_SEEDED_PROFILES = frozenset({"random_int"})
+
+
+def build_unrelated_instance(
+    graph: BipartiteGraph,
+    model: str,
+    m: int,
+    *,
+    p: Sequence[int] | None = None,
+    seed=None,
+    **params: Any,
+) -> UnrelatedInstance:
+    """Build one unrelated instance from a named ``p_ij`` model."""
+    fn = UNRELATED_MODELS.get(model)
+    if fn is None:
+        known = ", ".join(sorted(UNRELATED_MODELS))
+        raise InvalidInstanceError(
+            f"unknown unrelated model {model!r}; known: {known}"
+        )
+    try:
+        return fn(graph, m, p=p, seed=seed, **params)
+    except TypeError as exc:
+        raise InvalidInstanceError(
+            f"bad parameters for unrelated model {model!r}: {exc}"
+        ) from exc
+
+
+def _uniform_speeds(machines: dict[str, Any], seed) -> tuple:
+    """Speeds for a ``kind: uniform`` block: explicit or profiled."""
+    if "speeds" in machines and "profile" in machines:
+        raise InvalidInstanceError(
+            "'machines' block: give 'speeds' or 'profile', not both"
+        )
+    if "speeds" in machines:
+        return tuple(parse_speeds(machines["speeds"]))
+    profile = machines.get("profile")
+    if profile is None:
+        raise InvalidInstanceError(
+            "uniform 'machines' block needs 'speeds' or 'profile'"
+        )
+    fn = UNIFORM_PROFILES.get(profile)
+    if fn is None:
+        known = ", ".join(sorted(UNIFORM_PROFILES))
+        raise InvalidInstanceError(
+            f"unknown speed profile {profile!r}; known: {known}"
+        )
+    m = int(machines.get("m", 2))
+    params = {
+        k: v for k, v in machines.items() if k not in ("kind", "profile", "m")
+    }
+    if profile in _SEEDED_PROFILES:
+        params.setdefault("seed", seed)
+    try:
+        return fn(m, **params)
+    except TypeError as exc:
+        raise InvalidInstanceError(
+            f"bad parameters for speed profile {profile!r}: {exc}"
+        ) from exc
+
+
+def build_machines_instance(
+    graph: BipartiteGraph,
+    machines: dict[str, Any],
+    *,
+    p: Sequence[int] | None = None,
+    seed=None,
+) -> SchedulingInstance:
+    """Instance for one spec-v2 ``machines`` block on ``graph``.
+
+    ``p`` is the entry's parsed job vector (``None`` means unit jobs for
+    uniform kinds; unrelated models that key off a base requirement draw
+    one from the seed instead).
+    """
+    if not isinstance(machines, dict):
+        raise InvalidInstanceError("'machines' must be a JSON object")
+    kind = machines.get("kind")
+    if kind == "unrelated":
+        model = machines.get("model", "uniform_pij")
+        m = int(machines.get("m", 2))
+        params = {
+            k: v for k, v in machines.items() if k not in ("kind", "model", "m")
+        }
+        return build_unrelated_instance(
+            graph, model, m, p=p, seed=seed, **params
+        )
+    if kind == "uniform":
+        model = machines.get("model")
+        if model == "hardness_q":
+            params = {
+                k: v
+                for k, v in machines.items()
+                if k not in ("kind", "model", "m")
+            }
+            if "gadget_sizes" in params and params["gadget_sizes"] is not None:
+                params["gadget_sizes"] = tuple(
+                    int(x) for x in params["gadget_sizes"]
+                )
+            try:
+                return hardness_q(
+                    graph, m=int(machines.get("m", 3)), seed=seed, **params
+                )
+            except TypeError as exc:
+                raise InvalidInstanceError(
+                    f"bad parameters for uniform model 'hardness_q': {exc}"
+                ) from exc
+        if model is not None:
+            raise InvalidInstanceError(
+                f"unknown uniform model {model!r}; known: hardness_q "
+                "(or use 'speeds' / 'profile')"
+            )
+        speeds = _uniform_speeds(machines, seed)
+        jobs = [1] * graph.n if p is None else list(p)
+        return UniformInstance(graph, jobs, speeds)
+    raise InvalidInstanceError(
+        f"'machines' kind must be 'uniform' or 'unrelated', got {kind!r}"
+    )

@@ -1,0 +1,64 @@
+"""Machine-speed and job-vector parsing shared by the CLI and spec files.
+
+Both surfaces accept the same shorthand (``"3,3/2,1"`` speed strings,
+``"unit"`` / named weight profiles / integer lists for jobs), and both
+must turn malformed input into an
+:exc:`~repro.exceptions.InvalidInstanceError` — the CLI maps those to a
+one-line diagnostic and exit code 2, whereas a raw ``ValueError`` from
+:class:`~fractions.Fraction` or ``int()`` would surface as a traceback.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.exceptions import InvalidInstanceError
+
+__all__ = ["parse_speeds", "parse_jobs"]
+
+JOB_PROFILES = ("uniform", "heavy_tailed", "one_giant")
+
+
+def parse_speeds(value: str | Sequence[Any]) -> list[Fraction]:
+    """Machine speeds from ``"3,3/2,1"`` or a JSON list, fastest first."""
+    if isinstance(value, str):
+        parts: Sequence[Any] = [part.strip() for part in value.split(",")]
+    else:
+        parts = list(value)
+    try:
+        speeds = sorted((Fraction(str(part)) for part in parts), reverse=True)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise InvalidInstanceError(
+            f"invalid machine speeds {value!r}: {exc}"
+        ) from exc
+    if not speeds:
+        raise InvalidInstanceError("speeds must name at least one machine")
+    return speeds
+
+
+def parse_jobs(value: str | Sequence[Any], n: int, seed: int | None) -> list[int]:
+    """Processing requirements for ``n`` jobs.
+
+    ``"unit"`` (all ones), an explicit integer list, or one of the named
+    weight profiles from :func:`repro.analysis.suites.job_weight_profile`
+    (``"uniform"``, ``"heavy_tailed"``, ``"one_giant"``) drawn with the
+    entry's seed.
+    """
+    if isinstance(value, str):
+        if value == "unit":
+            return [1] * n
+        if value in JOB_PROFILES:
+            from repro.analysis.suites import job_weight_profile
+
+            return list(job_weight_profile(n, value, seed=seed))
+        raise InvalidInstanceError(
+            f"unknown jobs spec {value!r}; use 'unit', 'uniform', "
+            "'heavy_tailed', 'one_giant', or an integer list"
+        )
+    try:
+        return [int(x) for x in value]
+    except (TypeError, ValueError) as exc:
+        raise InvalidInstanceError(
+            f"invalid job list {value!r}: {exc}"
+        ) from exc

@@ -1,0 +1,171 @@
+"""Named processing-time models for ``R|G = bipartite|Cmax`` sweeps.
+
+Each model maps ``(graph, m, seed)`` to an ``m x n`` integer matrix
+``p_ij`` and wraps it in an :class:`~repro.scheduling.instance.UnrelatedInstance`.
+The families mirror the structured ``p_ij`` classes the experimental
+literature sweeps (iid, machine-correlated, restricted-assignment,
+two-point); all values stay integral so downstream ratios remain exact
+rationals.
+
+Models that key off a per-job base requirement (``correlated``,
+``restricted_assignment``) accept the spec entry's job vector ``p``;
+when absent they draw one from the seed, so every model is usable with
+nothing but a graph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.scheduling.instance import UnrelatedInstance
+from repro.utils.rng import ensure_rng
+
+__all__ = ["uniform_pij", "correlated", "restricted_assignment", "two_value"]
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise InvalidInstanceError(f"machine count must be >= 1, got {m}")
+
+
+def _base_jobs(
+    p: Sequence[int] | None, n: int, rng: np.random.Generator, hi: int = 20
+) -> list[int]:
+    """The per-job base requirement: the caller's ``p`` or a seeded draw."""
+    if p is None:
+        return [int(x) for x in rng.integers(1, hi + 1, size=n)]
+    if len(p) != n:
+        raise InvalidInstanceError(f"{len(p)} job requirements for {n} jobs")
+    if any(int(x) < 1 for x in p):
+        raise InvalidInstanceError("job requirements must be positive")
+    return [int(x) for x in p]
+
+
+def uniform_pij(
+    graph: BipartiteGraph,
+    m: int,
+    *,
+    lo: int = 1,
+    hi: int = 20,
+    seed=None,
+    p: Sequence[int] | None = None,  # accepted for interface uniformity
+) -> UnrelatedInstance:
+    """iid ``p_ij ~ U{lo..hi}`` — the fully unstructured baseline."""
+    _check_m(m)
+    if not (1 <= lo <= hi):
+        raise InvalidInstanceError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+    rng = ensure_rng(seed)
+    times = [[int(x) for x in rng.integers(lo, hi + 1, size=graph.n)] for _ in range(m)]
+    return UnrelatedInstance(graph, times)
+
+
+def correlated(
+    graph: BipartiteGraph,
+    m: int,
+    *,
+    p: Sequence[int] | None = None,
+    machine_lo: int = 1,
+    machine_hi: int = 5,
+    noise: int = 3,
+    seed=None,
+) -> UnrelatedInstance:
+    """``p_ij = a_i * b_j + e_ij``: machine effect x job effect plus jitter.
+
+    ``a_i ~ U{machine_lo..machine_hi}`` (a slow machine is slow for every
+    job), ``b_j`` is the caller's job vector (or a seeded ``U{1..20}``
+    draw), ``e_ij ~ U{0..noise}``.  With ``noise = 0`` the instance is a
+    uniform-machine instance in disguise — the regime where the graph-blind
+    LST bound is tightest.
+    """
+    _check_m(m)
+    if not (1 <= machine_lo <= machine_hi):
+        raise InvalidInstanceError(
+            f"need 1 <= machine_lo <= machine_hi, got [{machine_lo}, {machine_hi}]"
+        )
+    if noise < 0:
+        raise InvalidInstanceError(f"noise must be >= 0, got {noise}")
+    rng = ensure_rng(seed)
+    base = _base_jobs(p, graph.n, rng)
+    effects = [int(x) for x in rng.integers(machine_lo, machine_hi + 1, size=m)]
+    times = [
+        [
+            a * b + int(e)
+            for b, e in zip(base, rng.integers(0, noise + 1, size=graph.n))
+        ]
+        for a in effects
+    ]
+    return UnrelatedInstance(graph, times)
+
+
+def restricted_assignment(
+    graph: BipartiteGraph,
+    m: int,
+    *,
+    p: Sequence[int] | None = None,
+    allow_probability: float = 0.6,
+    sentinel: int | None = None,
+    seed=None,
+) -> UnrelatedInstance:
+    """``p_ij in {p_j, sentinel}`` — restricted assignment via a large sentinel.
+
+    Machine ``i`` is *eligible* for job ``j`` with probability
+    ``allow_probability`` (each job is forced eligible on at least one
+    seeded machine); ineligible pairs cost ``sentinel`` (default
+    ``m * sum(p) + 1``, dominating every eligible-only schedule) rather
+    than ``None`` so that every registered R-algorithm — including the
+    graph-blind LST rounding — still applies.
+    """
+    _check_m(m)
+    if not (0.0 <= allow_probability <= 1.0):
+        raise InvalidInstanceError(
+            f"allow_probability must be in [0, 1], got {allow_probability}"
+        )
+    rng = ensure_rng(seed)
+    base = _base_jobs(p, graph.n, rng)
+    big = m * sum(base) + 1 if sentinel is None else int(sentinel)
+    if big <= max(base):
+        raise InvalidInstanceError(
+            f"sentinel {big} must exceed every job requirement (max {max(base)})"
+        )
+    allowed = rng.random((m, graph.n)) < allow_probability
+    for j, forced in enumerate(rng.integers(0, m, size=graph.n)):
+        allowed[int(forced)][j] = True
+    times = [
+        [base[j] if allowed[i][j] else big for j in range(graph.n)]
+        for i in range(m)
+    ]
+    return UnrelatedInstance(graph, times)
+
+
+def two_value(
+    graph: BipartiteGraph,
+    m: int,
+    *,
+    low: int = 1,
+    high: int = 4,
+    high_probability: float = 0.3,
+    seed=None,
+    p: Sequence[int] | None = None,  # accepted for interface uniformity
+) -> UnrelatedInstance:
+    """``p_ij in {low, high}`` iid — the classical two-point hard case.
+
+    Two-value matrices are where the LP rounding gap of [18] is attained;
+    ``high_probability`` tunes how often the bad value appears.
+    """
+    _check_m(m)
+    if not (1 <= low < high):
+        raise InvalidInstanceError(f"need 1 <= low < high, got ({low}, {high})")
+    if not (0.0 <= high_probability <= 1.0):
+        raise InvalidInstanceError(
+            f"high_probability must be in [0, 1], got {high_probability}"
+        )
+    rng = ensure_rng(seed)
+    picks = rng.random((m, graph.n)) < high_probability
+    times = [
+        [high if picks[i][j] else low for j in range(graph.n)] for i in range(m)
+    ]
+    return UnrelatedInstance(graph, times)

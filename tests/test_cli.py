@@ -71,6 +71,51 @@ class TestGenerate:
                 + extra
             ) == 0
 
+    def test_unrelated_kind_with_model(self, tmp_path):
+        from repro.scheduling.instance import UnrelatedInstance
+
+        out_path = tmp_path / "r.json"
+        code = main(
+            [
+                "generate", "--family", "crown", "--n", "3",
+                "--kind", "unrelated", "--model", "two_value", "--m", "3",
+                "--seed", "5", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        inst = load_instance(out_path)
+        assert isinstance(inst, UnrelatedInstance)
+        assert inst.m == 3 and inst.n == 6
+
+    def test_single_job_value_without_comma(self, tmp_path):
+        """Regression: '--jobs 7' (no comma) must parse as a one-element
+        integer list, not be rejected as an unknown profile."""
+        out_path = tmp_path / "one.json"
+        assert main(
+            ["generate", "--family", "empty", "--n", "1", "--jobs", "7",
+             "--out", str(out_path)]
+        ) == 0
+        assert load_instance(out_path).p == (7,)
+
+    def test_named_jobs_profile(self, tmp_path):
+        out_path = tmp_path / "heavy.json"
+        assert main(
+            ["generate", "--family", "empty", "--n", "5", "--jobs",
+             "heavy_tailed", "--seed", "2", "--out", str(out_path)]
+        ) == 0
+        inst = load_instance(out_path)
+        assert len(inst.p) == 5
+
+    def test_malformed_speeds_is_a_diagnostic(self, tmp_path, capsys):
+        """Regression: bad --speeds used to escape as a raw ValueError
+        traceback instead of an 'error:' line and exit code 2."""
+        code = main(
+            ["generate", "--family", "path", "--n", "4", "--speeds", "fast,1",
+             "--out", str(tmp_path / "x.json")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestSolve:
     @pytest.fixture

@@ -1,0 +1,296 @@
+"""Tests for batch-spec v2 (``machines`` blocks) and the spec bugfixes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import InvalidInstanceError
+from repro.io import read_jsonl
+from repro.runtime import (
+    SPEC_FORMAT,
+    SPEC_FORMAT_V2,
+    BatchRunner,
+    expand_specs,
+    load_spec_file,
+)
+
+
+def v2_spec(instances, defaults=None):
+    data = {"format": SPEC_FORMAT_V2, "instances": instances}
+    if defaults is not None:
+        data["defaults"] = defaults
+    return data
+
+
+class TestV1Unchanged:
+    V1 = {
+        "format": SPEC_FORMAT,
+        "defaults": {"speeds": "2,1", "jobs": "unit"},
+        "instances": [
+            {"family": "crown", "n": 3, "count": 2},
+            {"family": "gnnp", "n": 4, "p": 0.2, "seed": 5},
+        ],
+    }
+
+    def test_v1_expansion_is_pinned(self):
+        """The exact v1 task list (names, kinds, machine data) a seed-era
+        file produced must survive the v2 extension."""
+        tasks = expand_specs(self.V1)
+        assert [t.name for t in tasks] == [
+            "crown-n3-s0", "crown-n3-s1", "gnnp-n4"
+        ]
+        assert all(t.payload["kind"] == "uniform_instance" for t in tasks)
+        assert all(t.payload["speeds"] == ["2/1", "1/1"] for t in tasks)
+
+    def test_v1_rejects_machines(self):
+        with pytest.raises(InvalidInstanceError, match="machines"):
+            expand_specs(
+                {
+                    "format": SPEC_FORMAT,
+                    "instances": [
+                        {"family": "path", "n": 4,
+                         "machines": {"kind": "unrelated"}}
+                    ],
+                }
+            )
+
+    def test_unknown_format_still_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unsupported spec format"):
+            expand_specs({"format": "repro/batch-spec/v9", "instances": [{}]})
+
+
+class TestV2Machines:
+    def test_unrelated_sweep_expands_to_unrelated_instances(self):
+        tasks = expand_specs(
+            v2_spec(
+                [{"family": "gnnp", "n": 5, "p": 0.2, "seed": 0, "count": 3}],
+                defaults={
+                    "machines": {"kind": "unrelated", "model": "correlated",
+                                 "m": 3}
+                },
+            )
+        )
+        assert len(tasks) == 3
+        assert all(t.payload["kind"] == "unrelated_instance" for t in tasks)
+        assert all(len(t.payload["times"]) == 3 for t in tasks)
+        assert [t.name for t in tasks] == [
+            "correlated/gnnp-n5-s0", "correlated/gnnp-n5-s1",
+            "correlated/gnnp-n5-s2",
+        ]
+
+    def test_sweep_is_deterministic_and_seed_varied(self):
+        spec = v2_spec(
+            [{"family": "gnnp", "n": 5, "p": 0.3, "seed": 2, "count": 2,
+              "machines": {"kind": "unrelated", "model": "uniform_pij"}}]
+        )
+        a, b = expand_specs(spec), expand_specs(spec)
+        assert [t.payload for t in a] == [t.payload for t in b]
+        assert a[0].payload != a[1].payload  # consecutive seeds differ
+
+    def test_worker_count_invariance(self):
+        tasks = expand_specs(
+            v2_spec(
+                [{"family": "gnnp", "n": 5, "p": 0.2, "seed": 0, "count": 4,
+                  "machines": {"kind": "unrelated", "model": "two_value",
+                               "m": 2}}]
+            )
+        )
+        sequential = BatchRunner(workers=1).run_to_list(tasks)
+        parallel = BatchRunner(workers=2).run_to_list(tasks)
+        key = lambda r: (r.index, r.name, r.key, r.chosen, r.makespan,
+                         r.lower_bound, r.ratio, r.feasible, r.error)
+        assert [key(r) for r in sequential] == [key(r) for r in parallel]
+
+    def test_uniform_profile_and_hardness_models(self):
+        tasks = expand_specs(
+            v2_spec(
+                [
+                    {"family": "crown", "n": 3,
+                     "machines": {"kind": "uniform", "profile": "geometric",
+                                  "m": 4}},
+                    {"family": "path", "n": 6,
+                     "machines": {"kind": "uniform", "model": "hardness_q",
+                                  "k": 1}},
+                    {"family": "path", "n": 6,
+                     "machines": {"kind": "unrelated", "model": "hardness_r",
+                                  "m": 3, "d": 30}},
+                ]
+            )
+        )
+        kinds = [t.payload["kind"] for t in tasks]
+        assert kinds == ["uniform_instance", "uniform_instance",
+                         "unrelated_instance"]
+        assert [t.name for t in tasks] == [
+            "geometric/crown-n3", "hardness_q/path-n6", "hardness_r/path-n6"
+        ]
+
+    def test_machines_rejected_on_inline_and_path_entries(self):
+        inline = {"name": "x", "instance": {"kind": "uniform_instance"},
+                  "machines": {"kind": "unrelated"}}
+        with pytest.raises(InvalidInstanceError, match="family"):
+            expand_specs(v2_spec([inline]))
+        with pytest.raises(InvalidInstanceError, match="family"):
+            expand_specs(v2_spec([{"path": "x.json",
+                                   "machines": {"kind": "unrelated"}}]))
+
+    def test_machines_plus_entry_speeds_is_an_error(self):
+        with pytest.raises(InvalidInstanceError, match="speeds"):
+            expand_specs(
+                v2_spec(
+                    [{"family": "path", "n": 4, "speeds": "2,1",
+                      "machines": {"kind": "unrelated"}}]
+                )
+            )
+
+    def test_default_model_is_labelled_uniform_pij(self):
+        """Regression: an unrelated block without 'model' builds
+        uniform_pij, so its task-name tag must say so (not 'unrelated')."""
+        (task,) = expand_specs(
+            v2_spec([{"family": "path", "n": 4,
+                      "machines": {"kind": "unrelated", "m": 2}}])
+        )
+        assert task.name == "uniform_pij/path-n4"
+
+    def test_omitted_jobs_keeps_seeded_base_draw(self):
+        """Regression: entries without 'jobs' must pass p=None so models
+        like correlated keep their documented seeded U{1..20} base draw
+        instead of collapsing to all-ones job effects."""
+        machines = {"kind": "unrelated", "model": "correlated", "m": 2,
+                    "noise": 0}
+        (drawn,) = expand_specs(
+            v2_spec([{"family": "empty", "n": 6, "machines": machines}])
+        )
+        (unit,) = expand_specs(
+            v2_spec([{"family": "empty", "n": 6, "jobs": "unit",
+                      "machines": machines}])
+        )
+        # unit jobs: every row is constant (a_i * 1); the seeded draw is not
+        assert all(len(set(row)) == 1 for row in unit.payload["times"])
+        assert any(len(set(row)) > 1 for row in drawn.payload["times"])
+
+    def test_entry_machines_overrides_defaults(self):
+        tasks = expand_specs(
+            v2_spec(
+                [
+                    {"family": "path", "n": 4},
+                    {"family": "path", "n": 4,
+                     "machines": {"kind": "uniform", "speeds": "5,1"}},
+                ],
+                defaults={"machines": {"kind": "unrelated", "m": 2}},
+            )
+        )
+        assert tasks[0].payload["kind"] == "unrelated_instance"
+        assert tasks[1].payload["kind"] == "uniform_instance"
+        assert tasks[1].payload["speeds"] == ["5/1", "1/1"]
+
+
+class TestSpecBugfixRegressions:
+    def test_malformed_speeds_is_a_diagnostic(self):
+        """Regression: a bad speed string in a spec raised a raw
+        ValueError ('Invalid literal for Fraction') instead of an
+        InvalidInstanceError diagnostic."""
+        for bad in ("", "1,,2", "1/0"):
+            with pytest.raises(InvalidInstanceError):
+                expand_specs(
+                    {"instances": [{"family": "path", "n": 3, "speeds": bad}]}
+                )
+
+    def test_malformed_jobs_is_a_diagnostic(self):
+        with pytest.raises(InvalidInstanceError):
+            expand_specs(
+                {"instances": [{"family": "path", "n": 3, "jobs": ["x"]}]}
+            )
+
+    def test_overlapping_family_entries_get_unique_names(self):
+        """Regression: two identical family entries emitted colliding
+        task names, making JSONL result rows ambiguous."""
+        entry = {"family": "path", "n": 4, "count": 2, "seed": 0}
+        tasks = expand_specs({"instances": [dict(entry), dict(entry)]})
+        names = [t.name for t in tasks]
+        assert len(set(names)) == 4
+        assert names == [
+            "path-n4-s0-e0", "path-n4-s1-e0", "path-n4-s0-e1", "path-n4-s1-e1"
+        ]
+
+    def test_non_overlapping_names_stay_unsuffixed(self):
+        tasks = expand_specs(
+            {"instances": [
+                {"family": "path", "n": 4},
+                {"family": "crown", "n": 4},
+            ]}
+        )
+        assert [t.name for t in tasks] == ["path-n4", "crown-n4"]
+
+    def test_explicit_name_collision_disambiguated(self):
+        tasks = expand_specs(
+            {"instances": [
+                {"family": "path", "n": 4, "name": "same"},
+                {"family": "crown", "n": 4, "name": "same"},
+            ]}
+        )
+        assert [t.name for t in tasks] == ["same-e0", "same-e1"]
+
+    def test_shape_keys_in_defaults_rejected(self):
+        """Regression: 'family' (or 'instance'/'path') in defaults silently
+        shadowed every entry's own shape selection."""
+        for shape in ({"family": "path"}, {"instance": {}}, {"path": "x.json"}):
+            with pytest.raises(InvalidInstanceError, match="defaults"):
+                expand_specs(
+                    {"defaults": shape,
+                     "instances": [{"family": "crown", "n": 4}]}
+                )
+
+
+class TestV2EndToEnd:
+    @pytest.fixture
+    def v2_spec_path(self, tmp_path):
+        path = tmp_path / "spec_v2.json"
+        path.write_text(
+            json.dumps(
+                v2_spec(
+                    [
+                        {"family": "gnnp", "n": 5, "p": 0.2, "seed": 0,
+                         "count": 2},
+                        # identical replica of seed 0 above: exercises dedup
+                        {"family": "gnnp", "n": 5, "p": 0.2, "seed": 0},
+                    ],
+                    defaults={
+                        "machines": {"kind": "unrelated",
+                                     "model": "correlated", "m": 2}
+                    },
+                )
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_batch_cli_runs_v2_with_cache_and_dedup(
+        self, v2_spec_path, tmp_path, capsys
+    ):
+        out = tmp_path / "results.jsonl"
+        cache = tmp_path / "cache.jsonl"
+        args = ["batch", str(v2_spec_path), "--out", str(out),
+                "--cache", str(cache)]
+        assert main(args) == 0
+        stdout = capsys.readouterr().out
+        assert "3 instances (2 solved, 1 cached" in stdout
+        assert "per-algorithm summary" in stdout
+        records = read_jsonl(out)
+        assert len(records) == 3
+        assert all(r["instance_kind"] == "unrelated_instance" for r in records)
+        # warm rerun: the persistent cache serves everything
+        assert main(["batch", str(v2_spec_path), "--cache", str(cache),
+                     "--no-summary"]) == 0
+        assert "(0 solved, 3 cached" in capsys.readouterr().out
+
+    def test_per_model_aggregation_of_v2_results(self, v2_spec_path):
+        from repro.analysis.suites import summarize_models
+
+        results = BatchRunner().run_to_list(load_spec_file(v2_spec_path))
+        rows = summarize_models(results)
+        assert len(rows) == 1
+        model, algorithm, count = rows[0][0], rows[0][1], rows[0][2]
+        assert model == "correlated"
+        assert algorithm == results[0].chosen
+        assert count == 3

@@ -176,3 +176,18 @@ class TestExplicitChoices:
                 continue  # graph-blind: returns check=False schedules
             schedule = solve(inst, algorithm=spec.name)
             assert schedule.makespan > 0
+
+    def test_two_machine_split_requires_two_machines(self):
+        """Regression: the *two-machine* split must not claim m = 1
+        edgeless instances — its name and Algorithm-1-fallback shape
+        promise two machines."""
+        one_machine = UniformInstance(generators.empty_graph(3), [1, 2, 3], [F(1)])
+        spec = ALGORITHMS["two_machine_split"]
+        assert not spec.applies(one_machine)
+        with pytest.raises(InvalidInstanceError, match="two_machine_split"):
+            solve(one_machine, algorithm="two_machine_split")
+        two_machines = UniformInstance(
+            generators.empty_graph(3), [1, 2, 3], [F(2), F(1)]
+        )
+        assert spec.applies(two_machines)
+        assert solve(two_machines, algorithm="two_machine_split").is_feasible()

@@ -1,0 +1,233 @@
+"""Tests for :mod:`repro.workloads` — scenario generation models."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators
+from repro.machines.profiles import geometric_speeds
+from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+from repro.solvers import solve
+from repro.workloads import (
+    UNRELATED_MODELS,
+    build_machines_instance,
+    build_unrelated_instance,
+    correlated,
+    hardness_q,
+    hardness_r,
+    parse_jobs,
+    parse_speeds,
+    restricted_assignment,
+    two_value,
+    uniform_pij,
+)
+
+GRAPH = generators.crown(4)  # 8 vertices, 12 edges
+
+
+class TestUnrelatedModels:
+    @pytest.mark.parametrize("model", sorted(set(UNRELATED_MODELS) - {"hardness_r"}))
+    def test_shape_and_positivity(self, model):
+        inst = build_unrelated_instance(GRAPH, model, 3, seed=7)
+        assert isinstance(inst, UnrelatedInstance)
+        assert inst.m == 3 and inst.n == GRAPH.n
+        assert all(t is not None and t > 0 for row in inst.times for t in row)
+
+    @pytest.mark.parametrize("model", sorted(UNRELATED_MODELS))
+    def test_deterministic_under_seed(self, model):
+        m = 3  # hardness_r needs m >= 3
+        a = build_unrelated_instance(GRAPH, model, m, seed=11)
+        b = build_unrelated_instance(GRAPH, model, m, seed=11)
+        c = build_unrelated_instance(GRAPH, model, m, seed=12)
+        assert a.times == b.times
+        assert a.times != c.times  # the families are genuinely random
+
+    def test_uniform_pij_respects_range(self):
+        inst = uniform_pij(GRAPH, 2, lo=5, hi=9, seed=0)
+        assert all(5 <= t <= 9 for row in inst.times for t in row)
+        with pytest.raises(InvalidInstanceError):
+            uniform_pij(GRAPH, 2, lo=9, hi=5)
+
+    def test_correlated_structure(self):
+        p = [3] * GRAPH.n
+        inst = correlated(GRAPH, 3, p=p, machine_lo=2, machine_hi=4, noise=0, seed=1)
+        # noise = 0: each row is a constant multiple a_i * p_j of the base
+        for row in inst.times:
+            assert len({t for t in row}) == 1
+            assert row[0] % 3 == 0 and 6 <= row[0] <= 12
+        with pytest.raises(InvalidInstanceError):
+            correlated(GRAPH, 2, noise=-1)
+
+    def test_restricted_assignment_values_and_coverage(self):
+        p = list(range(1, GRAPH.n + 1))
+        inst = restricted_assignment(GRAPH, 3, p=p, allow_probability=0.3, seed=5)
+        sentinel = 3 * sum(p) + 1
+        for j in range(GRAPH.n):
+            column = [inst.times[i][j] for i in range(3)]
+            assert all(t in (Fraction(p[j]), Fraction(sentinel)) for t in column)
+            # every job is eligible (non-sentinel) somewhere
+            assert any(t == Fraction(p[j]) for t in column)
+
+    def test_restricted_assignment_rejects_tiny_sentinel(self):
+        with pytest.raises(InvalidInstanceError):
+            restricted_assignment(GRAPH, 2, p=[9] * GRAPH.n, sentinel=4, seed=0)
+
+    def test_two_value_support(self):
+        inst = two_value(GRAPH, 2, low=2, high=7, high_probability=0.5, seed=3)
+        values = {t for row in inst.times for t in row}
+        assert values <= {Fraction(2), Fraction(7)}
+        with pytest.raises(InvalidInstanceError):
+            two_value(GRAPH, 2, low=5, high=5)
+
+    def test_unknown_model_and_bad_params(self):
+        with pytest.raises(InvalidInstanceError, match="unknown unrelated model"):
+            build_unrelated_instance(GRAPH, "nope", 2)
+        with pytest.raises(InvalidInstanceError, match="bad parameters"):
+            build_unrelated_instance(GRAPH, "two_value", 2, bogus=1)
+
+
+class TestAdversarialModels:
+    def test_hardness_r_matrix(self):
+        inst = hardness_r(GRAPH, d=50, m=4, seed=2)
+        assert isinstance(inst, UnrelatedInstance)
+        assert inst.m == 4 and inst.n == GRAPH.n
+        values = {t for row in inst.times for t in row}
+        assert values == {Fraction(1), Fraction(50)}
+        assert all(t == Fraction(50) for t in inst.times[3])  # machines 4.. pay d
+        # the instance is genuinely schedulable by the registered fallback
+        assert solve(inst, algorithm="r_color_split").is_feasible()
+
+    def test_hardness_r_default_gap_scales_with_n(self):
+        inst = hardness_r(GRAPH, seed=2)
+        assert Fraction(GRAPH.n * GRAPH.n) in {t for row in inst.times for t in row}
+
+    def test_hardness_q_geometry(self):
+        inst = hardness_q(GRAPH, k=2, m=3, seed=4)
+        assert isinstance(inst, UniformInstance)
+        assert inst.has_unit_jobs
+        assert inst.m == 3
+        # Theorem 8 speeds: 49k^2, 5k, 1
+        assert inst.speeds[:3] == (Fraction(196), Fraction(10), Fraction(1))
+        assert inst.n > GRAPH.n  # gadget vertices were attached
+
+    def test_hardness_q_deterministic(self):
+        a = hardness_q(GRAPH, seed=9)
+        b = hardness_q(GRAPH, seed=9)
+        assert a.n == b.n and a.speeds == b.speeds
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_hardness_needs_three_vertices(self):
+        with pytest.raises(InvalidInstanceError):
+            hardness_r(generators.empty_graph(2), seed=0)
+
+
+class TestMachinesBlock:
+    def test_unrelated_block(self):
+        inst = build_machines_instance(
+            GRAPH,
+            {"kind": "unrelated", "model": "two_value", "m": 3, "high": 9},
+            seed=1,
+        )
+        assert isinstance(inst, UnrelatedInstance) and inst.m == 3
+
+    def test_uniform_speeds_block(self):
+        inst = build_machines_instance(
+            GRAPH, {"kind": "uniform", "speeds": "3,3/2,1"}, p=[2] * GRAPH.n
+        )
+        assert isinstance(inst, UniformInstance)
+        assert inst.speeds == (Fraction(3), Fraction(3, 2), Fraction(1))
+        assert inst.p == tuple([2] * GRAPH.n)
+
+    def test_uniform_profile_block(self):
+        inst = build_machines_instance(
+            GRAPH, {"kind": "uniform", "profile": "geometric", "m": 4}
+        )
+        assert inst.speeds == geometric_speeds(4)
+        assert inst.has_unit_jobs  # p=None defaults to unit jobs
+
+    def test_uniform_hardness_q_block(self):
+        inst = build_machines_instance(
+            GRAPH, {"kind": "uniform", "model": "hardness_q", "k": 1}, seed=0
+        )
+        assert isinstance(inst, UniformInstance) and inst.m == 3
+
+    def test_bad_blocks(self):
+        with pytest.raises(InvalidInstanceError, match="kind"):
+            build_machines_instance(GRAPH, {"kind": "identical"})
+        with pytest.raises(InvalidInstanceError, match="JSON object"):
+            build_machines_instance(GRAPH, "unrelated")
+        with pytest.raises(InvalidInstanceError, match="'speeds' or 'profile'"):
+            build_machines_instance(GRAPH, {"kind": "uniform"})
+        with pytest.raises(InvalidInstanceError, match="not both"):
+            build_machines_instance(
+                GRAPH,
+                {"kind": "uniform", "speeds": "1,1", "profile": "identical"},
+            )
+        with pytest.raises(InvalidInstanceError, match="unknown speed profile"):
+            build_machines_instance(GRAPH, {"kind": "uniform", "profile": "warp"})
+        with pytest.raises(InvalidInstanceError, match="unknown uniform model"):
+            build_machines_instance(GRAPH, {"kind": "uniform", "model": "nope"})
+
+
+class TestParsing:
+    def test_parse_speeds_ok(self):
+        assert parse_speeds("1,3,3/2") == [Fraction(3), Fraction(3, 2), Fraction(1)]
+        assert parse_speeds([1, "2"]) == [Fraction(2), Fraction(1)]
+
+    def test_parse_speeds_diagnostics(self):
+        """Regression: malformed speeds raise InvalidInstanceError (a CLI
+        diagnostic), never a raw ValueError traceback."""
+        for bad in ("", "1,,2", "fast", "1/0"):
+            with pytest.raises(InvalidInstanceError):
+                parse_speeds(bad)
+        with pytest.raises(InvalidInstanceError):
+            parse_speeds([])
+
+    def test_parse_jobs_ok(self):
+        assert parse_jobs("unit", 3, None) == [1, 1, 1]
+        assert parse_jobs([1, "2", 3], 3, None) == [1, 2, 3]
+        drawn = parse_jobs("heavy_tailed", 5, 7)
+        assert drawn == parse_jobs("heavy_tailed", 5, 7)  # seeded
+        assert len(drawn) == 5
+
+    def test_parse_jobs_diagnostics(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_jobs("mystery", 3, None)
+        with pytest.raises(InvalidInstanceError):
+            parse_jobs(["x"], 1, None)
+
+
+class TestSuiteIntegration:
+    def test_unrelated_workload_suite_names_and_determinism(self):
+        from repro.analysis.suites import unrelated_workload_suite
+
+        suite = unrelated_workload_suite(n=6, m=2, seeds=2, seed=0)
+        names = [name for name, _ in suite]
+        assert len(names) == len(set(names))
+        assert all("/" in name for name in names)
+        again = unrelated_workload_suite(n=6, m=2, seeds=2, seed=0)
+        assert [inst.times for _, inst in suite] == [
+            inst.times for _, inst in again
+        ]
+
+    def test_summarize_models_groups_by_prefix(self):
+        from repro.analysis.suites import (
+            model_ratio_table,
+            summarize_models,
+            unrelated_workload_suite,
+            workload_model_of,
+        )
+        from repro.runtime import BatchRunner
+
+        assert workload_model_of("two_value/path-n6-s0") == "two_value"
+        assert workload_model_of("unprefixed") == "?"
+        suite = unrelated_workload_suite(
+            n=6, m=2, models=("two_value", "uniform_pij"),
+            graph_families=("path",), seeds=1,
+        )
+        results = BatchRunner().run_to_list(suite)
+        rows = summarize_models(results)
+        assert [row[0] for row in rows] == ["two_value", "uniform_pij"]
+        table = model_ratio_table(results, title="t")
+        assert "two_value" in table and "worst ratio" in table
