@@ -1,0 +1,96 @@
+"""E11 (E-cert) — certification sweep: schedule audits + guarantee checks.
+
+Drives :func:`repro.analysis.suites.certification_suite` (workload
+models x graph families, both machine environments) through the
+guarantee auditor (:mod:`repro.certify.auditor`): every applicable
+registered algorithm runs on every instance, each schedule is audited
+end-to-end over exact rationals, and observed ratios are compared
+against the declared guarantees with exact-oracle ground truth where
+tractable.  The sweep must report **zero** conflict / eligibility /
+guarantee violations — any `violated` or `infeasible_output` row is a
+bug in either an algorithm, the dispatch policy, or the paper-claim
+encoding, and fails the run.
+
+A second experiment pins the oracle itself: the pruned branch-and-bound
+(:func:`repro.certify.certified_optimal`) must agree with the naive
+``brute_force_optimal`` on everything the latter can reach.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI smoke shape (tiny ``n``, fewer
+families) — the point of that run is that the certification pipeline
+cannot silently rot, not the numbers.
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis.suites import certification_suite, violation_table
+from repro.certify import (
+    VIOLATION_STATUSES,
+    audit_guarantees,
+    certified_optimal,
+)
+from repro.scheduling.brute_force import brute_force_makespan
+
+from benchmarks._common import emit_table
+from tests.conftest import random_r2, random_uniform_instance
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N = 5 if SMOKE else 10
+SEEDS = 1 if SMOKE else 2
+FAMILIES = ("gnnp", "path") if SMOKE else ("gnnp", "path", "crown", "matching", "empty")
+ORACLE_MAX_N = 12 if SMOKE else 16
+ORACLE_TRIALS = 10 if SMOKE else 40
+
+
+def test_e11_certification_sweep(benchmark):
+    """Every dispatched algorithm, audited: zero violations required."""
+
+    def build():
+        suite = certification_suite(
+            n=N, seeds=SEEDS, graph_families=FAMILIES, seed=0
+        )
+        return suite, audit_guarantees(suite, oracle_max_n=ORACLE_MAX_N)
+
+    suite, rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert suite and rows
+    violations = [r for r in rows if r.status in VIOLATION_STATUSES]
+    assert not violations, [r.to_dict() for r in violations]
+    # every audited certificate that exists and isn't graph-blind-by-design
+    # recomputed a makespan
+    assert all(
+        r.certificate is None or r.certificate.recomputed_makespan is not None
+        for r in rows
+        if r.status != "error"
+    )
+    emit_table(
+        "E11_certification",
+        violation_table(
+            rows,
+            title=f"E11: certification sweep ({len(suite)} instances, "
+            f"{len(rows)} audits, 0 violations required)",
+        ),
+    )
+
+
+def test_e11_oracle_matches_brute_force(benchmark):
+    """The pruned oracle and the naive brute force agree exactly."""
+
+    def build():
+        rng = np.random.default_rng(0xCE47)
+        pairs = []
+        for _ in range(ORACLE_TRIALS):
+            inst = random_uniform_instance(rng)
+            pairs.append((brute_force_makespan(inst), certified_optimal(inst)))
+        for _ in range(ORACLE_TRIALS // 2):
+            inst = random_r2(rng)
+            pairs.append((brute_force_makespan(inst), certified_optimal(inst)))
+        return pairs
+
+    pairs = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert pairs
+    assert all(naive == oracle.makespan for naive, oracle in pairs)
+    assert all(
+        oracle.proof in ("bound-tight", "search-exhausted")
+        for _, oracle in pairs
+    )

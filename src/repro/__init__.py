@@ -33,8 +33,10 @@ from repro.exceptions import (
     ReproError,
     NotBipartiteError,
     InfeasibleInstanceError,
+    BoundExcludedError,
     InvalidInstanceError,
     InvalidScheduleError,
+    CacheCollisionError,
 )
 from repro.graphs import (
     BipartiteGraph,
@@ -80,7 +82,7 @@ from repro.core import (
 from repro.hardness import theorem8_reduction, theorem24_reduction
 from repro.random_graphs import gnnp
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # imported below the paper-facing API so the registry sees every algorithm
 from repro.core import (
@@ -109,13 +111,25 @@ from repro.workloads import (
     build_machines_instance,
     build_unrelated_instance,
 )
+from repro.certify import (
+    AuditRow,
+    CertificateReport,
+    OracleResult,
+    VIOLATION_STATUSES,
+    audit_guarantees,
+    audit_instance,
+    certified_optimal,
+    certify_schedule,
+)
 
 __all__ = [
     "ReproError",
     "NotBipartiteError",
     "InfeasibleInstanceError",
+    "BoundExcludedError",
     "InvalidInstanceError",
     "InvalidScheduleError",
+    "CacheCollisionError",
     "BipartiteGraph",
     "connected_components",
     "proper_two_coloring",
@@ -177,5 +191,13 @@ __all__ = [
     "UNRELATED_MODELS",
     "build_machines_instance",
     "build_unrelated_instance",
+    "AuditRow",
+    "CertificateReport",
+    "OracleResult",
+    "VIOLATION_STATUSES",
+    "audit_guarantees",
+    "audit_instance",
+    "certified_optimal",
+    "certify_schedule",
     "__version__",
 ]

@@ -35,11 +35,14 @@ __all__ = [
     "random_r2_instance",
     "standard_uniform_suite",
     "unrelated_workload_suite",
+    "certification_suite",
     "workload_model_of",
     "summarize_batch",
     "summarize_models",
     "batch_summary_table",
     "model_ratio_table",
+    "violation_table",
+    "certification_summary",
 ]
 
 WeightKind = Literal["unit", "uniform", "heavy_tailed", "one_giant"]
@@ -250,6 +253,78 @@ def model_ratio_table(results: Iterable[Any], title: str | None = None) -> str:
     )
 
 
+def _as_audit_dict(row: Any) -> dict[str, Any]:
+    """Accept ``repro.certify.AuditRow`` objects or their dicts alike."""
+    if isinstance(row, dict):
+        return row
+    to_dict = getattr(row, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(f"cannot summarise {type(row).__name__} as an audit row")
+
+
+def certification_summary(rows: Iterable[Any]) -> list[list[Any]]:
+    """Per-(algorithm, status) aggregate rows for an audit sweep.
+
+    Each row: ``[algorithm, status, count, worst ratio]`` sorted by
+    algorithm then status; the ratio column is the worst observed
+    makespan/OPT (falling back to makespan/lower-bound) quotient in the
+    group.
+    """
+    grouped: dict[tuple[str, str], dict[str, Any]] = {}
+    for raw in rows:
+        record = _as_audit_dict(raw)
+        key = (str(record.get("algorithm", "?")), str(record.get("status", "?")))
+        agg = grouped.setdefault(key, {"count": 0, "ratios": []})
+        agg["count"] += 1
+        ratio = record.get("ratio")
+        if ratio is not None:
+            agg["ratios"].append(float(ratio))
+    return [
+        [
+            *key,
+            agg["count"],
+            max(agg["ratios"]) if agg["ratios"] else float("nan"),
+        ]
+        for key, agg in sorted(grouped.items())
+    ]
+
+
+def violation_table(rows: Iterable[Any], title: str | None = None) -> str:
+    """Render an audit sweep: the violating rows, else a clean summary.
+
+    When any row carries a violation status (``violated`` /
+    ``infeasible_output``), those rows are listed individually with
+    their details; otherwise the per-(algorithm, status) summary from
+    :func:`certification_summary` is rendered.
+    """
+    from repro.analysis.tables import format_table
+    from repro.certify import VIOLATION_STATUSES
+
+    records = [_as_audit_dict(row) for row in rows]
+    bad = [r for r in records if r.get("status") in VIOLATION_STATUSES]
+    if bad:
+        return format_table(
+            ["instance", "algorithm", "status", "ratio", "detail"],
+            [
+                [
+                    r.get("name", "?"),
+                    r.get("algorithm", "?"),
+                    r.get("status", "?"),
+                    r.get("ratio"),
+                    r.get("detail", ""),
+                ]
+                for r in bad
+            ],
+            title=title or f"{len(bad)} guarantee/certification VIOLATION(S)",
+        )
+    return format_table(
+        ["algorithm", "status", "count", "worst ratio"],
+        certification_summary(records),
+        title=title or f"certification sweep clean ({len(records)} audits)",
+    )
+
+
 def random_r2_instance(
     n: int,
     edge_probability: float = 0.15,
@@ -273,6 +348,53 @@ DEFAULT_UNRELATED_MODELS = (
     "restricted_assignment",
     "two_value",
 )
+
+
+def certification_suite(
+    n: int = 10,
+    m: int = 3,
+    graph_families: tuple[str, ...] = ("gnnp", "path", "crown", "matching", "empty"),
+    models: tuple[str, ...] = DEFAULT_UNRELATED_MODELS,
+    uniform_profiles: tuple[str, ...] = ("identical", "geometric"),
+    weight_kinds: tuple[str, ...] = ("unit", "uniform"),
+    seeds: int = 1,
+    seed: int = 0,
+) -> list[tuple[str, Any]]:
+    """Named instances for guarantee-violation sweeps (``repro certify``).
+
+    Crosses the graph families with both machine environments: uniform
+    instances (each speed profile x job-weight kind) and unrelated
+    instances (each :mod:`repro.workloads` ``p_ij`` model, at ``m = 2``
+    so the R2 algorithms are exercised, plus the given ``m``).  Small
+    ``n`` by design — every instance should sit inside the exact
+    oracle's reach so the auditor can compare against proven optima.
+    Deterministic: cell ``(family, ..., r)`` uses integer seed
+    ``seed + r`` throughout, so growing the sweep never perturbs
+    existing cells.
+    """
+    from repro.runtime.specs import build_family_graph
+    from repro.workloads import UNIFORM_PROFILES, build_unrelated_instance
+
+    out: list[tuple[str, Any]] = []
+    for family in graph_families:
+        for replica in range(seeds):
+            s = seed + replica
+            graph = build_family_graph(family, n, seed=s)
+            for profile in uniform_profiles:
+                speeds = UNIFORM_PROFILES[profile](m)
+                for kind in weight_kinds:
+                    p = job_weight_profile(graph.n, kind, s)
+                    out.append(
+                        (
+                            f"Q/{profile}/{kind}/{family}-n{n}-s{s}",
+                            UniformInstance(graph, p, sorted(speeds, reverse=True)),
+                        )
+                    )
+            for model in models:
+                for mm in sorted({2, m}):
+                    inst = build_unrelated_instance(graph, model, mm, seed=s)
+                    out.append((f"R/{model}/m{mm}/{family}-n{n}-s{s}", inst))
+    return out
 
 
 def unrelated_workload_suite(

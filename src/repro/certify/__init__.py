@@ -1,0 +1,52 @@
+"""Correctness certification: audits, an exact oracle, guarantee sweeps.
+
+Every approximation claim the reproduction makes (Theorem 4's exact
+``Q2`` algorithm, Theorem 9's ``sqrt(sum p_j)`` ratio, Algorithm 5's
+FPTAS) is only as trustworthy as the machinery that checks produced
+schedules against ground truth.  This package is that machinery:
+
+* **validators** — :func:`certify_schedule` audits any
+  :class:`~repro.scheduling.schedule.Schedule` end-to-end over exact
+  rationals (conflict edges, ``p_ij = None`` eligibility, independent
+  makespan recomputation, lower-bound cross-check) and returns a
+  machine-readable :class:`CertificateReport`;
+* **oracle** — :func:`certified_optimal`, a branch-and-bound that seeds
+  its incumbent from the dispatcher, prunes with partial-assignment
+  capacity bounds and per-component branching, and proves optimality
+  well past the naive brute force's reach;
+* **auditor** — :func:`audit_guarantees` sweeps registered
+  :class:`~repro.solvers.AlgorithmSpec`\\ s across instance suites,
+  compares observed ratios against the declared guarantees, and reports
+  violations (``repro certify`` on the command line;
+  ``benchmarks/bench_certify.py`` in CI).
+"""
+
+from repro.certify.auditor import (
+    VIOLATION_STATUSES,
+    AuditRow,
+    audit_guarantees,
+    audit_instance,
+)
+from repro.certify.oracle import (
+    OracleResult,
+    certified_optimal,
+    certified_optimal_makespan,
+)
+from repro.certify.validators import (
+    CertificateReport,
+    certify_schedule,
+    instance_lower_bound,
+)
+
+__all__ = [
+    "CertificateReport",
+    "certify_schedule",
+    "instance_lower_bound",
+    "OracleResult",
+    "certified_optimal",
+    "certified_optimal_makespan",
+    "AuditRow",
+    "VIOLATION_STATUSES",
+    "audit_instance",
+    "audit_guarantees",
+]

@@ -16,7 +16,13 @@ Commands
 ``batch``
     Expand a batch spec file and run every instance through the
     :mod:`repro.runtime` engine (worker pool, dedup, result cache),
-    streaming JSONL results and printing a per-algorithm summary.
+    streaming JSONL results and printing a per-algorithm summary;
+    ``--certify`` audits every schedule through :mod:`repro.certify`.
+``certify``
+    Sweep the algorithm registry across workload models and graph
+    families, audit every schedule, compare ratios against declared
+    guarantees (exact-oracle ground truth where tractable), and exit
+    non-zero on any violation.
 ``experiment``
     Re-run one experiment (E1..) by invoking its benchmark file through
     pytest.
@@ -146,6 +152,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-summary", action="store_true",
         help="skip the per-algorithm summary table",
     )
+    bat.add_argument(
+        "--certify", action="store_true",
+        help="audit every schedule through repro.certify and store "
+        "certificates on the result records",
+    )
+
+    cert = sub.add_parser(
+        "certify",
+        help="sweep the algorithm registry for guarantee violations "
+        "(schedule audits + exact-oracle ground truth)",
+    )
+    cert.add_argument("--n", type=int, default=10, help="instance size parameter")
+    cert.add_argument("--m", type=int, default=3, help="machine count")
+    cert.add_argument("--seeds", type=int, default=1, help="replicas per cell")
+    cert.add_argument("--seed", type=int, default=0, help="base seed")
+    cert.add_argument(
+        "--oracle-max-n", type=int, default=14,
+        help="largest n ground truth is computed for (exact oracle)",
+    )
+    cert.add_argument(
+        "--algorithms", type=str, default=None,
+        help="comma-separated algorithm subset (default: every applicable)",
+    )
+    cert.add_argument("--out", type=str, default=None, help="audit rows JSONL path")
 
     exp = sub.add_parser("experiment", help="re-run one experiment (E1, E2, ...)")
     exp.add_argument("experiment_id", type=str, help="experiment id, e.g. E3")
@@ -251,6 +281,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunk_jobs=args.chunk_jobs,
         cache=args.cache,
+        certify=args.certify,
     )
     start = time.perf_counter()
     results = []
@@ -282,6 +313,43 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
         print(batch_summary_table(results, title="per-algorithm summary"))
     return 1 if stats.errors else 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.analysis.suites import certification_suite, violation_table
+    from repro.certify import VIOLATION_STATUSES, audit_guarantees
+    from repro.io import write_jsonl
+    from repro.solvers import ALGORITHMS
+
+    suite = certification_suite(
+        n=args.n, m=args.m, seeds=args.seeds, seed=args.seed
+    )
+    algorithms = (
+        None
+        if args.algorithms is None
+        else tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+    )
+    if algorithms is not None:
+        unknown = sorted(set(algorithms) - set(ALGORITHMS))
+        if unknown:
+            # a typo must not read as "certification sweep clean (0 audits)"
+            known = ", ".join(sorted(ALGORITHMS))
+            raise ReproError(
+                f"unknown algorithm(s) {unknown}; known: {known}"
+            )
+    rows = audit_guarantees(
+        suite, algorithms=algorithms, oracle_max_n=args.oracle_max_n
+    )
+    if args.out:
+        write_jsonl((row.to_dict() for row in rows), args.out)
+        print(f"{len(rows)} audit rows written to {args.out}")
+    print(violation_table(rows))
+    violations = [r for r in rows if r.status in VIOLATION_STATUSES]
+    print(
+        f"certify: {len(suite)} instances, {len(rows)} audits, "
+        f"{len(violations)} violation(s)"
+    )
+    return 1 if violations else 0
 
 
 def _cmd_experiment(experiment_id: str) -> int:
@@ -349,6 +417,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_structure(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "certify":
+            return _cmd_certify(args)
         if args.command == "experiment":
             return _cmd_experiment(args.experiment_id)
         if args.command == "report":

@@ -10,8 +10,10 @@ __all__ = [
     "ReproError",
     "NotBipartiteError",
     "InfeasibleInstanceError",
+    "BoundExcludedError",
     "InvalidInstanceError",
     "InvalidScheduleError",
+    "CacheCollisionError",
 ]
 
 
@@ -37,9 +39,33 @@ class InfeasibleInstanceError(ReproError):
     """
 
 
+class BoundExcludedError(InfeasibleInstanceError):
+    """Raised when a *seeded* upper bound excluded every schedule.
+
+    Exact search with an incumbent bound (``brute_force_optimal(...,
+    upper_bound=...)``) cannot tell "no feasible schedule exists" apart
+    from "no schedule beats the bound" without this distinction: the
+    former is a property of the instance, the latter merely certifies
+    the seed was already optimal.  Subclasses
+    :exc:`InfeasibleInstanceError` so existing blanket handlers keep
+    working, but callers seeding incumbents (``repro.certify``'s oracle)
+    must catch this first and not misreport feasible instances.
+    """
+
+
 class InvalidInstanceError(ReproError):
     """Raised when instance data is malformed (shapes, signs, ranges)."""
 
 
 class InvalidScheduleError(ReproError):
     """Raised when a schedule fails validation against its instance."""
+
+
+class CacheCollisionError(ReproError):
+    """Raised when a result cache key is re-stored with different data.
+
+    Task keys are content hashes over (version, algorithm, instance), so
+    two *different* records under one key mean either a serialisation
+    drift or a poisoned cache file — exactly the class of silent
+    mismatch the certification subsystem exists to surface.
+    """

@@ -33,18 +33,11 @@ from pathlib import Path
 from time import perf_counter
 from typing import Any, Iterable, Iterator, NamedTuple
 
+from repro.certify.validators import instance_lower_bound
 from repro.exceptions import InvalidInstanceError, ReproError
 from repro.io import dump_jsonl_line, instance_from_dict, instance_to_dict
 from repro.runtime.cache import ResultCache, task_key
-from repro.scheduling.bounds import (
-    uniform_capacity_lower_bound,
-    unrelated_lower_bound,
-)
-from repro.scheduling.instance import (
-    SchedulingInstance,
-    UniformInstance,
-    UnrelatedInstance,
-)
+from repro.scheduling.instance import SchedulingInstance
 from repro.solvers import auto_choice, solve
 
 __all__ = [
@@ -64,12 +57,16 @@ class BatchTask(NamedTuple):
     ``payload`` is the canonical JSON dict of
     :func:`repro.io.instance_to_dict` — keeping tasks as plain data makes
     them cheap to hash, pickle to workers, and load from spec files.
-    ``algorithm=None`` defers to the runner's default.
+    ``algorithm=None`` defers to the runner's default.  ``certify=True``
+    audits the produced schedule through :mod:`repro.certify` and stores
+    the certificate in the result record (the runner's own ``certify``
+    flag turns this on batch-wide).
     """
 
     name: str
     payload: dict[str, Any]
     algorithm: str | None = None
+    certify: bool = False
 
 
 def _frac_str(value: Fraction | None) -> str | None:
@@ -108,6 +105,7 @@ class BatchResult:
     wall_time_s: float
     cached: bool = False
     error: str | None = None
+    certificate: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSONL-ready record (rationals as ``"num/den"`` strings)."""
@@ -130,6 +128,7 @@ class BatchResult:
             "wall_time_s": self.wall_time_s,
             "cached": self.cached,
             "error": self.error,
+            "certificate": self.certificate,
         }
 
     @classmethod
@@ -156,6 +155,7 @@ class BatchResult:
             wall_time_s=float(data.get("wall_time_s", 0.0)),
             cached=bool(data.get("cached", False)),
             error=data.get("error"),
+            certificate=data.get("certificate"),
         )
 
 
@@ -174,22 +174,19 @@ class BatchStats:
     wall_time_s: float = 0.0
 
 
-def _instance_lower_bound(instance: SchedulingInstance) -> Fraction | None:
-    """The strongest cheap exact lower bound for the environment."""
-    if isinstance(instance, UniformInstance):
-        return uniform_capacity_lower_bound(instance)
-    if isinstance(instance, UnrelatedInstance):
-        return unrelated_lower_bound(instance)
-    return None
-
-
-def _solve_task(task: tuple[str, dict[str, Any], str]) -> tuple[str, dict[str, Any]]:
+def _solve_task(
+    task: tuple[str, dict[str, Any], str, bool]
+) -> tuple[str, dict[str, Any]]:
     """Worker entry point: solve one deduplicated task.
 
     Must stay module-level (picklable).  Returns the cache-shape record;
-    the driver stamps per-submission fields (index, name, cached).
+    the driver stamps per-submission fields (index, name, cached).  With
+    the certify flag set, the schedule is audited through
+    :func:`repro.certify.certify_schedule` and the certificate dict is
+    stored on the record (certification time is not billed to the
+    solver's ``wall_time_s``).
     """
-    key, payload, algorithm = task
+    key, payload, algorithm, certify = task
     instance = instance_from_dict(payload)
     record: dict[str, Any] = {
         "format": RESULT_FORMAT,
@@ -210,6 +207,7 @@ def _solve_task(task: tuple[str, dict[str, Any], str]) -> tuple[str, dict[str, A
         "wall_time_s": 0.0,
         "cached": False,
         "error": None,
+        "certificate": None,
     }
     try:
         chosen = auto_choice(instance) if algorithm == "auto" else algorithm
@@ -222,10 +220,16 @@ def _solve_task(task: tuple[str, dict[str, Any], str]) -> tuple[str, dict[str, A
         return key, record
     record["feasible"] = schedule.is_feasible()
     record["makespan"] = _frac_str(schedule.makespan)
-    lower = _instance_lower_bound(instance)
+    lower = instance_lower_bound(instance)
     record["lower_bound"] = _frac_str(lower)
     if lower is not None and lower > 0 and schedule.makespan is not None:
         record["ratio"] = float(schedule.makespan / lower)
+    if certify:
+        from repro.certify import certify_schedule
+
+        record["certificate"] = certify_schedule(
+            schedule, algorithm=chosen
+        ).to_dict()
     return key, record
 
 
@@ -246,6 +250,13 @@ class BatchRunner:
     cache:
         ``None`` (dedup only within the run), a path (JSONL-backed
         persistent cache), or a ready :class:`ResultCache`.
+    certify:
+        Audit every produced schedule through :mod:`repro.certify` and
+        store the certificate on the result record (per-task
+        ``BatchTask.certify`` flags opt individual items in without
+        this batch-wide switch).  Certify tasks hash to different cache
+        keys than plain solves, so warm non-certify caches are never
+        answered with (or poisoned by) certificate-carrying records.
 
     Accepted input items (mixable within one iterable):
 
@@ -261,6 +272,7 @@ class BatchRunner:
         workers: int = 1,
         chunk_jobs: int = 256,
         cache: ResultCache | str | Path | None = None,
+        certify: bool = False,
     ) -> None:
         if workers < 1:
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
@@ -269,6 +281,7 @@ class BatchRunner:
         self.algorithm = algorithm
         self.workers = workers
         self.chunk_jobs = chunk_jobs
+        self.certify = certify
         if isinstance(cache, ResultCache):
             self.cache = cache
         else:
@@ -331,16 +344,17 @@ class BatchRunner:
         pool: multiprocessing.pool.Pool | None,
     ) -> Iterator[BatchResult]:
         prepared: list[tuple[int, BatchTask, str, bool]] = []
-        to_solve: list[tuple[str, dict[str, Any], str]] = []
+        to_solve: list[tuple[str, dict[str, Any], str, bool]] = []
         scheduled: set[str] = set()
         for index, item in chunk:
             task = self._normalize(item, index)
             algorithm = task.algorithm or self.algorithm
-            key = task_key(task.payload, algorithm)
+            certify = task.certify or self.certify
+            key = task_key(task.payload, algorithm, certify=certify)
             fresh = key not in self.cache and key not in scheduled
             if fresh:
                 scheduled.add(key)
-                to_solve.append((key, task.payload, algorithm))
+                to_solve.append((key, task.payload, algorithm, certify))
             prepared.append((index, task, key, fresh))
 
         if to_solve:

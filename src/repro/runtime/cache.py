@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.exceptions import CacheCollisionError
 from repro.io import append_jsonl
 
 __all__ = ["canonical_instance_payload", "task_key", "ResultCache"]
@@ -30,13 +31,17 @@ def canonical_instance_payload(payload: dict[str, Any]) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def task_key(payload: dict[str, Any], algorithm: str) -> str:
+def task_key(payload: dict[str, Any], algorithm: str, certify: bool = False) -> str:
     """Content hash identifying one (instance, algorithm) solve task.
 
     The package version participates in the hash: solver behaviour and
     the ``auto`` dispatch policy are code, so a persistent cache written
     by one release must not answer for another.  Imported lazily to
     avoid a cycle (``repro/__init__`` imports this package).
+
+    ``certify`` tasks carry extra certificate fields in their records,
+    so they hash apart from plain solves of the same instance (keys of
+    non-certify tasks are unchanged from earlier releases).
     """
     from repro import __version__
 
@@ -45,6 +50,8 @@ def task_key(payload: dict[str, Any], algorithm: str) -> str:
     digest.update(b"\x00")
     digest.update(algorithm.encode("utf-8"))
     digest.update(b"\x00")
+    if certify:
+        digest.update(b"certify\x00")
     digest.update(canonical_instance_payload(payload).encode("utf-8"))
     return digest.hexdigest()
 
@@ -63,10 +70,17 @@ class ResultCache:
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self._records: dict[str, dict[str, Any]] = {}
+        self._heal_tail = False
         if self.path is not None and self.path.exists():
             # tolerate malformed lines: a run killed mid-append leaves a
-            # truncated tail, and that must not brick the whole cache
-            for line in self.path.read_text(encoding="utf-8").splitlines():
+            # truncated tail (possibly with garbage bytes), and that must
+            # not brick the whole cache; duplicate keys across appending
+            # runs deterministically keep the newest record (last wins)
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+            # a tail without its newline would splice the next append
+            # onto the broken line — heal it before the first put
+            self._heal_tail = bool(text) and not text.endswith("\n")
+            for line in text.splitlines():
                 line = line.strip()
                 if not line:
                     continue
@@ -93,9 +107,27 @@ class ResultCache:
         return self._records[key]
 
     def put(self, key: str, record: dict[str, Any]) -> None:
-        """Store ``record`` under ``key`` (and append it to the file)."""
-        if key in self._records:
-            return
+        """Store ``record`` under ``key`` (and append it to the file).
+
+        Re-storing the *same* record is a no-op; re-storing a key with a
+        *different* record raises :exc:`CacheCollisionError` — keys are
+        content hashes, so a mismatch means serialisation drift or a
+        poisoned cache file, and silently keeping the old record would
+        mask exactly the bugs the certifier exists to catch.
+        """
+        existing = self._records.get(key)
+        if existing is not None:
+            if existing == record:
+                return
+            raise CacheCollisionError(
+                f"cache key {key[:16]}... already holds a different record "
+                "(same content hash, different data: serialisation drift "
+                "or corrupted cache file)"
+            )
         self._records[key] = record
         if self.path is not None:
+            if self._heal_tail:
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write("\n")
+                self._heal_tail = False
             append_jsonl(record, self.path)

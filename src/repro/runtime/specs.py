@@ -23,18 +23,22 @@ three shapes::
 Format **v2** additionally lets a ``family`` entry (or ``defaults``)
 carry a ``machines`` block describing the machine environment through
 :mod:`repro.workloads` — this is how unrelated (``R``) sweeps reach the
-batch engine::
+batch engine — and a ``"certify": true`` flag that audits every
+produced schedule through :mod:`repro.certify` (certificate fields land
+on the result records and in the cache)::
 
     {"format": "repro/batch-spec/v2",
      "defaults": {"machines": {"kind": "unrelated", "model": "correlated",
-                               "m": 3}},
+                               "m": 3},
+                  "certify": true},
      "instances": [
        {"family": "gnnp", "n": 12, "p": 0.2, "seed": 0, "count": 25},
        {"family": "crown", "n": 8, "count": 10,
         "machines": {"kind": "uniform", "profile": "geometric", "m": 4}}
      ]}
 
-v1 files keep loading unchanged (and ``machines`` is rejected there).
+v1 files keep loading unchanged (``machines`` and ``certify`` are
+rejected there).
 
 ``defaults`` are merged under every entry; the entry *shape* keys
 (``instance`` / ``path`` / ``family``) must stay on the entries
@@ -101,6 +105,7 @@ _ENTRY_KEYS = frozenset(
         "instance",
         "path",
         "machines",
+        "certify",
     }
 )
 _FAMILY_KEYS = frozenset({"n", "b", "p", "max_degree", "trees", "seed"})
@@ -164,6 +169,26 @@ def _machines_label(machines: dict[str, Any]) -> str:
     return str(label)
 
 
+def _entry_certify(entry: dict[str, Any], index: int, *, v2: bool) -> bool:
+    """The entry's ``certify`` flag (defaults merged), validated.
+
+    Like ``machines``, the key's mere *presence* is a v2 feature — a v1
+    file carrying ``"certify": false`` is rejected, not ignored.
+    """
+    if "certify" not in entry or entry["certify"] is None:
+        return False
+    if not v2:
+        raise InvalidInstanceError(
+            f"spec entry {index}: 'certify' needs format {SPEC_FORMAT_V2!r}"
+        )
+    certify = entry["certify"]
+    if not isinstance(certify, bool):
+        raise InvalidInstanceError(
+            f"spec entry {index}: 'certify' must be true or false"
+        )
+    return certify
+
+
 def _family_tasks(
     entry: dict[str, Any], index: int, *, v2: bool
 ) -> list[BatchTask]:
@@ -193,6 +218,7 @@ def _family_tasks(
         raise InvalidInstanceError(f"spec entry {index}: count must be >= 1")
     base_seed = int(entry.get("seed", 0))
     algorithm = entry.get("algorithm")
+    certify = _entry_certify(entry, index, v2=v2)
     n = int(entry.get("n", 20))
     tasks: list[BatchTask] = []
     for replica in range(count):
@@ -227,7 +253,9 @@ def _family_tasks(
             default_base = f"{_machines_label(machines)}/{family}-n{n}"
         base_name = entry.get("name", default_base)
         name = base_name if count == 1 else f"{base_name}-s{seed}"
-        tasks.append(BatchTask(name, instance_to_dict(instance), algorithm))
+        tasks.append(
+            BatchTask(name, instance_to_dict(instance), algorithm, certify)
+        )
     return tasks
 
 
@@ -295,8 +323,11 @@ def expand_specs(
                     "'family' entries (inline instances fix their own "
                     "machine data)"
                 )
+            certify = _entry_certify(entry, index, v2=v2)
             name = entry.get("name", f"inline-{index}")
-            indexed.append((index, BatchTask(name, entry["instance"], algorithm)))
+            indexed.append(
+                (index, BatchTask(name, entry["instance"], algorithm, certify))
+            )
         elif "path" in entry:
             if "machines" in raw:
                 raise InvalidInstanceError(
@@ -304,9 +335,12 @@ def expand_specs(
                     "'family' entries (on-disk instances fix their own "
                     "machine data)"
                 )
+            certify = _entry_certify(entry, index, v2=v2)
             path = base / entry["path"]
             name = entry.get("name", Path(entry["path"]).stem)
-            indexed.append((index, BatchTask(name, load_json(path), algorithm)))
+            indexed.append(
+                (index, BatchTask(name, load_json(path), algorithm, certify))
+            )
         elif "family" in entry:
             indexed.extend(
                 (index, task) for task in _family_tasks(entry, index, v2=v2)

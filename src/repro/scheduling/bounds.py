@@ -25,6 +25,7 @@ from repro.utils.rationals import ceil_fraction, floor_fraction
 
 __all__ = [
     "min_cover_time",
+    "min_cover_time_with_loads",
     "area_lower_bound",
     "pmax_lower_bound",
     "uniform_capacity_lower_bound",
@@ -63,6 +64,71 @@ def min_cover_time(speeds: Sequence[Fraction], demand: int) -> Fraction:
     while left <= right:
         mid = (left + right) // 2
         if _capacity_at(speeds, feasible[mid]) >= demand:
+            answer = feasible[mid]
+            right = mid - 1
+        else:
+            left = mid + 1
+    return answer
+
+
+def min_cover_time_with_loads(
+    speeds: Sequence[Fraction],
+    loads: Sequence[int],
+    demand: int,
+) -> Fraction:
+    """Least ``T`` finishing ``demand`` extra units on pre-loaded machines.
+
+    Machine ``i`` already carries ``loads[i]`` integer units of work; the
+    answer is the least ``T`` with ``T >= max_i loads[i] / s_i`` and
+    ``sum_i max(0, floor(s_i * T) - loads[i]) >= demand``.  This is the
+    partial-assignment generalisation of :func:`min_cover_time` (all
+    loads zero reduces to it) and is what the certification oracle
+    (:mod:`repro.certify.oracle`) prunes with: any completion of a
+    partial schedule must fit the remaining integer demand into the
+    rounded-down residual capacities.
+
+    With ``demand <= 0`` this is just the current completion frontier
+    ``max_i loads[i] / s_i``.
+    """
+    if len(speeds) != len(loads):
+        raise InvalidInstanceError(
+            f"{len(loads)} loads for {len(speeds)} machines"
+        )
+    if not speeds:
+        if demand > 0:
+            raise InvalidInstanceError("positive demand but no machines")
+        return Fraction(0)
+    frontier = max(Fraction(load) / s for load, s in zip(loads, speeds))
+    if demand <= 0:
+        return frontier
+    total_speed = sum(speeds)
+    total_units = sum(loads) + demand
+    lo = max(frontier, Fraction(total_units) / total_speed)
+    # at hi = (U + m) / S every machine wastes < 1 unit to rounding, so
+    # the residual capacities cover the demand; the frontier keeps the
+    # max() condition satisfied
+    hi = max(frontier, Fraction(total_units + len(speeds)) / total_speed)
+    candidates: set[Fraction] = {hi}
+    for s in speeds:
+        c_lo = max(1, ceil_fraction(s * lo))
+        c_hi = floor_fraction(s * hi)
+        for c in range(c_lo, c_hi + 1):
+            candidates.add(Fraction(c) / s)
+    feasible = sorted(t for t in candidates if lo <= t <= hi)
+
+    def _covers(t: Fraction) -> bool:
+        residual = 0
+        for s, load in zip(speeds, loads):
+            residual += max(0, floor_fraction(s * t) - load)
+            if residual >= demand:
+                return True
+        return False
+
+    left, right = 0, len(feasible) - 1
+    answer = feasible[right]
+    while left <= right:
+        mid = (left + right) // 2
+        if _covers(feasible[mid]):
             answer = feasible[mid]
             right = mid - 1
         else:
@@ -114,7 +180,13 @@ def uniform_capacity_lower_bound(
 
 def unrelated_lower_bound(instance: UnrelatedInstance) -> Fraction:
     """Simple exact bounds for ``R``: ``max_j min_i p_ij`` and the
-    fractional volume ``(sum_j min_i p_ij) / m``."""
+    fractional volume ``(sum_j min_i p_ij) / m``.
+
+    Raises :exc:`InvalidInstanceError` if some job has no eligible
+    machine — :class:`UnrelatedInstance` rejects that at construction,
+    so seeing it here means the instance was mutated or corrupted (a
+    bare ``assert`` would vanish under ``python -O``).
+    """
     if instance.n == 0:
         return Fraction(0)
     mins: list[Fraction] = []
@@ -124,6 +196,10 @@ def unrelated_lower_bound(instance: UnrelatedInstance) -> Fraction:
             t = instance.times[i][j]
             if t is not None and (best is None or t < best):
                 best = t
-        assert best is not None  # constructor guarantees a machine exists
+        if best is None:
+            raise InvalidInstanceError(
+                f"job {j} is forbidden on every machine (instance "
+                "invariant violated after construction)"
+            )
         mins.append(best)
     return max(max(mins), sum(mins) / instance.m)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.exceptions import InfeasibleInstanceError
+from repro.exceptions import BoundExcludedError, InfeasibleInstanceError
 from repro.scheduling.instance import SchedulingInstance, UniformInstance
 from repro.scheduling.schedule import Schedule
 
@@ -36,7 +36,12 @@ def brute_force_optimal(
 
     ``upper_bound`` (exclusive-ish: only strictly better schedules are
     explored once a schedule at the bound is found) can seed pruning with a
-    heuristic solution's makespan.
+    heuristic solution's makespan.  The two empty outcomes are
+    distinguishable: with no ``upper_bound`` an empty search means the
+    instance is infeasible (:exc:`InfeasibleInstanceError`); with one it
+    only means no schedule is *strictly better* than the bound, reported
+    as :exc:`BoundExcludedError` so incumbent-seeding callers don't
+    misreport feasible instances as infeasible.
     """
     n, m = instance.n, instance.m
     if n == 0:
@@ -98,9 +103,13 @@ def brute_force_optimal(
 
     place(0)
     if best_assignment is None:
-        raise InfeasibleInstanceError(
-            "no feasible schedule (or the given upper bound excluded all)"
-        )
+        if upper_bound is not None:
+            raise BoundExcludedError(
+                f"no schedule with makespan < {upper_bound}; the seeded "
+                "upper bound excluded the whole search space (instance "
+                "feasibility is undetermined)"
+            )
+        raise InfeasibleInstanceError("no feasible schedule exists")
     return Schedule(instance, best_assignment)
 
 

@@ -165,21 +165,27 @@ def dual_feasibility_test(
     n, m = instance.n, instance.m
     if n == 0:
         return Schedule(instance, [])
-    total = instance.total_p
-    if deadline <= 0 or Fraction(total) > m * deadline:
+    # identical machines of common speed s: job j takes p_j / s time, so
+    # all comparisons against the (time-unit) deadline must divide by s —
+    # with s != 1 the p-unit arithmetic used to reject every deadline and
+    # crash the bisection (caught by the certification auditor)
+    speed = instance.speeds[0]
+    times = [Fraction(instance.p[j]) / speed for j in range(n)]
+    total_time = sum(times, Fraction(0))
+    if deadline <= 0 or total_time > m * deadline:
         return None
-    if instance.pmax > deadline:
+    if max(times) > deadline:
         return None
 
     threshold = eps * deadline
-    big = [j for j in range(n) if instance.p[j] > threshold]
-    small = [j for j in range(n) if instance.p[j] <= threshold]
+    big = [j for j in range(n) if times[j] > threshold]
+    small = [j for j in range(n) if times[j] <= threshold]
 
     loads = [Fraction(0)] * m
     assignment = [-1] * n
     if big:
         unit = eps * eps * deadline
-        units = [floor_fraction(Fraction(instance.p[j]) / unit) for j in big]
+        units = [floor_fraction(times[j] / unit) for j in big]
         capacity_units = floor_fraction(deadline / unit)
         bins = _pack_big_jobs(units, capacity_units)
         if bins is None or len(bins) > m:
@@ -188,7 +194,7 @@ def dual_feasibility_test(
             for item in bin_items:
                 j = big[item]
                 assignment[j] = i
-                loads[i] += instance.p[j]
+                loads[i] += times[j]
     for j in small:
         target = None
         for i in range(m):
@@ -198,7 +204,7 @@ def dual_feasibility_test(
             # every machine already at >= deadline: total work > m*deadline
             return None
         assignment[j] = target
-        loads[target] += instance.p[j]
+        loads[target] += times[j]
     return Schedule(instance, assignment)
 
 
@@ -219,7 +225,11 @@ def dual_approx_identical(
     if instance.n == 0:
         return DualApproxResult(Schedule(instance, []), Fraction(0), 0)
     inner = eps / 4
-    lower = max(Fraction(instance.pmax), Fraction(instance.total_p, instance.m))
+    speed = instance.speeds[0]
+    lower = max(
+        Fraction(instance.pmax) / speed,
+        Fraction(instance.total_p, instance.m) / speed,
+    )
     upper = unconstrained_lpt(instance).makespan  # feasible: graph is edgeless
     best = dual_feasibility_test(instance, upper, inner)
     assert best is not None, "the LPT deadline must pass the dual test"

@@ -78,7 +78,13 @@ class AlgorithmSpec:
     ``applies`` only checks *preconditions*; it does not promise the
     method is a good idea (brute force applies to everything).
     ``guarantee`` is the human-readable approximation guarantee, with
-    its paper anchor.
+    its paper anchor.  ``ratio_bound`` is the *machine-checkable* form:
+    given an instance it returns the exact rational ``B`` such that the
+    paper claims ``Cmax <= B * OPT`` (``1`` for exact methods, ``None``
+    when no worst-case ratio is declared — heuristics, a.a.s.-only
+    results, and the irrational ``sqrt(sum p_j)`` guarantee, which
+    :mod:`repro.certify.auditor` checks exactly via squared arithmetic
+    instead).
     """
 
     name: str
@@ -86,6 +92,26 @@ class AlgorithmSpec:
     anchor: str
     applies: Callable[[SchedulingInstance], bool]
     run: Callable[[SchedulingInstance], Schedule]
+    ratio_bound: Callable[[SchedulingInstance], Fraction | None] | None = None
+    guarantee_check: (
+        Callable[[SchedulingInstance, Fraction, Fraction], bool] | None
+    ) = None
+    """Exact predicate ``(instance, makespan, optimum) -> holds?`` for
+    guarantees a rational ``ratio_bound`` cannot express (Theorem 9's
+    irrational ``sqrt(sum p_j)``, checked via squared arithmetic).  Must
+    be monotone in the optimum: holding against a lower bound must imply
+    holding against the true optimum, so the auditor may use either."""
+    graph_blind: bool = False
+    """Whether the method ignores the incompatibility graph entirely.
+
+    Graph-blind baselines deliberately emit infeasible schedules on
+    graphs with edges; the certification auditor treats that as
+    expected behaviour rather than a violation."""
+    exponential: bool = False
+    """Whether the runtime is exponential in ``n`` (exhaustive search).
+
+    The certification auditor only runs such methods inside its oracle
+    cut-off; above it they would dominate (or hang) a sweep."""
 
 
 def _is_uniform(instance: SchedulingInstance) -> bool:
@@ -137,6 +163,32 @@ def _run_greedy(instance: SchedulingInstance) -> Schedule:
     return schedule
 
 
+def _ratio_one(_: SchedulingInstance) -> Fraction:
+    return Fraction(1)
+
+
+def _ratio_const(value: Fraction) -> Callable[[SchedulingInstance], Fraction]:
+    return lambda _: value
+
+
+def _ratio_two_if_edgeless(instance: SchedulingInstance) -> Fraction | None:
+    """Graph-blind 2-approximations only promise their ratio when the
+    incompatibility graph has no edges (otherwise they may be
+    infeasible, and no ratio is declared)."""
+    return Fraction(2) if instance.graph.edge_count == 0 else None
+
+
+def _sqrt_guarantee_check(
+    instance: SchedulingInstance, makespan: Fraction, optimum: Fraction
+) -> bool:
+    """Theorem 9 without radicals: ``Cmax^2 <= sum p_j * OPT^2``.
+
+    Monotone in ``optimum``, as :class:`AlgorithmSpec.guarantee_check`
+    requires.
+    """
+    return makespan * makespan <= instance.total_p * optimum * optimum
+
+
 ALGORITHMS: dict[str, AlgorithmSpec] = {
     spec.name: spec
     for spec in [
@@ -146,6 +198,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "[20]/[24], related work",
             _uniform_unit_complete_bipartite,
             schedule_complete_bipartite_unit,
+            ratio_bound=_ratio_one,
         ),
         AlgorithmSpec(
             "q2_unit_exact",
@@ -153,6 +206,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "Theorem 4",
             lambda inst: _is_uniform(inst) and inst.m == 2 and inst.has_unit_jobs,
             q2_unit_exact,
+            ratio_bound=_ratio_one,
         ),
         AlgorithmSpec(
             "q2_fptas",
@@ -160,6 +214,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "Theorem 4's FPTAS route / Algorithm 5",
             lambda inst: _is_uniform(inst) and inst.m == 2,
             _run_q2_fptas,
+            ratio_bound=_ratio_const(Fraction(11, 10)),
         ),
         AlgorithmSpec(
             "dual_approx",
@@ -169,6 +224,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             and inst.graph.edge_count == 0
             and inst.is_identical,
             _run_dual_approx,
+            ratio_bound=_ratio_const(Fraction(4, 3)),
         ),
         AlgorithmSpec(
             "lpt",
@@ -176,6 +232,8 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "classical",
             _is_uniform,
             unconstrained_lpt,
+            ratio_bound=_ratio_two_if_edgeless,
+            graph_blind=True,
         ),
         AlgorithmSpec(
             "sqrt_approx",
@@ -183,6 +241,9 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "Algorithm 1 / Theorem 9",
             lambda inst: _is_uniform(inst) and inst.m >= 2,
             _run_sqrt,
+            # sqrt(sum p_j) is irrational, so no rational ratio_bound;
+            # the predicate checks Theorem 9 exactly in squared form
+            guarantee_check=_sqrt_guarantee_check,
         ),
         AlgorithmSpec(
             "random_graph",
@@ -204,6 +265,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "[3], related work",
             lambda inst: _is_uniform(inst) and inst.is_identical and inst.m >= 3,
             bjw_identical_approx,
+            ratio_bound=_ratio_const(Fraction(2)),
         ),
         AlgorithmSpec(
             "two_machine_split",
@@ -218,6 +280,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "Algorithm 4 / Theorem 21",
             lambda inst: _is_unrelated(inst) and inst.m == 2,
             r2_two_approx,
+            ratio_bound=_ratio_const(Fraction(2)),
         ),
         AlgorithmSpec(
             "r2_fptas",
@@ -225,6 +288,7 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "Algorithm 5 / Theorem 22",
             lambda inst: _is_unrelated(inst) and inst.m == 2,
             _run_r2_fptas,
+            ratio_bound=_ratio_const(Fraction(11, 10)),
         ),
         AlgorithmSpec(
             "lst",
@@ -232,6 +296,8 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "[18], related work",
             _is_unrelated,
             _run_lst,
+            ratio_bound=_ratio_two_if_edgeless,
+            graph_blind=True,
         ),
         AlgorithmSpec(
             "r_color_split",
@@ -253,6 +319,8 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "ground truth",
             lambda inst: True,
             brute_force_optimal,
+            ratio_bound=_ratio_one,
+            exponential=True,
         ),
     ]
 }

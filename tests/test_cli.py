@@ -242,6 +242,52 @@ class TestBatch:
         assert main(["batch", str(bad)]) == 2
         assert "not valid JSON" in capsys.readouterr().err
 
+    def test_certify_flag_stores_certificates(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["batch", str(spec_path), "--certify", "--no-summary",
+             "--out", str(out)]
+        )
+        assert code == 0
+        from repro.io import read_jsonl
+
+        records = read_jsonl(out)
+        assert records and all(
+            r["certificate"] is not None and r["certificate"]["ok"]
+            for r in records
+        )
+
+
+class TestCertify:
+    def test_small_sweep_is_clean(self, capsys):
+        code = main(
+            ["certify", "--n", "4", "--seeds", "1", "--oracle-max-n", "8",
+             "--algorithms", "sqrt_approx,r2_fptas,brute_force"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "certification sweep clean" in out
+
+    def test_unknown_algorithm_is_an_error_not_a_clean_sweep(self, capsys):
+        code = main(["certify", "--n", "4", "--algorithms", "sqrtapprox_typo"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err
+
+    def test_writes_audit_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "audits.jsonl"
+        code = main(
+            ["certify", "--n", "4", "--seeds", "1", "--oracle-max-n", "8",
+             "--algorithms", "sqrt_approx", "--out", str(out)]
+        )
+        assert code == 0
+        from repro.io import read_jsonl
+
+        rows = read_jsonl(out)
+        assert rows and all(r["kind"] == "audit_row" for r in rows)
+        assert all(r["algorithm"] == "sqrt_approx" for r in rows)
+
 
 class TestParser:
     def test_requires_command(self):

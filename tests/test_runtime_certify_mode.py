@@ -1,0 +1,127 @@
+"""The batch engine's opt-in certify mode and batch-spec v2 ``certify``."""
+
+import json
+
+import pytest
+
+from repro.certify import CertificateReport
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.generators import matching_graph, path_graph
+from repro.io import instance_to_dict
+from repro.runtime import BatchRunner, BatchTask, expand_specs
+from repro.scheduling.instance import identical_instance
+
+
+def _items(k=3):
+    return [
+        (f"p{n}", identical_instance(path_graph(n), [1] * n, 2))
+        for n in range(2, 2 + k)
+    ]
+
+
+class TestRunnerCertifyMode:
+    def test_records_carry_certificates(self):
+        runner = BatchRunner(certify=True)
+        results = runner.run_to_list(_items())
+        assert results
+        for rec in results:
+            assert rec.certificate is not None
+            report = CertificateReport.from_dict(rec.certificate)
+            assert report.ok
+            assert report.algorithm == rec.chosen
+
+    def test_default_mode_has_no_certificates(self):
+        results = BatchRunner().run_to_list(_items())
+        assert all(rec.certificate is None for rec in results)
+
+    def test_per_task_flag(self):
+        inst = identical_instance(path_graph(3), [1, 1, 1], 2)
+        payload = instance_to_dict(inst)
+        tasks = [
+            BatchTask("plain", payload, None, False),
+            BatchTask("audited", payload, None, True),
+        ]
+        results = BatchRunner().run_to_list(tasks)
+        by_name = {r.name: r for r in results}
+        assert by_name["plain"].certificate is None
+        assert by_name["audited"].certificate is not None
+        # same instance+algorithm, but certify hashes apart: both fresh
+        assert by_name["plain"].key != by_name["audited"].key
+
+    def test_certify_results_round_trip_jsonl(self, tmp_path):
+        out = tmp_path / "results.jsonl"
+        BatchRunner(certify=True).run_to_jsonl(_items(), out)
+        lines = [json.loads(ln) for ln in out.read_text().splitlines()]
+        assert lines
+        for data in lines:
+            assert data["certificate"]["ok"] is True
+
+    def test_certified_cache_replay(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        first = BatchRunner(certify=True, cache=cache).run_to_list(_items())
+        runner = BatchRunner(certify=True, cache=cache)
+        second = runner.run_to_list(_items())
+        assert runner.stats.solved == 0
+        assert [r.certificate for r in first] == [
+            r.certificate for r in second
+        ]
+
+    def test_errored_solve_has_no_certificate(self):
+        # one machine + an edge: auto dispatch reports infeasibility
+        inst = identical_instance(matching_graph(1), [1, 1], 1)
+        (rec,) = BatchRunner(certify=True).run_to_list([("bad", inst)])
+        assert rec.error is not None
+        assert rec.certificate is None
+
+
+class TestSpecCertify:
+    def _spec(self, fmt, **extra):
+        entry = {"family": "path", "n": 4, "count": 2, **extra}
+        return {"format": fmt, "instances": [entry]}
+
+    def test_v2_family_certify(self):
+        tasks = expand_specs(
+            self._spec("repro/batch-spec/v2", certify=True)
+        )
+        assert len(tasks) == 2 and all(t.certify for t in tasks)
+
+    def test_v2_defaults_certify(self):
+        spec = self._spec("repro/batch-spec/v2")
+        spec["defaults"] = {"certify": True}
+        assert all(t.certify for t in expand_specs(spec))
+
+    def test_v2_default_off(self):
+        tasks = expand_specs(self._spec("repro/batch-spec/v2"))
+        assert all(not t.certify for t in tasks)
+
+    def test_v1_rejects_certify(self):
+        with pytest.raises(InvalidInstanceError, match="certify"):
+            expand_specs(self._spec("repro/batch-spec/v1", certify=True))
+
+    def test_v1_rejects_certify_even_when_false(self):
+        # like 'machines', the key's presence is a v2 feature
+        with pytest.raises(InvalidInstanceError, match="certify"):
+            expand_specs(self._spec("repro/batch-spec/v1", certify=False))
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="true or false"):
+            expand_specs(self._spec("repro/batch-spec/v2", certify="yes"))
+
+    def test_v2_inline_certify(self):
+        inst = identical_instance(path_graph(3), [1, 1, 1], 2)
+        spec = {
+            "format": "repro/batch-spec/v2",
+            "instances": [
+                {"name": "x", "instance": instance_to_dict(inst), "certify": True}
+            ],
+        }
+        (task,) = expand_specs(spec)
+        assert task.certify
+
+    def test_spec_to_certified_run(self):
+        spec = self._spec("repro/batch-spec/v2", certify=True)
+        tasks = expand_specs(spec)
+        results = BatchRunner().run_to_list(tasks)
+        assert all(
+            r.certificate is not None and r.certificate["ok"] for r in results
+        )

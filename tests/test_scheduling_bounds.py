@@ -139,3 +139,87 @@ class TestUnrelatedBound:
         g = BipartiteGraph(0, [])
         inst = UnrelatedInstance(g, [[], []])
         assert unrelated_lower_bound(inst) == 0
+
+
+class TestMinCoverTimeWithLoads:
+    def test_zero_loads_reduces_to_min_cover_time(self):
+        from repro.scheduling.bounds import min_cover_time_with_loads
+
+        speeds = [Fraction(3), Fraction(2), Fraction(1)]
+        for demand in (0, 1, 5, 17):
+            assert min_cover_time_with_loads(speeds, [0, 0, 0], demand) == (
+                min_cover_time(speeds, demand)
+            )
+
+    def test_zero_demand_is_the_frontier(self):
+        from repro.scheduling.bounds import min_cover_time_with_loads
+
+        speeds = [Fraction(2), Fraction(1)]
+        assert min_cover_time_with_loads(speeds, [5, 1], 0) == Fraction(5, 2)
+
+    def test_loaded_machines_push_the_answer_up(self):
+        from repro.scheduling.bounds import min_cover_time_with_loads
+
+        speeds = [Fraction(1), Fraction(1)]
+        # 2 extra units on empty machines: T = 1; with 3 units already on
+        # one machine the best is 3 on one, 2 on the other -> T = 3
+        assert min_cover_time_with_loads(speeds, [0, 0], 2) == 1
+        assert min_cover_time_with_loads(speeds, [3, 0], 2) == 3
+
+    def test_exhaustive_against_definition(self):
+        from repro.scheduling.bounds import min_cover_time_with_loads
+
+        speeds = [Fraction(3), Fraction(2)]
+        for loads in ([0, 0], [2, 1], [5, 0], [1, 4]):
+            for demand in range(0, 8):
+                t = min_cover_time_with_loads(speeds, loads, demand)
+                frontier = max(
+                    Fraction(l) / s for l, s in zip(loads, speeds)
+                )
+                assert t >= frontier
+                residual = sum(
+                    max(0, floor_fraction(s * t) - l)
+                    for s, l in zip(speeds, loads)
+                )
+                assert residual >= demand
+                # minimality: a slightly smaller t fails some condition
+                eps = Fraction(1, 1000)
+                smaller = t - eps
+                if smaller >= 0 and demand > 0:
+                    ok_frontier = smaller >= frontier
+                    ok_residual = (
+                        sum(
+                            max(0, floor_fraction(s * smaller) - l)
+                            for s, l in zip(speeds, loads)
+                        )
+                        >= demand
+                    )
+                    assert not (ok_frontier and ok_residual)
+
+    def test_shape_mismatch_raises(self):
+        from repro.scheduling.bounds import min_cover_time_with_loads
+
+        with pytest.raises(InvalidInstanceError):
+            min_cover_time_with_loads([Fraction(1)], [0, 0], 1)
+
+    def test_no_machines_raises_on_demand(self):
+        from repro.scheduling.bounds import min_cover_time_with_loads
+
+        with pytest.raises(InvalidInstanceError):
+            min_cover_time_with_loads([], [], 3)
+        assert min_cover_time_with_loads([], [], 0) == 0
+
+
+class TestUnrelatedBoundInvariant:
+    def test_mutated_instance_raises_not_asserts(self):
+        """The 'no eligible machine' guard must survive ``python -O``:
+        an InvalidInstanceError, not a bare assert."""
+        g = BipartiteGraph(2, [])
+        inst = UnrelatedInstance(g, [[1, 2], [3, 4]])
+        # simulate post-construction corruption through the slot
+        # descriptor (the validated constructor would reject this, as a
+        # deserialisation bug might not)
+        broken_times = ((None, Fraction(2)), (None, Fraction(4)))
+        type(inst).times.__set__(inst, broken_times)
+        with pytest.raises(InvalidInstanceError):
+            unrelated_lower_bound(inst)

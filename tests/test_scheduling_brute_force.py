@@ -5,7 +5,7 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro.exceptions import InfeasibleInstanceError
+from repro.exceptions import BoundExcludedError, InfeasibleInstanceError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.generators import complete_bipartite, matching_graph, path_graph
 from repro.scheduling.brute_force import brute_force_makespan, brute_force_optimal
@@ -103,6 +103,20 @@ class TestUpperBoundSeeding:
         inst = UniformInstance(matching_graph(1), [4, 4], [1, 1])
         with pytest.raises(InfeasibleInstanceError):
             brute_force_optimal(inst, upper_bound=Fraction(4))  # optimum not < 4
+
+    def test_bound_excluded_is_distinguishable(self):
+        """A seeded bound that excludes everything must NOT read as
+        'instance infeasible' — the feasible optimum merely failed to
+        beat the seed."""
+        inst = UniformInstance(matching_graph(1), [4, 4], [1, 1])
+        with pytest.raises(BoundExcludedError):
+            brute_force_optimal(inst, upper_bound=Fraction(4))
+        # a genuinely infeasible instance raises the plain error, never
+        # the bound-excluded subclass
+        single = UniformInstance(matching_graph(1), [4, 4], [1])
+        with pytest.raises(InfeasibleInstanceError) as excinfo:
+            brute_force_optimal(single)
+        assert not isinstance(excinfo.value, BoundExcludedError)
 
     def test_loose_bound_keeps_optimum(self):
         inst = UniformInstance(matching_graph(1), [4, 4], [1, 1])
