@@ -1,17 +1,34 @@
 """Shared helpers for the benchmark/experiment harness.
 
-Every experiment writes its regenerated table to ``benchmarks/out/`` (so
-EXPERIMENTS.md can reference concrete artefacts) and prints it (visible
-with ``pytest -s``).  Instance sweeps go through :func:`run_batch`, the
-benchmark-side handle on the :mod:`repro.runtime` engine, instead of
-per-benchmark ad-hoc loops.
+Every experiment writes two artifacts to ``benchmarks/out/``:
+
+* ``<id>.txt`` (:func:`emit_table`) — the human-readable regenerated
+  table, stamped with git revision + UTC timestamp, which
+  EXPERIMENTS.md / ``repro report`` reference;
+* ``BENCH_<id>.json`` (:func:`emit_record`) — the machine-readable
+  perf/ratio record of the same sweep (schema
+  :data:`repro.perf.record.BENCH_FORMAT`), validated on emit and
+  appended to ``BENCH_trajectory.jsonl`` so repeated runs accumulate a
+  perf trajectory (``repro perf --check`` gates it in CI;
+  ``repro.analysis.perf_trend`` renders it).
+
+Instance sweeps go through :func:`run_batch`, the benchmark-side handle
+on the :mod:`repro.runtime` engine, instead of per-benchmark ad-hoc
+loops.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
+from repro.perf.record import (
+    BenchPhase,
+    BenchRecord,
+    git_revision,
+    utc_timestamp,
+    write_bench_record,
+)
 from repro.runtime import BatchResult, BatchRunner
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -36,8 +53,32 @@ def run_batch(
 
 
 def emit_table(experiment_id: str, text: str) -> None:
-    """Persist and print one experiment's table."""
-    OUT_DIR.mkdir(exist_ok=True)
+    """Persist and print one experiment's table (with provenance header)."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     path = OUT_DIR / f"{experiment_id}.txt"
-    path.write_text(text + "\n")
+    header = f"# {experiment_id} @ {git_revision()} {utc_timestamp()}"
+    path.write_text(f"{header}\n{text}\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def emit_record(
+    experiment_id: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    phases: Iterable[BenchPhase] = (),
+    notes: str = "",
+) -> BenchRecord:
+    """Persist one experiment's sweep as ``BENCH_<experiment_id>.json``.
+
+    ``columns``/``rows`` mirror the data behind the emitted ``.txt``
+    table; cells are coerced to JSON-stable scalars (exact rationals as
+    ``"num/den"``).  The record is schema-validated, written next to the
+    ``.txt``, and appended to the ``BENCH_trajectory.jsonl`` perf
+    trajectory.  Returns the built record.
+    """
+    record = BenchRecord.build(
+        experiment_id, columns, rows, phases=phases, notes=notes
+    )
+    path = write_bench_record(record, OUT_DIR)
+    print(f"[bench record written to {path}]")
+    return record

@@ -16,7 +16,7 @@ from repro.analysis.tables import format_table
 from repro.core.ablations import ABLATION_VARIANTS, sqrt_approx_ablation
 from repro.scheduling.bounds import min_cover_time
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def _suite():
@@ -56,14 +56,16 @@ def test_e11_variant_table(benchmark):
         return rows, means
 
     rows, means = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["variant", "instances", "mean Cmax/C**", "median", "max"]
     emit_table(
         "E11_ablation_sqrt",
         format_table(
-            ["variant", "instances", "mean Cmax/C**", "median", "max"],
+            cols,
             rows,
             title="E11: Algorithm 1 ablations on the standard uniform suite",
         ),
     )
+    emit_record("E11_ablation_sqrt", cols, rows)
     # shape: the paper's min(S1, S2) provably dominates committing to a
     # single branch.  (greedy_mis / unweighted_coloring alter S2 itself,
     # so no domination theorem exists there — the table records the

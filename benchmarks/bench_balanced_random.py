@@ -19,7 +19,7 @@ from repro.random_graphs.gilbert import gnnp
 from repro.scheduling.bounds import min_cover_time
 from repro.scheduling.instance import unit_uniform_instance
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 REGIMES = [
     ("subcritical p=0.2/n", lambda n: 0.2 / n),
@@ -53,14 +53,16 @@ def test_e16_regime_table(benchmark):
         return rows, sub_gain
 
     rows, sub_gain = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["regime", "n/side", "Alg2 Cmax/C**", "balanced Cmax/C**", "gain"]
     emit_table(
         "E16_balanced_random",
         format_table(
-            ["regime", "n/side", "Alg2 Cmax/C**", "balanced Cmax/C**", "gain"],
+            cols,
             rows,
             title="E16 (Sec. 6): Algorithm 2 vs the isolated-job balanced variant",
         ),
     )
+    emit_record("E16_balanced_random", cols, rows)
     # shape: the balanced variant never loses, and wins in the sparse
     # regime where almost all jobs are isolated
     for row in rows:

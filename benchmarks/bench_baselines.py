@@ -21,7 +21,7 @@ from repro.scheduling.baselines import (
 from repro.scheduling.bounds import min_cover_time
 from repro.scheduling.list_scheduling import graph_aware_greedy
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def test_e9_uniform_comparison(benchmark):
@@ -50,14 +50,16 @@ def test_e9_uniform_comparison(benchmark):
         return rows, totals
 
     (rows, totals) = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["algorithm", "instances", "mean Cmax/C**", "max"]
     emit_table(
         "E9_uniform_comparison",
         format_table(
-            ["algorithm", "instances", "mean Cmax/C**", "max"],
+            cols,
             rows,
             title="E9: algorithms vs baselines on the standard uniform suite",
         ),
     )
+    emit_record("E9_uniform_comparison", cols, rows)
     # shape: Algorithm 1 dominates the trivial two-machine split on average
     assert np.mean(totals["alg1"]) <= np.mean(totals["split2"]) + 1e-9
 
@@ -85,14 +87,16 @@ def test_e9_identical_machines(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["instance", "Alg 1 ratio", "BJW [3] ratio"]
     emit_table(
         "E9_identical_comparison",
         format_table(
-            ["instance", "Alg 1 ratio", "BJW [3] ratio"],
+            cols,
             rows,
             title="E9: Algorithm 1 vs the [3] 2-approx on identical machines",
         ),
     )
+    emit_record("E9_identical_comparison", cols, rows)
 
 
 @pytest.mark.parametrize(
@@ -114,11 +118,14 @@ def test_e9_weight_profiles(benchmark, weight_kind):
         return ratios
 
     ratios = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["weight profile", "instances", "mean ratio", "max ratio"]
+    rows = [[weight_kind, len(ratios), float(np.mean(ratios)), float(np.max(ratios))]]
     emit_table(
         f"E9_weights_{weight_kind}",
         format_table(
-            ["weight profile", "instances", "mean ratio", "max ratio"],
-            [[weight_kind, len(ratios), float(np.mean(ratios)), float(np.max(ratios))]],
+            cols,
+            rows,
             title="E9: Algorithm 1 vs C** across job-size distributions",
         ),
     )
+    emit_record(f"E9_weights_{weight_kind}", cols, rows)

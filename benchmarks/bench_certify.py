@@ -24,7 +24,11 @@ import os
 
 import numpy as np
 
-from repro.analysis.suites import certification_suite, violation_table
+from repro.analysis.suites import (
+    certification_suite,
+    certification_summary,
+    violation_table,
+)
 from repro.certify import (
     VIOLATION_STATUSES,
     audit_guarantees,
@@ -32,7 +36,7 @@ from repro.certify import (
 )
 from repro.scheduling.brute_force import brute_force_makespan
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 from tests.conftest import random_r2, random_uniform_instance
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -70,6 +74,12 @@ def test_e11_certification_sweep(benchmark):
             title=f"E11: certification sweep ({len(suite)} instances, "
             f"{len(rows)} audits, 0 violations required)",
         ),
+    )
+    emit_record(
+        "E11_certification",
+        ["algorithm", "status", "count", "worst ratio"],
+        certification_summary(rows),
+        notes=f"{len(suite)} instances, {len(rows)} audits, smoke={SMOKE}",
     )
 
 

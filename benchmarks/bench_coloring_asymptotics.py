@@ -19,7 +19,7 @@ from repro.random_graphs.theory import (
     smaller_class_fraction_bound,
 )
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 N_SIDE = 150
 SAMPLES = 8
@@ -48,18 +48,19 @@ def test_e4_a_sweep(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = [
+        "a",
+        "|V'2|/n emp",
+        "Lem12 bound",
+        "mu/n emp",
+        "Lem13 bound",
+        "|V'2|/mu emp",
+        "Lem14 bound",
+    ]
     emit_table(
         "E4_coloring_asymptotics",
         format_table(
-            [
-                "a",
-                "|V'2|/n emp",
-                "Lem12 bound",
-                "mu/n emp",
-                "Lem13 bound",
-                "|V'2|/mu emp",
-                "Lem14 bound",
-            ],
+            cols,
             rows,
             title=(
                 f"E4 (Cor 11, Lem 12-14): G(n,n,a/n) at n={N_SIDE}, "
@@ -68,6 +69,7 @@ def test_e4_a_sweep(benchmark):
             ),
         ),
     )
+    emit_record("E4_coloring_asymptotics", cols, rows)
     for row in rows:
         a, v2_emp, v2_bound, mu_emp, mu_bound, r_emp, r_bound = row
         assert v2_emp <= v2_bound + 0.05   # Lemma 12 (a.a.s. upper bound)

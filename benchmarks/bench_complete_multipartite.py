@@ -23,7 +23,7 @@ from repro.machines.profiles import geometric_speeds, random_integer_speeds
 from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import unit_uniform_instance
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 F = Fraction
 
@@ -42,14 +42,16 @@ def test_e13_exactness_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["graph", "m", "optimum Cmax", "check"]
     emit_table(
         "E13_exactness",
         format_table(
-            ["graph", "m", "optimum Cmax", "check"],
+            cols,
             rows,
             title="E13: unary algorithm vs brute force on K_{a,b}, unit jobs",
         ),
     )
+    emit_record("E13_exactness", cols, rows)
 
 
 def test_e13_vs_algorithm1(benchmark):
@@ -74,14 +76,16 @@ def test_e13_vs_algorithm1(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["graph", "exact Cmax", "Algorithm 1 Cmax", "ratio"]
     emit_table(
         "E13_vs_algorithm1",
         format_table(
-            ["graph", "exact Cmax", "Algorithm 1 Cmax", "ratio"],
+            cols,
             rows,
             title="E13: exact unary algorithm vs Algorithm 1 on K_{a,b}",
         ),
     )
+    emit_record("E13_vs_algorithm1", cols, rows)
     for row in rows:
         assert row[3] >= 1.0 - 1e-9  # exact is optimal, ratio >= 1
 
@@ -108,11 +112,13 @@ def test_e13_three_parts(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["part sizes", "m", "optimal Cmax"]
     emit_table(
         "E13_three_parts",
         format_table(
-            ["part sizes", "m", "optimal Cmax"],
+            cols,
             rows,
             title="E13: exact makespans for complete tripartite conflicts",
         ),
     )
+    emit_record("E13_three_parts", cols, rows)

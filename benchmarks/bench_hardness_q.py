@@ -20,7 +20,7 @@ from repro.hardness.q_reduction import theorem8_reduction
 from repro.scheduling.bounds import min_cover_time
 from repro.scheduling.brute_force import brute_force_makespan
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def test_e7_k_sweep(benchmark):
@@ -51,14 +51,16 @@ def test_e7_k_sweep(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["k", "n' jobs", "YES Cmax", "YES bound", "NO bound", "gap"]
     emit_table(
         "E7_theorem8_gap",
         format_table(
-            ["k", "n' jobs", "YES Cmax", "YES bound", "NO bound", "gap"],
+            cols,
             rows,
             title="E7 (Thm 8): YES/NO separation of the Qm reduction",
         ),
     )
+    emit_record("E7_theorem8_gap", cols, rows)
 
 
 def test_e7_no_side_exact(benchmark):
@@ -76,14 +78,16 @@ def test_e7_no_side_exact(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["gadget sizes", "n'", "exact optimum", "certified bound"]
     emit_table(
         "E7_no_side_exact",
         format_table(
-            ["gadget sizes", "n'", "exact optimum", "certified bound"],
+            cols,
             rows,
             title="E7 (Thm 8): exhaustive NO-side verification (claw seed)",
         ),
     )
+    emit_record("E7_no_side_exact", cols, rows)
 
 
 def test_e7_capacity_bound_blindness(benchmark):
@@ -104,10 +108,11 @@ def test_e7_capacity_bound_blindness(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["seed", "n'", "C**max", "NO-side true bound"]
     emit_table(
         "E7_capacity_blindness",
         format_table(
-            ["seed", "n'", "C**max", "NO-side true bound"],
+            cols,
             rows,
             title=(
                 "E7: capacity lower bounds are blind to the gap "
@@ -115,6 +120,7 @@ def test_e7_capacity_bound_blindness(benchmark):
             ),
         ),
     )
+    emit_record("E7_capacity_blindness", cols, rows)
 
 
 @pytest.mark.parametrize("k", [2, 5])

@@ -12,7 +12,7 @@ from repro.graphs.precoloring import claw_no_instance, planted_yes_instance, sol
 from repro.hardness.r_reduction import theorem24_reduction
 from repro.scheduling.brute_force import brute_force_makespan
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def test_e8_d_sweep(benchmark):
@@ -38,14 +38,16 @@ def test_e8_d_sweep(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["d", "YES optimum", "NO optimum", "measured gap"]
     emit_table(
         "E8_theorem24_gap",
         format_table(
-            ["d", "YES optimum", "NO optimum", "measured gap"],
+            cols,
             rows,
             title="E8 (Thm 24): exact YES/NO separation of the Rm reduction",
         ),
     )
+    emit_record("E8_theorem24_gap", cols, rows)
 
 
 def test_e8_extra_machines_useless(benchmark):
@@ -60,14 +62,16 @@ def test_e8_extra_machines_useless(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["m", "YES optimum"]
     emit_table(
         "E8_machines_sweep",
         format_table(
-            ["m", "YES optimum"],
+            cols,
             rows,
             title="E8 (Thm 24): slow machines beyond the first three never help",
         ),
     )
+    emit_record("E8_machines_sweep", cols, rows)
 
 
 @pytest.mark.parametrize("n", [20, 100])

@@ -16,7 +16,7 @@ from repro.scheduling.baselines import bjw_identical_approx, two_machine_split
 from repro.scheduling.bounds import min_cover_time
 from repro.scheduling.local_search import improve_schedule
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def test_e18_polish_table(benchmark):
@@ -64,14 +64,16 @@ def test_e18_polish_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["algorithm", "instances", "mean ratio", "polished", "gain", "steps"]
     emit_table(
         "E18_local_search",
         format_table(
-            ["algorithm", "instances", "mean ratio", "polished", "gain", "steps"],
+            cols,
             rows,
             title="E18: local-search polishing on the standard uniform suite",
         ),
     )
+    emit_record("E18_local_search", cols, rows)
     # shape: polishing never regresses, and the sloppy baseline (split2)
     # gains the most
     gains = {row[0]: row[4] for row in rows}

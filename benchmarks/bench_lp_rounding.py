@@ -18,7 +18,7 @@ from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import UnrelatedInstance
 from repro.scheduling.lp_rounding import lst_two_approx
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def _graph_free_r(n, m, seed, high=30):
@@ -44,14 +44,16 @@ def test_e12_certified_factor_two(benchmark):
         return rows, worst
 
     rows, worst = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["n", "m", "mean Cmax/T*", "max"]
     emit_table(
         "E12_lst_certified",
         format_table(
-            ["n", "m", "mean Cmax/T*", "max"],
+            cols,
             rows,
             title="E12: LST rounding, certified ratio vs the LP deadline",
         ),
     )
+    emit_record("E12_lst_certified", cols, rows)
     # shape: [18] guarantees a factor 2 (plus search tolerance)
     assert worst <= 2.0 + 1e-6
 
@@ -81,14 +83,16 @@ def test_e12_price_of_incompatibility_r2(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["seed", "opt Cmax", "Alg4/opt", "Alg5/opt", "LST/opt", "LST feasible"]
     emit_table(
         "E12_r2_price_of_incompatibility",
         format_table(
-            ["seed", "opt Cmax", "Alg4/opt", "Alg5/opt", "LST/opt", "LST feasible"],
+            cols,
             rows,
             title="E12: graph-respecting algorithms vs graph-blind LST on R2",
         ),
     )
+    emit_record("E12_r2_price_of_incompatibility", cols, rows)
     # shape: the paper's guarantees hold against the exact optimum
     for row in rows:
         assert row[2] <= 2.0 + 1e-9      # Algorithm 4 is 2-approximate

@@ -20,7 +20,7 @@ from repro.graphs.maximal_matching import (
 from repro.random_graphs.gilbert import gnnp
 from repro.random_graphs.theory import zito_min_maximal_matching_bound
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def test_e15_bracket_table(benchmark):
@@ -44,14 +44,16 @@ def test_e15_bracket_table(benchmark):
         return rows, violations
 
     rows, violations = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["n", "p", "Zito bound", "beta (heuristic)", "mu", "mu/n"]
     emit_table(
         "E15_zito_bracket",
         format_table(
-            ["n", "p", "Zito bound", "beta (heuristic)", "mu", "mu/n"],
+            cols,
             rows,
             title="E15 (Thm 17): smallest maximal matching vs the a.a.s. bound",
         ),
     )
+    emit_record("E15_zito_bracket", cols, rows)
     # shape: the heuristic beta estimate sits above Zito's lower bound
     # (the bound is asymptotic; at these sizes it already holds)
     assert violations == 0
@@ -73,18 +75,21 @@ def test_e15_exact_beta_cross_check(benchmark):
         return gaps
 
     gaps = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["statistic", "value"]
+    rows = [
+        ["samples", len(gaps)],
+        ["mean heuristic - beta", float(np.mean(gaps))],
+        ["max gap", int(np.max(gaps))],
+    ]
     emit_table(
         "E15_exact_cross_check",
         format_table(
-            ["statistic", "value"],
-            [
-                ["samples", len(gaps)],
-                ["mean heuristic - beta", float(np.mean(gaps))],
-                ["max gap", int(np.max(gaps))],
-            ],
+            cols,
+            rows,
             title="E15: small-matching heuristic audited against exact beta",
         ),
     )
+    emit_record("E15_exact_cross_check", cols, rows)
 
 
 @pytest.mark.parametrize("n", [100, 400, 800])

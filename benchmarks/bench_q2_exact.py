@@ -16,7 +16,7 @@ from repro.random_graphs.gilbert import gnnp
 from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import unit_uniform_instance
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 SPEEDS = (Fraction(3), Fraction(2))
 
@@ -48,14 +48,16 @@ def test_e1_table(benchmark):
         return out
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["n jobs", "method", "optimum Cmax", "check"]
     emit_table(
         "E1_q2_exact",
         format_table(
-            ["n jobs", "method", "optimum Cmax", "check"],
+            cols,
             rows,
             title="E1 (Theorem 4): exact Q2 unit-job algorithm",
         ),
     )
+    emit_record("E1_q2_exact", cols, rows)
 
 
 @pytest.mark.parametrize("n_side", [25, 100, 300])

@@ -16,7 +16,7 @@ from repro.core.r2_fptas import r2_fptas
 from repro.core.r2_reduction import reduce_r2
 from repro.scheduling.dp_unrelated import solve_r2_dp
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 EPS_SWEEP = (2, 1, Fraction(1, 2), Fraction(1, 5), Fraction(1, 20), Fraction(1, 100))
 
@@ -44,14 +44,16 @@ def test_e6_eps_sweep(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["eps", "guarantee", "measured ratio", "time (ms)"]
     emit_table(
         "E6_r2_fptas",
         format_table(
-            ["eps", "guarantee", "measured ratio", "time (ms)"],
+            cols,
             rows,
             title="E6 (Thm 22): Algorithm 5 accuracy/time trade-off",
         ),
     )
+    emit_record("E6_r2_fptas", cols, rows)
 
 
 def test_e6_sentinel_vs_pinned(benchmark):
@@ -70,14 +72,16 @@ def test_e6_sentinel_vs_pinned(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["seed", "optimum", "pinned jobs", "2T sentinel"]
     emit_table(
         "E6_sentinel_fidelity",
         format_table(
-            ["seed", "optimum", "pinned jobs", "2T sentinel"],
+            cols,
             rows,
             title="E6: the paper's 2T sentinel encoding matches native pinning",
         ),
     )
+    emit_record("E6_sentinel_fidelity", cols, rows)
 
 
 @pytest.mark.parametrize("eps", [1, Fraction(1, 10)])

@@ -15,7 +15,7 @@ from repro.core.r2_reduction import reduce_r2
 from repro.core.r2_two_approx import r2_two_approx
 from repro.scheduling.dp_unrelated import solve_r2_dp
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 
 def exact_optimum(instance):
@@ -48,14 +48,16 @@ def test_e5_ratio_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["n jobs", "edge density", "mean ratio", "max ratio"]
     emit_table(
         "E5_r2_two_approx",
         format_table(
-            ["n jobs", "edge density", "mean ratio", "max ratio"],
+            cols,
             rows,
             title="E5 (Thm 21): Algorithm 4 vs exact optimum (bound: 2)",
         ),
     )
+    emit_record("E5_r2_two_approx", cols, rows)
 
 
 @pytest.mark.parametrize("n", [50, 200, 800, 3200])

@@ -16,7 +16,7 @@ from repro.random_graphs.gilbert import gnnp
 from repro.random_graphs.regimes import Regime, probability_for_regime
 from repro.scheduling.instance import unit_uniform_instance
 
-from benchmarks._common import emit_table, run_batch
+from benchmarks._common import emit_record, emit_table, run_batch
 
 PROFILES = {
     "mixed": (Fraction(8), Fraction(4), Fraction(2), Fraction(1), Fraction(1)),
@@ -53,10 +53,11 @@ def test_e3_regime_series(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["speeds", "n/side", "subcritical", "critical a=2", "supercritical"]
     emit_table(
         "E3_random_graph_ratio",
         format_table(
-            ["speeds", "n/side", "subcritical", "critical a=2", "supercritical"],
+            cols,
             rows,
             title=(
                 "E3 (Thm 19): Algorithm 2 worst Cmax/C**max over "
@@ -64,6 +65,7 @@ def test_e3_regime_series(benchmark):
             ),
         ),
     )
+    emit_record("E3_random_graph_ratio", cols, rows)
     # the theorem's shape: no regime drifts above 2 by more than finite-n noise
     assert all(r[2] <= 2.6 and r[3] <= 2.6 and r[4] <= 2.6 for r in rows)
 

@@ -7,6 +7,8 @@ algorithm across a size sweep; pytest-benchmark's per-size medians expose
 the growth rate.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -19,7 +21,10 @@ from repro.random_graphs.gilbert import gnnp
 from repro.scheduling.bounds import uniform_capacity_lower_bound
 from repro.scheduling.instance import UniformInstance
 
-from benchmarks._common import emit_table, run_batch
+from benchmarks._common import emit_record, emit_table, run_batch
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+GROWTH_SIZES = (50, 100) if SMOKE else (50, 100, 200, 400, 800)
 
 
 def make_instance(n_side: int, m: int, seed: int) -> UniformInstance:
@@ -68,8 +73,7 @@ def test_e10_growth_table(benchmark):
 
     def build():
         instances = [
-            make_instance(n_side, 8, seed=104)
-            for n_side in (50, 100, 200, 400, 800)
+            make_instance(n_side, 8, seed=104) for n_side in GROWTH_SIZES
         ]
         results = run_batch(instances, algorithm="sqrt_approx")
         return [
@@ -82,11 +86,13 @@ def test_e10_growth_table(benchmark):
     # the naive cubic blowup (4096x); allow generous noise
     t_small, t_big = rows[0][2], rows[-1][2]
     assert t_big < t_small * 1500
+    cols = ["n jobs", "|E|", "Algorithm 1 time (ms)"]
     emit_table(
         "E10_scaling",
         format_table(
-            ["n jobs", "|E|", "Algorithm 1 time (ms)"],
+            cols,
             rows,
             title="E10 (Lemma 10): Algorithm 1 wall-clock growth",
         ),
     )
+    emit_record("E10_scaling", cols, rows, notes=f"smoke={SMOKE}")

@@ -18,7 +18,7 @@ from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import UnrelatedInstance, unit_uniform_instance
 from repro.solvers import solve
 
-from benchmarks._common import emit_table, run_batch
+from benchmarks._common import emit_record, emit_table, run_batch
 
 F = Fraction
 
@@ -62,14 +62,16 @@ def test_e14_dispatch_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["instance", "auto choice", "opt Cmax", "auto Cmax", "ratio"]
     emit_table(
         "E14_dispatch",
         format_table(
-            ["instance", "auto choice", "opt Cmax", "auto Cmax", "ratio"],
+            cols,
             rows,
             title="E14: structure-aware dispatch vs brute-force optimum",
         ),
     )
+    emit_record("E14_dispatch", cols, rows)
     # shape: dispatch never exceeds twice the optimum on this suite and
     # the exact-capable rows are exact
     for row in rows:

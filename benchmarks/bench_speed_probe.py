@@ -16,7 +16,7 @@ from repro.analysis.tables import format_table
 from repro.core.sqrt_approx import sqrt_approx_schedule
 from repro.solvers import solve
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 F = Fraction
 
@@ -58,10 +58,11 @@ def test_e17_fixed_speed_table(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["speeds", "Alg1 worst ratio", "auto worst ratio", "graphs probed"]
     emit_table(
         "E17_speed_probe",
         format_table(
-            ["speeds", "Alg1 worst ratio", "auto worst ratio", "graphs probed"],
+            cols,
             rows,
             title=(
                 "E17 (Sec. 6): certified worst-case ratio lower bounds, "
@@ -69,6 +70,7 @@ def test_e17_fixed_speed_table(benchmark):
             ),
         ),
     )
+    emit_record("E17_speed_probe", cols, rows)
     for row in rows:
         # Theorem 9 envelope: sqrt(19) ~ 4.36; measured worst cases
         # should sit far below it, and never above it

@@ -22,7 +22,7 @@ from repro.scheduling.bounds import min_cover_time
 from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import UniformInstance
 
-from benchmarks._common import emit_table
+from benchmarks._common import emit_record, emit_table
 
 from tests.conftest import random_uniform_instance
 
@@ -47,10 +47,11 @@ def test_e2_family_table(benchmark):
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
     worst = max(r[3] for r in rows)
+    cols = ["graph", "speeds", "chosen", "Cmax/C**", "sqrt(sum p)"]
     emit_table(
         "E2_sqrt_approx_families",
         format_table(
-            ["graph", "speeds", "chosen", "Cmax/C**", "sqrt(sum p)"],
+            cols,
             rows,
             title=(
                 "E2 (Thm 9): Algorithm 1 measured ratio vs capacity bound "
@@ -58,6 +59,7 @@ def test_e2_family_table(benchmark):
             ),
         ),
     )
+    emit_record("E2_sqrt_approx_families", cols, rows)
 
 
 def test_e2_exact_ratio_small(benchmark):
@@ -75,14 +77,17 @@ def test_e2_exact_ratio_small(benchmark):
         return collect_ratio_stats(ratios)
 
     stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["instances", "mean ratio", "min", "max"]
+    rows = [[stats.count, stats.mean, stats.minimum, stats.maximum]]
     emit_table(
         "E2_sqrt_approx_exact",
         format_table(
-            ["instances", "mean ratio", "min", "max"],
-            [[stats.count, stats.mean, stats.minimum, stats.maximum]],
+            cols,
+            rows,
             title="E2 (Thm 9): Algorithm 1 vs exact optimum (oracle sizes)",
         ),
     )
+    emit_record("E2_sqrt_approx_exact", cols, rows)
     assert stats.maximum < 2.5  # empirically far below the sqrt envelope
 
 

@@ -24,7 +24,12 @@ from repro.analysis.suites import (
 from repro.io import instance_to_dict
 from repro.runtime import BatchTask
 
-from benchmarks._common import emit_table, run_batch
+from benchmarks._common import emit_record, emit_table, run_batch
+
+MODEL_COLS = [
+    "model", "algorithm", "count", "cached", "errors", "mean ratio",
+    "worst ratio", "solve time (ms)",
+]
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 N = 6 if SMOKE else 16
@@ -68,6 +73,10 @@ def test_e10_r2_model_families(benchmark):
             "(ratio vs exact R lower bound)",
         ),
     )
+    emit_record(
+        "E10_unrelated_families", MODEL_COLS, rows,
+        notes=f"n={N}, seeds={SEEDS}, smoke={SMOKE}",
+    )
 
 
 def test_e10_hardness_r_families(benchmark):
@@ -95,4 +104,8 @@ def test_e10_hardness_r_families(benchmark):
             results,
             title="E10 (Thm 24 context): hardness_r instances, m = 3",
         ),
+    )
+    emit_record(
+        "E10_hardness_r", MODEL_COLS, summarize_models(results),
+        notes=f"n={max(N, 6)}, seeds={SEEDS}, smoke={SMOKE}",
     )

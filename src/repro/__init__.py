@@ -37,6 +37,7 @@ from repro.exceptions import (
     InvalidInstanceError,
     InvalidScheduleError,
     CacheCollisionError,
+    BenchSchemaError,
 )
 from repro.graphs import (
     BipartiteGraph,
@@ -82,7 +83,7 @@ from repro.core import (
 from repro.hardness import theorem8_reduction, theorem24_reduction
 from repro.random_graphs import gnnp
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # imported below the paper-facing API so the registry sees every algorithm
 from repro.core import (
@@ -120,6 +121,16 @@ from repro.certify import (
     audit_instance,
     certified_optimal,
     certify_schedule,
+)
+from repro.perf import (
+    BenchPhase,
+    BenchRecord,
+    ProfileReport,
+    TimingResult,
+    measure,
+    profile_top,
+    validate_bench_record,
+    write_bench_record,
 )
 
 __all__ = [
@@ -199,5 +210,14 @@ __all__ = [
     "audit_instance",
     "certified_optimal",
     "certify_schedule",
+    "BenchSchemaError",
+    "BenchPhase",
+    "BenchRecord",
+    "ProfileReport",
+    "TimingResult",
+    "measure",
+    "profile_top",
+    "validate_bench_record",
+    "write_bench_record",
     "__version__",
 ]

@@ -6,6 +6,12 @@ from repro.analysis.ratio import RatioStats, ratio_of, collect_ratio_stats
 from repro.analysis.tables import format_table, render_number
 from repro.analysis.experiments import run_grid, ExperimentRow
 from repro.analysis.gantt import render_gantt, render_schedule_summary
+from repro.analysis.perf_trend import (
+    load_bench_records,
+    perf_trend_rows,
+    perf_trend_table,
+    phase_table,
+)
 from repro.analysis.speed_probe import (
     ProbeResult,
     worst_ratio_exhaustive,
@@ -32,6 +38,10 @@ __all__ = [
     "ProbeResult",
     "worst_ratio_exhaustive",
     "worst_ratio_sampled",
+    "load_bench_records",
+    "perf_trend_rows",
+    "perf_trend_table",
+    "phase_table",
     "standard_graph_families",
     "job_weight_profile",
     "speed_profile_suite",

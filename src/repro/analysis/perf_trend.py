@@ -1,0 +1,141 @@
+"""Perf-trajectory aggregation: BENCH artifacts into trend tables.
+
+Every benchmark run leaves ``BENCH_<id>.json`` records (plus an
+append-only ``BENCH_trajectory.jsonl``) in ``benchmarks/out/``
+(:mod:`repro.perf.record`).  This module folds those records into the
+tables that answer "is the system getting faster": per-experiment
+summaries (:func:`perf_trend_table`) and per-phase timing rows
+(:func:`phase_table`), keyed by git revision and timestamp so a
+trajectory across commits reads top to bottom.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.perf.record import validate_bench_record
+
+__all__ = [
+    "load_bench_records",
+    "perf_trend_rows",
+    "perf_trend_table",
+    "phase_table",
+]
+
+
+def load_bench_records(
+    out_dir: str | Path, trajectory: bool = False
+) -> list[dict[str, Any]]:
+    """Load (and validate) the bench records of an artifact directory.
+
+    Parameters
+    ----------
+    out_dir:
+        The artifact directory (``benchmarks/out``).
+    trajectory:
+        Read the append-only ``BENCH_trajectory.jsonl`` (every run ever
+        emitted, the *trend* view) instead of the per-experiment
+        ``BENCH_*.json`` files (latest run per experiment).
+
+    Returns
+    -------
+    list of dict
+        Schema-valid record dicts, in filename / append order.
+
+    Raises
+    ------
+    repro.exceptions.BenchSchemaError
+        If any record violates the schema.
+    """
+    from repro.io import iter_jsonl, load_json
+
+    directory = Path(out_dir)
+    records: list[dict[str, Any]] = []
+    if trajectory:
+        path = directory / "BENCH_trajectory.jsonl"
+        if path.exists():
+            for record in iter_jsonl(path):
+                validate_bench_record(record)
+                records.append(record)
+        return records
+    for path in sorted(directory.glob("BENCH_*.json")):
+        record = load_json(path)
+        validate_bench_record(record)
+        records.append(record)
+    return records
+
+
+def perf_trend_rows(records: Iterable[dict[str, Any]]) -> list[list[Any]]:
+    """One summary row per record.
+
+    Each row: ``[experiment, git rev, timestamp, sweep rows, phases,
+    phase wall (ms)]``; the wall column sums the record's per-phase
+    medians (``nan`` when the record carries no phases — ratio-only
+    experiments).
+    """
+    rows: list[list[Any]] = []
+    for record in records:
+        phases = record.get("phases", [])
+        wall = (
+            sum(float(p.get("wall_time_s", 0.0)) for p in phases) * 1e3
+            if phases
+            else float("nan")
+        )
+        rows.append(
+            [
+                record["experiment_id"],
+                record["git_rev"],
+                record["timestamp"],
+                len(record.get("rows", [])),
+                len(phases),
+                wall,
+            ]
+        )
+    return rows
+
+
+def perf_trend_table(
+    records: Iterable[dict[str, Any]], title: str | None = None
+) -> str:
+    """Render :func:`perf_trend_rows` as an aligned monospace table."""
+    from repro.analysis.tables import format_table
+
+    return format_table(
+        ["experiment", "git rev", "timestamp", "rows", "phases", "phase wall (ms)"],
+        perf_trend_rows(records),
+        title=title or "perf trajectory (BENCH records)",
+    )
+
+
+def phase_table(
+    records: Iterable[dict[str, Any]], title: str | None = None
+) -> str:
+    """Per-phase timing rows across records (the drill-down view).
+
+    Each row: ``[experiment, phase, size, wall (ms), cpu (ms),
+    repeat]`` in record order; ``size`` renders the phase's size dict
+    compactly (``n=800,edges=6357``).
+    """
+    from repro.analysis.tables import format_table
+
+    rows: list[list[Any]] = []
+    for record in records:
+        for phase in record.get("phases", []):
+            size = ",".join(f"{k}={v}" for k, v in phase.get("size", {}).items())
+            cpu = phase.get("cpu_time_s")
+            rows.append(
+                [
+                    record["experiment_id"],
+                    phase["name"],
+                    size or "-",
+                    float(phase["wall_time_s"]) * 1e3,
+                    float(cpu) * 1e3 if cpu is not None else float("nan"),
+                    phase.get("repeat", 1),
+                ]
+            )
+    return format_table(
+        ["experiment", "phase", "size", "wall (ms)", "cpu (ms)", "repeat"],
+        rows,
+        title=title or "per-phase timings (BENCH records)",
+    )

@@ -111,14 +111,31 @@ def audit_instance(
 ) -> list[AuditRow]:
     """Audit every applicable registered algorithm on one instance.
 
-    ``specs`` defaults to the live registry
-    (:data:`repro.solvers.ALGORITHMS`); passing a mapping makes the
-    auditor testable against deliberately lying specs.  ``algorithms``
-    restricts the sweep to the named subset.  The exact oracle runs at
-    most once per instance (``n <= oracle_max_n``) and its optimum is
-    shared across all audited algorithms; specs marked ``exponential``
-    (the brute-force oracle itself) are skipped above the same cut-off —
-    they *are* exhaustive searches and would hang the sweep.
+    Parameters
+    ----------
+    name:
+        Label stored on each produced row.
+    instance:
+        The instance every applicable algorithm runs on.
+    specs:
+        Algorithm registry to audit.  Defaults to the live
+        :data:`repro.solvers.ALGORITHMS`; passing a mapping makes the
+        auditor testable against deliberately lying specs.
+    algorithms:
+        Restrict the sweep to this named subset (default: all).
+    oracle_max_n:
+        Ground-truth cut-off: the exact oracle runs at most once per
+        instance with ``n <= oracle_max_n`` and its optimum is shared
+        across all audited algorithms.  Specs marked ``exponential``
+        (the brute-force oracle itself) are skipped above the same
+        cut-off — they *are* exhaustive searches and would hang the
+        sweep.
+
+    Returns
+    -------
+    list of AuditRow
+        One row per audited algorithm, in registry order; empty when
+        nothing applies.
     """
     if specs is None:
         from repro.solvers import ALGORITHMS
@@ -377,7 +394,22 @@ def audit_guarantees(
     algorithms: Iterable[str] | None = None,
     oracle_max_n: int = DEFAULT_ORACLE_MAX_N,
 ) -> list[AuditRow]:
-    """Audit a named instance sweep; rows in suite x registry order."""
+    """Audit a named instance sweep; rows in suite x registry order.
+
+    Parameters
+    ----------
+    suite:
+        ``(name, instance)`` pairs, e.g. from
+        :func:`repro.analysis.suites.certification_suite`.
+    specs, algorithms, oracle_max_n:
+        Forwarded to :func:`audit_instance` per suite entry.
+
+    Returns
+    -------
+    list of AuditRow
+        One row per (instance, applicable algorithm); a clean sweep has
+        no row with a status in :data:`VIOLATION_STATUSES`.
+    """
     rows: list[AuditRow] = []
     for name, instance in suite:
         rows.extend(

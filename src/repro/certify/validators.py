@@ -177,9 +177,23 @@ def certify_schedule(
 ) -> CertificateReport:
     """Audit ``schedule`` end-to-end and return the certificate.
 
-    ``claimed_makespan`` defaults to what the schedule object itself
-    reports; pass the makespan a solver or a cache record *claimed* to
-    cross-check persisted data against the actual assignment.
+    Parameters
+    ----------
+    schedule:
+        The schedule to audit (its instance travels with it).
+    algorithm:
+        Name stored on the report (provenance only; no registry lookup).
+    claimed_makespan:
+        The makespan a solver or cache record *claimed*.  Defaults to
+        what the schedule object itself reports; passing a persisted
+        value cross-checks stored data against the actual assignment.
+
+    Returns
+    -------
+    CertificateReport
+        Conflict edges, eligibility violations, the independently
+        recomputed makespan, and the lower-bound cross-check; ``.ok``
+        summarises them.
     """
     instance = schedule.instance
     graph = instance.graph

@@ -23,6 +23,13 @@ Commands
     families, audit every schedule, compare ratios against declared
     guarantees (exact-oracle ground truth where tractable), and exit
     non-zero on any violation.
+``perf``
+    Measure the optimized hot paths (Hopcroft–Karp, greedy list
+    scheduling, the exact oracle, BatchRunner fan-out) against their
+    preserved pre-optimization baselines and emit machine-readable
+    ``BENCH_PERF_*`` artifacts; ``--check DIR`` validates existing
+    ``BENCH_*.json`` artifacts against the schema instead (the CI
+    gate).
 ``experiment``
     Re-run one experiment (E1..) by invoking its benchmark file through
     pytest.
@@ -176,6 +183,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated algorithm subset (default: every applicable)",
     )
     cert.add_argument("--out", type=str, default=None, help="audit rows JSONL path")
+
+    perf = sub.add_parser(
+        "perf",
+        help="measure the optimized hot paths against their preserved "
+        "baselines and emit BENCH_PERF_* artifacts (or --check existing "
+        "BENCH_*.json artifacts against the schema)",
+    )
+    perf.add_argument(
+        "--target", type=str, default="all",
+        help="scenario to run: all, or one of the named hot paths "
+        "(see repro.perf.scenarios)",
+    )
+    perf.add_argument("--repeat", type=int, default=5, help="timed runs per case (median reported)")
+    perf.add_argument("--warmup", type=int, default=1, help="discarded runs before timing")
+    perf.add_argument(
+        "--smoke", action="store_true",
+        help="CI shape: smaller sweeps, same code paths",
+    )
+    perf.add_argument(
+        "--profile", action="store_true",
+        help="also print the cProfile top-10 of each scenario's largest case",
+    )
+    perf.add_argument(
+        "--out-dir", type=str, default=None,
+        help="artifact directory (default: benchmarks/out next to the package)",
+    )
+    perf.add_argument(
+        "--check", type=str, default=None, metavar="DIR",
+        help="validate every BENCH_*.json (and BENCH_trajectory.jsonl) in "
+        "DIR against the schema and exit; non-zero on any violation",
+    )
 
     exp = sub.add_parser("experiment", help="re-run one experiment (E1, E2, ...)")
     exp.add_argument("experiment_id", type=str, help="experiment id, e.g. E3")
@@ -352,6 +390,86 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_perf_check(directory: str) -> int:
+    from pathlib import Path
+
+    from repro.exceptions import BenchSchemaError
+    from repro.io import load_json
+    from repro.perf import validate_bench_record
+
+    root = Path(directory)
+    checked = 0
+    failures: list[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        checked += 1
+        try:
+            validate_bench_record(load_json(path))
+        except (BenchSchemaError, ValueError) as exc:
+            failures.append(f"{path.name}: {exc}")
+    trajectory = root / "BENCH_trajectory.jsonl"
+    if trajectory.exists():
+        # parse line-by-line: one truncated append (a killed CI run) must
+        # report as a violation, not crash the gate and swallow the rest
+        import json
+
+        for i, line in enumerate(
+            trajectory.read_text(encoding="utf-8").splitlines()
+        ):
+            if not line.strip():
+                continue
+            checked += 1
+            try:
+                validate_bench_record(json.loads(line))
+            except (BenchSchemaError, json.JSONDecodeError) as exc:
+                failures.append(f"{trajectory.name}:{i}: {exc}")
+    for failure in failures:
+        print(f"SCHEMA VIOLATION {failure}", file=sys.stderr)
+    print(
+        f"perf --check: {checked} record(s) in {root}, "
+        f"{len(failures)} violation(s)"
+    )
+    if checked == 0:
+        print(f"error: no BENCH_*.json artifacts found in {root}", file=sys.stderr)
+        return 2
+    return 1 if failures else 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import profile_top, write_bench_record
+    from repro.perf.scenarios import SCENARIO_NAMES, run_scenario
+
+    if args.check is not None:
+        return _cmd_perf_check(args.check)
+    targets = SCENARIO_NAMES if args.target == "all" else (args.target,)
+    out_dir = (
+        Path(args.out_dir)
+        if args.out_dir is not None
+        else Path(__file__).resolve().parents[2] / "benchmarks" / "out"
+    )
+    for target in targets:
+        outcome = run_scenario(
+            target, repeat=args.repeat, warmup=args.warmup, smoke=args.smoke
+        )
+        record = outcome.record
+        print(
+            format_table(
+                list(record.columns),
+                [list(row) for row in record.rows],
+                title=f"{record.experiment_id} @ {record.git_rev} "
+                f"(repeat={args.repeat}, warmup={args.warmup}"
+                f"{', smoke' if args.smoke else ''})",
+            )
+        )
+        path = write_bench_record(record, out_dir)
+        print(f"[bench record written to {path}]\n")
+        if args.profile:
+            print(profile_top(outcome.profile_fn, label=target).table())
+            print()
+    return 0
+
+
 def _cmd_experiment(experiment_id: str) -> int:
     import subprocess
     from pathlib import Path
@@ -419,6 +537,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_batch(args)
         if args.command == "certify":
             return _cmd_certify(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "experiment":
             return _cmd_experiment(args.experiment_id)
         if args.command == "report":

@@ -14,6 +14,7 @@ __all__ = [
     "InvalidInstanceError",
     "InvalidScheduleError",
     "CacheCollisionError",
+    "BenchSchemaError",
 ]
 
 
@@ -59,6 +60,16 @@ class InvalidInstanceError(ReproError):
 
 class InvalidScheduleError(ReproError):
     """Raised when a schedule fails validation against its instance."""
+
+
+class BenchSchemaError(ReproError):
+    """Raised when a ``BENCH_<id>.json`` perf artifact violates the schema.
+
+    The perf trajectory (:mod:`repro.perf.record`) is machine-read by CI
+    and by :func:`repro.analysis.perf_trend.perf_trend_table`; a record
+    with missing fields or malformed rows must fail loudly at emit or
+    validation time, not silently corrupt the trend tables downstream.
+    """
 
 
 class CacheCollisionError(ReproError):

@@ -5,7 +5,20 @@ by König's theorem ``alpha(G) = n - mu(G)`` for bipartite ``G`` on ``n``
 vertices, which Lemma 14 and Theorem 19 use to lower-bound the work that
 must leave machine ``M_1``.
 
-Runs in ``O(E sqrt(V))``.
+Runs in ``O(E sqrt(V))``.  Optimized (vs the preserved reference
+:func:`repro.perf.baselines.hopcroft_karp_baseline`, measured by
+``repro perf --target hopcroft_karp``):
+
+* **adjacency reuse** — each left vertex's neighbourhood is materialised
+  once per call as a plain list, so every BFS/DFS phase walks lists
+  instead of re-fetching frozensets (int-set iteration order is stable
+  for a fixed graph, so the mate array stays deterministic);
+* **greedy seeding** — a maximal matching is built during the adjacency
+  pass, so the phase loop only has to augment the (typically small)
+  remainder instead of growing the matching from empty;
+* **iterative DFS** — the augmenting search keeps an explicit
+  path/iterator stack in plain locals: no recursion, no recursion-limit
+  juggling, no per-frame Python call overhead.
 """
 
 from __future__ import annotations
@@ -26,12 +39,28 @@ def hopcroft_karp(graph: BipartiteGraph) -> list[int]:
     ``v`` is exposed.  The declared bipartition witness provides the two
     sides; left = side 0.
     """
+    n = graph.n
     left = graph.vertices_on_side(0)
-    mate = [-1] * graph.n
-    dist: dict[int, float] = {}
+    adj: list[list[int]] = [[] for _ in range(n)]
+    mate = [-1] * n
+    # one pass builds the reusable adjacency AND seeds a maximal matching
+    for u in left:
+        nbrs = list(graph.neighbors(u))
+        adj[u] = nbrs
+        for v in nbrs:
+            if mate[v] == -1:
+                mate[u] = v
+                mate[v] = u
+                break
+    dist: list[float] = [_INF] * n
 
-    def bfs() -> bool:
-        q = deque()
+    # per-root DFS state, reused across the whole call (cleared on use)
+    path_u: list[int] = []
+    path_v: list[int] = []
+    iters: list = []
+    while True:
+        # BFS phase: level the alternating-path graph from free lefts
+        q: deque[int] = deque()
         for u in left:
             if mate[u] == -1:
                 dist[u] = 0
@@ -41,40 +70,53 @@ def hopcroft_karp(graph: BipartiteGraph) -> list[int]:
         found = False
         while q:
             u = q.popleft()
-            for v in graph.neighbors(u):
+            du1 = dist[u] + 1
+            for v in adj[u]:
                 w = mate[v]
                 if w == -1:
                     found = True
                 elif dist[w] == _INF:
-                    dist[w] = dist[u] + 1
+                    dist[w] = du1
                     q.append(w)
-        return found
-
-    def dfs(u: int) -> bool:
-        for v in graph.neighbors(u):
-            w = mate[v]
-            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
-                mate[u] = v
-                mate[v] = u
-                return True
-        dist[u] = _INF
-        return False
-
-    import sys
-
-    # Augmenting-path DFS recursion depth is bounded by the phase count of
-    # Hopcroft-Karp (O(sqrt(V))) times constant, but allow for deep paths on
-    # path-like graphs.
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, graph.n * 2 + 100))
-    try:
-        while bfs():
-            for u in left:
-                if mate[u] == -1:
-                    dfs(u)
-    finally:
-        sys.setrecursionlimit(old_limit)
-    return mate
+        if not found:
+            return mate
+        # DFS phase: vertex-disjoint augmenting paths along the levels
+        for root in left:
+            if mate[root] != -1:
+                continue
+            path_u.append(root)
+            iters.append(iter(adj[root]))
+            while path_u:
+                u = path_u[-1]
+                du1 = dist[u] + 1
+                for v in iters[-1]:
+                    w = mate[v]
+                    if w == -1:
+                        # free right vertex: flip the augmenting path
+                        path_v.append(v)
+                        for k in range(len(path_u)):
+                            pu = path_u[k]
+                            pv = path_v[k]
+                            mate[pu] = pv
+                            mate[pv] = pu
+                        path_u.clear()
+                        path_v.clear()
+                        iters.clear()
+                        break
+                    if dist[w] == du1:
+                        # descend; resuming this level later continues
+                        # exactly where the saved iterator left off
+                        path_v.append(v)
+                        path_u.append(w)
+                        iters.append(iter(adj[w]))
+                        break
+                else:
+                    # exhausted: u is off any augmenting path this phase
+                    dist[u] = _INF
+                    path_u.pop()
+                    iters.pop()
+                    if path_v:
+                        path_v.pop()
 
 
 def maximum_matching_size(graph: BipartiteGraph) -> int:

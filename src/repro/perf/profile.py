@@ -1,0 +1,129 @@
+"""cProfile wrapper: top-N hotspot extraction as structured data.
+
+``repro perf --profile`` and the optimization workflow documented in
+``docs/PERFORMANCE.md`` both need "where does the time go" as *data*,
+not as a wall of ``pstats`` text: :func:`profile_top` runs a callable
+under :mod:`cProfile` and returns the top-N lines by cumulative time as
+:class:`ProfileLine` records, renderable with :meth:`ProfileReport.table`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import InvalidInstanceError
+
+__all__ = ["ProfileLine", "ProfileReport", "profile_top"]
+
+
+@dataclass(frozen=True)
+class ProfileLine:
+    """One profiled function: location, call counts, and times."""
+
+    function: str
+    ncalls: int
+    tottime_s: float
+    cumtime_s: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Top-N profile of one call.
+
+    Parameters
+    ----------
+    label:
+        Name of the profiled callable.
+    total_time_s:
+        Total profiled time (sum of ``tottime`` over all functions).
+    lines:
+        The top-N entries, sorted by cumulative time, descending.
+    value:
+        The profiled callable's return value.
+    """
+
+    label: str
+    total_time_s: float
+    lines: tuple[ProfileLine, ...]
+    value: Any
+
+    def table(self, title: str | None = None) -> str:
+        """Render the hotspots as an aligned monospace table."""
+        from repro.analysis.tables import format_table
+
+        rows = [
+            [line.function, line.ncalls, line.tottime_s * 1e3, line.cumtime_s * 1e3]
+            for line in self.lines
+        ]
+        return format_table(
+            ["function", "ncalls", "tottime (ms)", "cumtime (ms)"],
+            rows,
+            title=title or f"profile: {self.label} ({self.total_time_s * 1e3:.1f} ms total)",
+        )
+
+
+def _line_name(func: tuple[str, int, str]) -> str:
+    filename, lineno, name = func
+    if filename == "~":
+        return name  # builtins
+    short = filename.rsplit("/", 1)[-1]
+    return f"{short}:{lineno}:{name}"
+
+
+def profile_top(
+    fn: Callable[..., Any],
+    *args: Any,
+    top: int = 10,
+    label: str | None = None,
+    **kwargs: Any,
+) -> ProfileReport:
+    """Profile one call of ``fn(*args, **kwargs)``; keep the top-N lines.
+
+    Parameters
+    ----------
+    fn:
+        The callable to profile.
+    *args, **kwargs:
+        Forwarded to ``fn``.
+    top:
+        How many lines to keep (by cumulative time, must be >= 1).
+    label:
+        Report label; defaults to ``fn.__name__``.
+
+    Returns
+    -------
+    ProfileReport
+        Structured hotspots plus the call's return value.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        If ``top < 1``.
+    """
+    if top < 1:
+        raise InvalidInstanceError(f"top must be >= 1, got {top}")
+    profiler = cProfile.Profile()
+    value = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler)
+    entries = []
+    total = 0.0
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        total += tottime
+        entries.append(
+            ProfileLine(
+                function=_line_name(func),
+                ncalls=int(nc),
+                tottime_s=float(tottime),
+                cumtime_s=float(cumtime),
+            )
+        )
+    entries.sort(key=lambda line: (-line.cumtime_s, line.function))
+    return ProfileReport(
+        label=label or getattr(fn, "__name__", "callable"),
+        total_time_s=total,
+        lines=tuple(entries[:top]),
+        value=value,
+    )

@@ -1,0 +1,395 @@
+"""The ``BENCH_<id>.json`` perf-artifact schema.
+
+Every benchmark run (and every ``repro perf`` scenario) leaves a
+machine-readable record of what was measured: the experiment id, the git
+revision and timestamp it ran at, the instance-size sweep as a
+column/row table, and the per-phase timings.  Records are emitted by
+:func:`benchmarks._common.emit_record` next to each human-readable
+``.txt`` table, validated by :func:`validate_bench_record` (CI fails on
+schema violations via ``repro perf --check``), and aggregated into
+trajectory tables by :mod:`repro.analysis.perf_trend`.
+
+Design constraints mirror :mod:`repro.io`: the on-disk form is plain
+JSON, exact rationals are stored as ``"num/den"`` strings, and a round
+trip through :func:`BenchRecord.to_dict` / :func:`BenchRecord.from_dict`
+is loss-free.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from functools import lru_cache
+from datetime import datetime, timezone
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import BenchSchemaError
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BenchPhase",
+    "BenchRecord",
+    "git_revision",
+    "json_cell",
+    "utc_timestamp",
+    "validate_bench_record",
+    "write_bench_record",
+]
+
+#: format tag stamped into every record (bump on incompatible change)
+BENCH_FORMAT = "repro/bench-record/v1"
+
+
+@lru_cache(maxsize=8)
+def _git_revision_cached(where: Path) -> str:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=where,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=where,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return f"{rev}-dirty" if status else rev
+
+
+def git_revision(cwd: str | Path | None = None) -> str:
+    """The short git revision of the working tree, or ``"unknown"``.
+
+    Parameters
+    ----------
+    cwd:
+        Directory to resolve the revision in.  Defaults to this file's
+        repository checkout; artifacts emitted from an installed wheel
+        (no ``.git``) degrade to ``"unknown"`` instead of raising.
+
+    Returns
+    -------
+    str
+        Short commit hash, with a ``"-dirty"`` suffix when the tree has
+        uncommitted changes, or ``"unknown"``.
+
+    Notes
+    -----
+    Cached per directory for the life of the process — a benchmark
+    suite stamps dozens of artifacts and the revision cannot change
+    mid-run, so only the first call pays the two git subprocesses.
+    """
+    where = Path(cwd) if cwd is not None else Path(__file__).resolve().parent
+    return _git_revision_cached(where)
+
+
+def utc_timestamp() -> str:
+    """The current UTC time as an ISO-8601 string (second precision)."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def json_cell(value: Any) -> Any:
+    """One table cell coerced to a JSON-stable scalar.
+
+    Exact rationals become ``"num/den"`` strings (loss-free, matching
+    :mod:`repro.io`); numpy scalars collapse to their Python ``int`` /
+    ``float``; everything else unknown falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    # numpy scalars expose item(); avoid importing numpy here
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return json_cell(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+@dataclass(frozen=True)
+class BenchPhase:
+    """One timed phase of a benchmark or perf scenario.
+
+    Parameters
+    ----------
+    name:
+        Phase label, e.g. ``"hopcroft_karp[n=800]"``.
+    wall_time_s:
+        Median wall-clock seconds across the repeats.
+    cpu_time_s:
+        Median CPU seconds (``None`` when not measured).
+    repeat:
+        How many timed repetitions the median is over.
+    size:
+        The instance-size coordinates of this phase (``{"n": 800}``).
+    ratio:
+        Makespan/bound quotient where the phase solves instances
+        (``None`` for pure computational kernels).
+    """
+
+    name: str
+    wall_time_s: float
+    cpu_time_s: float | None = None
+    repeat: int = 1
+    size: dict[str, Any] = field(default_factory=dict)
+    ratio: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict form."""
+        return {
+            "name": self.name,
+            "wall_time_s": self.wall_time_s,
+            "cpu_time_s": self.cpu_time_s,
+            "repeat": self.repeat,
+            "size": {k: json_cell(v) for k, v in self.size.items()},
+            "ratio": self.ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchPhase":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            wall_time_s=float(data["wall_time_s"]),
+            cpu_time_s=(
+                None if data.get("cpu_time_s") is None else float(data["cpu_time_s"])
+            ),
+            repeat=int(data.get("repeat", 1)),
+            size=dict(data.get("size", {})),
+            ratio=None if data.get("ratio") is None else float(data["ratio"]),
+        )
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One machine-readable benchmark artifact (``BENCH_<id>.json``).
+
+    Parameters
+    ----------
+    experiment_id:
+        The experiment this record belongs to (``"E10_scaling"``,
+        ``"PERF_hopcroft_karp"``); determines the artifact filename.
+    git_rev:
+        Git revision the measurement ran at (:func:`git_revision`).
+    timestamp:
+        ISO-8601 UTC emission time (:func:`utc_timestamp`).
+    columns:
+        Header of the sweep table (mirrors the emitted ``.txt``).
+    rows:
+        The sweep data, one row per size/configuration cell; cells are
+        JSON-stable scalars (:func:`json_cell` is applied on ``build``).
+    phases:
+        Per-phase timings (may be empty for ratio-only experiments).
+    notes:
+        Free-form provenance (sweep description, smoke flag, ...).
+    """
+
+    experiment_id: str
+    git_rev: str
+    timestamp: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    phases: tuple[BenchPhase, ...] = ()
+    notes: str = ""
+
+    @classmethod
+    def build(
+        cls,
+        experiment_id: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        phases: Iterable[BenchPhase] = (),
+        notes: str = "",
+        git_rev: str | None = None,
+        timestamp: str | None = None,
+    ) -> "BenchRecord":
+        """Construct a record, stamping provenance and coercing cells.
+
+        Parameters
+        ----------
+        experiment_id, columns, rows, phases, notes:
+            See the class fields.
+        git_rev, timestamp:
+            Explicit provenance overrides; default to the live
+            :func:`git_revision` / :func:`utc_timestamp`.
+
+        Returns
+        -------
+        BenchRecord
+            A schema-valid record (validated before returning).
+
+        Raises
+        ------
+        repro.exceptions.BenchSchemaError
+            If the assembled record violates the schema (e.g. a row
+            length disagrees with ``columns``).
+        """
+        record = cls(
+            experiment_id=str(experiment_id),
+            git_rev=git_revision() if git_rev is None else git_rev,
+            timestamp=utc_timestamp() if timestamp is None else timestamp,
+            columns=tuple(str(c) for c in columns),
+            rows=tuple(tuple(json_cell(cell) for cell in row) for row in rows),
+            phases=tuple(phases),
+            notes=notes,
+        )
+        validate_bench_record(record.to_dict())
+        return record
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict form (the on-disk schema)."""
+        return {
+            "format": BENCH_FORMAT,
+            "kind": "bench_record",
+            "experiment_id": self.experiment_id,
+            "git_rev": self.git_rev,
+            "timestamp": self.timestamp,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "phases": [phase.to_dict() for phase in self.phases],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchRecord":
+        """Inverse of :meth:`to_dict`; validates first.
+
+        Raises
+        ------
+        repro.exceptions.BenchSchemaError
+            If ``data`` is not a schema-valid bench record.
+        """
+        validate_bench_record(data)
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            git_rev=str(data["git_rev"]),
+            timestamp=str(data["timestamp"]),
+            columns=tuple(str(c) for c in data["columns"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+            phases=tuple(BenchPhase.from_dict(p) for p in data["phases"]),
+            notes=str(data.get("notes", "")),
+        )
+
+
+def _fail(experiment: Any, message: str) -> None:
+    raise BenchSchemaError(f"bench record {experiment!r}: {message}")
+
+
+def validate_bench_record(data: Any) -> None:
+    """Check one bench-record dict against the v1 schema.
+
+    Parameters
+    ----------
+    data:
+        The parsed JSON object of a ``BENCH_<id>.json`` file (or one
+        trajectory JSONL line).
+
+    Raises
+    ------
+    repro.exceptions.BenchSchemaError
+        On any violation: wrong format tag, missing field, type
+        mismatch, or a row whose length disagrees with ``columns``.
+    """
+    if not isinstance(data, dict):
+        raise BenchSchemaError(f"bench record must be an object, got {type(data).__name__}")
+    experiment = data.get("experiment_id", "?")
+    if data.get("format") != BENCH_FORMAT:
+        _fail(experiment, f"format must be {BENCH_FORMAT!r}, found {data.get('format')!r}")
+    if data.get("kind") != "bench_record":
+        _fail(experiment, f"kind must be 'bench_record', found {data.get('kind')!r}")
+    for key in ("experiment_id", "git_rev", "timestamp"):
+        if not isinstance(data.get(key), str) or not data[key]:
+            _fail(experiment, f"{key} must be a non-empty string")
+    columns = data.get("columns")
+    if not isinstance(columns, list) or not all(isinstance(c, str) for c in columns):
+        _fail(experiment, "columns must be a list of strings")
+    rows = data.get("rows")
+    if not isinstance(rows, list):
+        _fail(experiment, "rows must be a list")
+    for i, row in enumerate(rows):
+        if not isinstance(row, list):
+            _fail(experiment, f"row {i} must be a list")
+        if len(row) != len(columns):
+            _fail(
+                experiment,
+                f"row {i} has {len(row)} cells for {len(columns)} columns",
+            )
+        for cell in row:
+            if cell is not None and not isinstance(cell, (bool, int, float, str)):
+                _fail(experiment, f"row {i} holds a non-scalar cell {cell!r}")
+    phases = data.get("phases")
+    if not isinstance(phases, list):
+        _fail(experiment, "phases must be a list")
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            _fail(experiment, f"phase {i} must be an object")
+        if not isinstance(phase.get("name"), str) or not phase["name"]:
+            _fail(experiment, f"phase {i} needs a non-empty name")
+        wall = phase.get("wall_time_s")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            _fail(experiment, f"phase {i} wall_time_s must be a non-negative number")
+        repeat = phase.get("repeat", 1)
+        if not isinstance(repeat, int) or isinstance(repeat, bool) or repeat < 1:
+            _fail(experiment, f"phase {i} repeat must be a positive integer")
+        for key in ("cpu_time_s", "ratio"):
+            value = phase.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                _fail(experiment, f"phase {i} {key} must be a number or null")
+        if not isinstance(phase.get("size", {}), dict):
+            _fail(experiment, f"phase {i} size must be an object")
+    if not isinstance(data.get("notes", ""), str):
+        _fail(experiment, "notes must be a string")
+
+
+def write_bench_record(
+    record: BenchRecord,
+    out_dir: str | Path,
+    trajectory: bool = True,
+) -> Path:
+    """Persist ``record`` as ``<out_dir>/BENCH_<id>.json``.
+
+    Parameters
+    ----------
+    record:
+        The record to write (re-validated on the way out).
+    out_dir:
+        Artifact directory; created (with parents) when missing.
+    trajectory:
+        Also append the record as one JSONL line to
+        ``BENCH_trajectory.jsonl`` in the same directory, so repeated
+        runs accumulate a perf trajectory instead of overwriting it.
+
+    Returns
+    -------
+    pathlib.Path
+        The path of the written ``BENCH_<id>.json``.
+    """
+    from repro.io import append_jsonl, save_json
+
+    data = record.to_dict()
+    validate_bench_record(data)
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{record.experiment_id}.json"
+    save_json(data, path)
+    if trajectory:
+        append_jsonl(data, directory / "BENCH_trajectory.jsonl")
+    return path

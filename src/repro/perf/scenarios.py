@@ -1,0 +1,330 @@
+"""Named perf scenarios: the measured hot paths behind ``repro perf``.
+
+Each scenario builds a deterministic workload sweep, times the optimized
+hot path against its preserved pre-optimization reference
+(:mod:`repro.perf.baselines`) under the warmup/repeat/median policy of
+:mod:`repro.perf.timer`, asserts result equivalence along the way, and
+returns the before/after table as a schema-valid
+:class:`~repro.perf.record.BenchRecord` (experiment ids
+``PERF_<target>``).  ``docs/PERFORMANCE.md`` reproduces these tables;
+CI runs the ``smoke`` shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.perf.baselines import (
+    assign_group_greedy_baseline,
+    certified_optimal_baseline,
+    hopcroft_karp_baseline,
+)
+from repro.perf.record import BenchPhase, BenchRecord
+from repro.perf.timer import TimingResult, measure
+
+__all__ = ["ScenarioOutcome", "SCENARIO_NAMES", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's measured sweep.
+
+    Parameters
+    ----------
+    record:
+        The before/after table and phase timings, ready to persist as
+        ``BENCH_PERF_<target>.json``.
+    profile_fn:
+        Zero-argument callable exercising the scenario's largest
+        optimized case (the ``repro perf --profile`` target).
+    """
+
+    record: BenchRecord
+    profile_fn: Callable[[], Any]
+
+
+def _speedup_row(
+    case: str,
+    before: TimingResult,
+    after: TimingResult,
+    extra: dict[str, Any] | None = None,
+) -> tuple[list[Any], list[BenchPhase]]:
+    """A ``[case, baseline ms, optimized ms, speedup]`` row + its phases."""
+    row: list[Any] = [
+        case,
+        before.median_s * 1e3,
+        after.median_s * 1e3,
+        before.median_s / after.median_s if after.median_s > 0 else float("inf"),
+    ]
+    size = dict(extra or {})
+    phases = [
+        before.to_phase(name=f"baseline:{case}", size=size),
+        after.to_phase(name=f"optimized:{case}", size=size),
+    ]
+    return row, phases
+
+
+_COLUMNS = ["case", "baseline (ms)", "optimized (ms)", "speedup"]
+
+
+def _scenario_hopcroft_karp(repeat: int, warmup: int, smoke: bool) -> ScenarioOutcome:
+    """Hopcroft–Karp: iterative DFS + adjacency reuse vs recursion."""
+    from repro.graphs.matching import hopcroft_karp, is_matching
+    from repro.random_graphs.gilbert import gnnp
+
+    cases = (
+        [(100, 3.0), (200, 3.0)]
+        if smoke
+        else [(200, 3.0), (400, 20.0), (800, 8.0), (1600, 3.0), (1600, 8.0)]
+    )
+    rows: list[list[Any]] = []
+    phases: list[BenchPhase] = []
+    largest = None
+    for n_side, degree in cases:
+        graph = gnnp(n_side, min(1.0, degree / n_side), seed=7)
+        before = measure(
+            hopcroft_karp_baseline, graph, repeat=repeat, warmup=warmup
+        )
+        after = measure(hopcroft_karp, graph, repeat=repeat, warmup=warmup)
+        mu_before = sum(1 for v in before.value if v != -1) // 2
+        mu_after = sum(1 for v in after.value if v != -1) // 2
+        if mu_before != mu_after or not is_matching(graph, after.value):
+            raise InvalidInstanceError(
+                f"hopcroft_karp equivalence broke on n_side={n_side}: "
+                f"mu {mu_before} vs {mu_after}"
+            )
+        case = f"G({n_side},{n_side},{degree}/n) |E|={graph.edge_count}"
+        row, case_phases = _speedup_row(
+            case, before, after, {"n": graph.n, "edges": graph.edge_count}
+        )
+        row.append(mu_after)
+        rows.append(row)
+        phases.extend(case_phases)
+        largest = graph
+    return ScenarioOutcome(
+        record=BenchRecord.build(
+            "PERF_hopcroft_karp",
+            [*_COLUMNS, "mu"],
+            rows,
+            phases=phases,
+            notes="iterative-DFS + adjacency-reuse Hopcroft-Karp vs the "
+            "recursive reference (repro.perf.baselines); medians of "
+            f"repeat={repeat} after warmup={warmup}",
+        ),
+        profile_fn=lambda: hopcroft_karp(largest),
+    )
+
+
+def _scenario_list_scheduling(repeat: int, warmup: int, smoke: bool) -> ScenarioOutcome:
+    """Greedy list scheduling: speed-grouped load heaps vs O(n*m) scan."""
+    from repro.graphs.generators import empty_graph
+    from repro.machines.profiles import power_law_speeds
+    from repro.scheduling.instance import UniformInstance
+    from repro.scheduling.list_scheduling import assign_group_greedy
+
+    cases = [(200, 16)] if smoke else [(1000, 64), (2000, 200)]
+    rows: list[list[Any]] = []
+    phases: list[BenchPhase] = []
+    largest: tuple[Any, list[int], list[int]] | None = None
+    rng = np.random.default_rng(3)
+    for n, m in cases:
+        graph = empty_graph(n)
+        p = [int(x) for x in rng.integers(1, 20, n)]
+        instance = UniformInstance(graph, p, power_law_speeds(m))
+        jobs = list(range(n))
+        machines = list(range(m))
+        before = measure(
+            assign_group_greedy_baseline,
+            instance,
+            jobs,
+            machines,
+            repeat=repeat,
+            warmup=warmup,
+        )
+        after = measure(
+            assign_group_greedy, instance, jobs, machines, repeat=repeat, warmup=warmup
+        )
+        if before.value != after.value:
+            raise InvalidInstanceError(
+                f"assign_group_greedy equivalence broke on n={n}, m={m}"
+            )
+        row, case_phases = _speedup_row(
+            f"n={n} m={m}", before, after, {"n": n, "m": m}
+        )
+        rows.append(row)
+        phases.extend(case_phases)
+        largest = (instance, jobs, machines)
+    return ScenarioOutcome(
+        record=BenchRecord.build(
+            "PERF_list_scheduling",
+            _COLUMNS,
+            rows,
+            phases=phases,
+            notes="speed-grouped load heaps vs the O(n*m) reference scan; "
+            f"medians of repeat={repeat} after warmup={warmup}",
+        ),
+        profile_fn=lambda: assign_group_greedy(*largest),
+    )
+
+
+def _scenario_oracle(repeat: int, warmup: int, smoke: bool) -> ScenarioOutcome:
+    """Exact oracle: memoized bounds/eligibility vs per-node recomputation."""
+    from repro.certify.oracle import certified_optimal
+    from repro.machines.profiles import geometric_speeds
+    from repro.random_graphs.gilbert import gnnp
+    from repro.scheduling.instance import UniformInstance, UnrelatedInstance
+
+    rng = np.random.default_rng(5)
+    instances: list[tuple[str, Any]] = []
+    for n_side, m in [(6, 3)] if smoke else [(6, 3), (7, 3)]:
+        graph = gnnp(n_side, 0.3, seed=9)
+        p = [int(x) for x in rng.integers(1, 9, graph.n)]
+        instances.append(
+            (f"Q n={graph.n} m={m}", UniformInstance(graph, p, geometric_speeds(m, 2)))
+        )
+    for n_side, m in [] if smoke else [(5, 3), (6, 3)]:
+        graph = gnnp(n_side, 0.3, seed=13)
+        times = [[int(x) for x in rng.integers(1, 15, graph.n)] for _ in range(m)]
+        instances.append((f"R n={graph.n} m={m}", UnrelatedInstance(graph, times)))
+    rows: list[list[Any]] = []
+    phases: list[BenchPhase] = []
+    largest = instances[-1][1]
+    for case, instance in instances:
+        before = measure(
+            certified_optimal_baseline, instance, repeat=repeat, warmup=warmup
+        )
+        after = measure(certified_optimal, instance, repeat=repeat, warmup=warmup)
+        if (
+            before.value.makespan != after.value.makespan
+            or before.value.nodes != after.value.nodes
+        ):
+            raise InvalidInstanceError(
+                f"oracle equivalence broke on {case}: "
+                f"({before.value.makespan}, {before.value.nodes}) vs "
+                f"({after.value.makespan}, {after.value.nodes})"
+            )
+        row, case_phases = _speedup_row(
+            case, before, after, {"n": instance.n, "m": instance.m}
+        )
+        row.append(after.value.nodes)
+        rows.append(row)
+        phases.extend(case_phases)
+    return ScenarioOutcome(
+        record=BenchRecord.build(
+            "PERF_oracle",
+            [*_COLUMNS, "nodes"],
+            rows,
+            phases=phases,
+            notes="memoized volume/eligibility/symmetry structures vs the "
+            "per-node recomputing reference (identical search trees); "
+            f"medians of repeat={repeat} after warmup={warmup}",
+        ),
+        profile_fn=lambda: certified_optimal(largest),
+    )
+
+
+def _scenario_batch_fanout(repeat: int, warmup: int, smoke: bool) -> ScenarioOutcome:
+    """BatchRunner fan-out: persistent worker pool vs pool-per-run."""
+    from repro.machines.profiles import power_law_speeds
+    from repro.random_graphs.gilbert import gnnp
+    from repro.runtime.batch import BatchRunner
+    from repro.scheduling.instance import unit_uniform_instance
+
+    # many small batches: the benchmark-harness shape where the pool
+    # fork, not the solves, dominates a run
+    runs, tasks_per_run, workers = (3, 4, 2) if smoke else (8, 4, 2)
+    task_sets = [
+        [
+            (
+                f"run{s}-task{i}",
+                unit_uniform_instance(
+                    gnnp(4, 0.2, seed=100 * s + i), power_law_speeds(3)
+                ),
+                "sqrt_approx",
+            )
+            for i in range(tasks_per_run)
+        ]
+        for s in range(runs)
+    ]
+
+    def fan_out(persistent: bool) -> list[list[Any]]:
+        # a fresh runner per timed call: fresh cache, so every run pays
+        # real solves; the only difference between the two modes is the
+        # pool lifecycle under measurement
+        with BatchRunner(workers=workers, persistent_pool=persistent) as runner:
+            return [
+                [(r.name, r.makespan) for r in runner.run_to_list(task_set)]
+                for task_set in task_sets
+            ]
+
+    before = measure(fan_out, False, repeat=repeat, warmup=warmup, label="pool-per-run")
+    after = measure(fan_out, True, repeat=repeat, warmup=warmup, label="persistent")
+    if before.value != after.value:
+        raise InvalidInstanceError("batch fan-out equivalence broke across pool modes")
+    case = f"{runs} runs x {tasks_per_run} tasks, workers={workers}"
+    row, phases = _speedup_row(
+        case, before, after, {"runs": runs, "tasks": tasks_per_run, "workers": workers}
+    )
+    return ScenarioOutcome(
+        record=BenchRecord.build(
+            "PERF_batch_fanout",
+            _COLUMNS,
+            [row],
+            phases=phases,
+            notes="persistent worker pool reused across BatchRunner.run calls "
+            "vs a pool forked per run; identical result streams; medians of "
+            f"repeat={repeat} after warmup={warmup}",
+        ),
+        profile_fn=lambda: fan_out(True),
+    )
+
+
+SCENARIOS: dict[str, Callable[[int, int, bool], ScenarioOutcome]] = {
+    "hopcroft_karp": _scenario_hopcroft_karp,
+    "list_scheduling": _scenario_list_scheduling,
+    "oracle": _scenario_oracle,
+    "batch_fanout": _scenario_batch_fanout,
+}
+
+#: scenario names in the order ``repro perf --target all`` runs them
+SCENARIO_NAMES = tuple(SCENARIOS)
+
+
+def run_scenario(
+    target: str,
+    repeat: int = 5,
+    warmup: int = 1,
+    smoke: bool = False,
+) -> ScenarioOutcome:
+    """Run one named perf scenario.
+
+    Parameters
+    ----------
+    target:
+        One of :data:`SCENARIO_NAMES`.
+    repeat, warmup:
+        The timing policy (see :func:`repro.perf.timer.measure`).
+    smoke:
+        Use the CI smoke shape: smaller sweeps, same code paths.
+
+    Returns
+    -------
+    ScenarioOutcome
+        The measured record plus a profile target.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        On an unknown target, or if an optimized hot path disagrees
+        with its reference implementation (equivalence is asserted on
+        every measured case).
+    """
+    scenario = SCENARIOS.get(target)
+    if scenario is None:
+        known = ", ".join(SCENARIO_NAMES)
+        raise InvalidInstanceError(f"unknown perf target {target!r}; known: {known}")
+    return scenario(repeat, warmup, smoke)

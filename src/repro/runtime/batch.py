@@ -6,7 +6,8 @@ bound, collect a row.  :class:`BatchRunner` centralises that loop and
 adds the throughput machinery the one-at-a-time path cannot offer:
 
 * **fan-out** across a :mod:`multiprocessing` worker pool with chunked
-  task batching (``workers=1`` stays in-process, exactly reproducing the
+  task batching and a persistent pool reused across :meth:`BatchRunner.run`
+  calls (``workers=1`` stays in-process, exactly reproducing the
   sequential semantics);
 * **deduplication** — semantically identical (instance, algorithm)
   tasks are solved once per batch, keyed by the canonical content hash
@@ -26,6 +27,7 @@ cache warmth — properties the test-suite pins down.
 from __future__ import annotations
 
 import multiprocessing
+import weakref
 from dataclasses import dataclass, field
 from fractions import Fraction
 from itertools import islice
@@ -233,6 +235,12 @@ def _solve_task(
     return key, record
 
 
+def _shutdown_pool(pool: multiprocessing.pool.Pool) -> None:
+    """Terminate and reap one worker pool (module-level: finalizer-safe)."""
+    pool.terminate()
+    pool.join()
+
+
 class BatchRunner:
     """Drive many solves through dedup, cache, and a worker pool.
 
@@ -250,6 +258,16 @@ class BatchRunner:
     cache:
         ``None`` (dedup only within the run), a path (JSONL-backed
         persistent cache), or a ready :class:`ResultCache`.
+    persistent_pool:
+        Keep the worker pool alive between :meth:`run` calls (default).
+        Forking a fresh pool costs tens of milliseconds per run, which
+        dominates sweeps of many small batches (the benchmark harness's
+        shape); the persistent pool pays that once.  Workers hold no
+        task state between chunks, so results are unaffected — the
+        equivalence tests pin this down.  ``False`` restores the old
+        pool-per-run behaviour (and is what ``repro perf --target
+        batch_fanout`` measures against).  Either way the pool is torn
+        down by :meth:`close`, ``with`` exit, or garbage collection.
     certify:
         Audit every produced schedule through :mod:`repro.certify` and
         store the certificate on the result record (per-task
@@ -272,6 +290,7 @@ class BatchRunner:
         workers: int = 1,
         chunk_jobs: int = 256,
         cache: ResultCache | str | Path | None = None,
+        persistent_pool: bool = True,
         certify: bool = False,
     ) -> None:
         if workers < 1:
@@ -281,12 +300,58 @@ class BatchRunner:
         self.algorithm = algorithm
         self.workers = workers
         self.chunk_jobs = chunk_jobs
+        self.persistent_pool = persistent_pool
         self.certify = certify
         if isinstance(cache, ResultCache):
             self.cache = cache
         else:
             self.cache = ResultCache(cache)
         self.stats = BatchStats()
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+
+    # ------------------------------------------------------------------ #
+    # worker-pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _acquire_pool(self) -> multiprocessing.pool.Pool | None:
+        """The pool for one :meth:`run` (``None`` when in-process).
+
+        With ``persistent_pool`` the pool is created lazily on first use
+        and reused by every subsequent run; a :mod:`weakref` finalizer
+        guarantees the worker processes die with the runner even when
+        :meth:`close` is never called.
+        """
+        if self.workers == 1:
+            return None
+        if not self.persistent_pool:
+            return multiprocessing.Pool(self.workers)
+        if self._pool is None:
+            pool = multiprocessing.Pool(self.workers)
+            self._pool = pool
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the persistent worker pool (idempotent).
+
+        In-process runners (``workers=1``) and already-closed runners
+        accept the call as a no-op; the runner itself stays usable — the
+        next parallel :meth:`run` simply forks a fresh pool.
+        """
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            _shutdown_pool(self._pool)
+            self._pool = None
+
+    def __enter__(self) -> "BatchRunner":
+        """``with BatchRunner(...) as runner:`` — pool dies at exit."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # input normalisation
@@ -319,14 +384,31 @@ class BatchRunner:
     def run(self, items: Iterable[Any]) -> Iterator[BatchResult]:
         """Yield one :class:`BatchResult` per input item, in input order.
 
-        Resets :attr:`stats`.  The input is consumed lazily in
-        ``chunk_jobs``-sized rounds; within each round, unseen tasks are
-        solved (possibly in parallel) before any of the round's results
-        are yielded.
+        Parameters
+        ----------
+        items:
+            Any mix of the accepted item shapes (see the class
+            docstring); consumed lazily in ``chunk_jobs``-sized rounds.
+            Within each round, unseen tasks are solved (possibly in
+            parallel) before any of the round's results are yielded.
+
+        Yields
+        ------
+        BatchResult
+            One structured record per submission, in submission order;
+            repeats and cache hits carry ``cached=True``.
+
+        Notes
+        -----
+        Resets :attr:`stats`.  With ``persistent_pool`` (default) the
+        worker pool survives the call and is reused by the next run;
+        call :meth:`close` (or use the runner as a context manager) to
+        tear it down deterministically.
         """
         self.stats = BatchStats()
         iterator = enumerate(items)
-        pool = multiprocessing.Pool(self.workers) if self.workers > 1 else None
+        pool = self._acquire_pool()
+        owned = pool is not None and not self.persistent_pool
         try:
             while True:
                 chunk = list(islice(iterator, self.chunk_jobs))
@@ -334,9 +416,8 @@ class BatchRunner:
                     break
                 yield from self._run_chunk(chunk, pool)
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            if owned:
+                _shutdown_pool(pool)
 
     def _run_chunk(
         self,
@@ -389,7 +470,18 @@ class BatchRunner:
     # ------------------------------------------------------------------ #
 
     def run_to_list(self, items: Iterable[Any]) -> list[BatchResult]:
-        """Materialise :meth:`run`."""
+        """Materialise :meth:`run`.
+
+        Parameters
+        ----------
+        items:
+            Forwarded to :meth:`run`.
+
+        Returns
+        -------
+        list of BatchResult
+            All results, in submission order.
+        """
         return list(self.run(items))
 
     def run_to_jsonl(
@@ -400,9 +492,26 @@ class BatchRunner:
     ) -> BatchStats:
         """Stream results to a JSONL file as they are produced.
 
-        Returns the final :attr:`stats`.  ``append=False`` (default)
-        truncates ``path`` first.  One file handle spans the whole run
-        (flushed per record so a concurrent reader sees complete lines).
+        Parameters
+        ----------
+        items:
+            Forwarded to :meth:`run`.
+        path:
+            Output JSONL file; one :meth:`BatchResult.to_dict` record
+            per line.
+        append:
+            Keep existing lines instead of truncating (default
+            truncates).
+
+        Returns
+        -------
+        BatchStats
+            The final :attr:`stats` of the run.
+
+        Notes
+        -----
+        One file handle spans the whole run, flushed per record, so a
+        concurrent reader always sees complete lines.
         """
         out = Path(path)
         with out.open("a" if append else "w", encoding="utf-8") as fh:

@@ -124,8 +124,32 @@ def build_family_graph(
 ) -> BipartiteGraph:
     """Build one graph from a named family (shared with the CLI).
 
-    ``n`` is the primary size parameter; ``b`` defaults to ``n`` for the
-    two-sided families.
+    Parameters
+    ----------
+    family:
+        One of :data:`GRAPH_FAMILIES`.
+    n:
+        Primary size parameter (family-specific meaning).
+    b:
+        Second size for the two-sided families; defaults to ``n``.
+    p:
+        Edge probability (``gnnp`` only).
+    max_degree:
+        Degree bound (``degree_bounded`` only).
+    trees:
+        Tree count (``forest`` only).
+    seed:
+        Seed for the randomised families; deterministic per seed.
+
+    Returns
+    -------
+    repro.graphs.bipartite.BipartiteGraph
+        The constructed graph.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        If ``family`` is not a known name.
     """
     second = n if b is None else b
     if family == "gnnp":
@@ -286,7 +310,26 @@ def _dedupe_task_names(
 def expand_specs(
     data: dict[str, Any], base_dir: str | Path = "."
 ) -> list[BatchTask]:
-    """Expand a parsed spec document into concrete batch tasks."""
+    """Expand a parsed spec document into concrete batch tasks.
+
+    Parameters
+    ----------
+    data:
+        The parsed JSON object of a batch-spec file (format v1 or v2).
+    base_dir:
+        Directory that entry ``path`` references resolve against.
+
+    Returns
+    -------
+    list of BatchTask
+        One task per expanded instance (``count`` replicas expand to
+        consecutive seeds), in document order.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        On an unsupported format tag or a malformed entry.
+    """
     if not isinstance(data, dict):
         raise InvalidInstanceError("spec must be a JSON object")
     fmt = data.get("format", SPEC_FORMAT)
@@ -353,7 +396,23 @@ def expand_specs(
 
 
 def load_spec_file(path: str | Path) -> list[BatchTask]:
-    """Read and expand a spec file (entry paths resolve next to it)."""
+    """Read and expand a spec file (entry paths resolve next to it).
+
+    Parameters
+    ----------
+    path:
+        The spec JSON file.
+
+    Returns
+    -------
+    list of BatchTask
+        See :func:`expand_specs`.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        If the file is not valid JSON, or the spec is malformed.
+    """
     import json
 
     spec_path = Path(path)

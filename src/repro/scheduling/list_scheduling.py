@@ -14,6 +14,7 @@ guarantee and may even fail to complete — experiments record both.
 
 from __future__ import annotations
 
+import heapq
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -46,24 +47,55 @@ def assign_group_greedy(
     machine index).  Returns a ``job -> machine`` mapping.  The caller is
     responsible for ``jobs`` being an independent set — this routine
     never inspects the graph, mirroring the paper's usage.
+
+    Two memoized structures replace the reference's per-(job, machine)
+    exact :class:`~fractions.Fraction` division (kept as
+    :func:`repro.perf.baselines.assign_group_greedy_baseline`): machines
+    are grouped by speed with one load-min-heap per distinct speed (for
+    a fixed speed the best candidate is always the least-loaded,
+    earliest-listed machine), and the surviving ``g``-way comparison of
+    ``(load + p_j) / s`` values is done by integer cross-multiplication
+    on the speeds' cached numerator/denominator pairs — no rational
+    normalisation (gcd) anywhere in the loop.  Selection is exact, so
+    the ``job -> machine`` mapping is identical to the reference: the
+    machine minimising completion time, ties to the earliest position
+    in ``machines``.
     """
     if not machines and jobs:
         raise InvalidInstanceError("cannot schedule jobs on an empty machine group")
-    # heap of (completion_after_next_unit..., ) — completion depends on job size,
-    # so we keep loads and compute candidate completions per job.
-    loads: dict[int, int] = {i: 0 for i in machines}
+    # speed -> heap of (integer load, position in `machines`, machine id);
+    # equal loads within a group tie-break to the earlier position.
+    by_speed: dict[Fraction, list[tuple[int, int, int]]] = {}
+    for rank, i in enumerate(machines):
+        by_speed.setdefault(Fraction(instance.speeds[i]), []).append((0, rank, i))
+    groups: list[tuple[int, int, list[tuple[int, int, int]]]] = []
+    for speed, heap in by_speed.items():
+        heapq.heapify(heap)
+        groups.append((speed.numerator, speed.denominator, heap))
     result: dict[int, int] = {}
+    p = instance.p
     for j in lpt_order(instance, jobs):
-        best_i = None
-        best_done: Fraction | None = None
-        for i in machines:
-            done = Fraction(loads[i] + instance.p[j]) / instance.speeds[i]
-            if best_done is None or done < best_done:
-                best_done = done
-                best_i = i
-        assert best_i is not None
-        loads[best_i] += instance.p[j]
-        result[j] = best_i
+        p_j = p[j]
+        # candidate completion of a group = (load + p_j) * den / num;
+        # track the running best as the exact pair (best_a / best_b)
+        best_heap: list[tuple[int, int, int]] | None = None
+        best_a = best_b = 0
+        best_rank = -1
+        for num, den, heap in groups:
+            load, rank, _ = heap[0]
+            a = (load + p_j) * den
+            if best_heap is None:
+                better = True
+            else:
+                lhs = a * best_b
+                rhs = best_a * num
+                better = lhs < rhs or (lhs == rhs and rank < best_rank)
+            if better:
+                best_a, best_b, best_rank, best_heap = a, num, rank, heap
+        assert best_heap is not None
+        load, rank, i = heapq.heappop(best_heap)
+        heapq.heappush(best_heap, (load + p_j, rank, i))
+        result[j] = i
     return result
 
 

@@ -329,8 +329,19 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
 def available_algorithms(
     instance: SchedulingInstance | None = None,
 ) -> list[AlgorithmSpec]:
-    """All registered algorithms; filtered to applicable ones if an
-    instance is given."""
+    """All registered algorithms, optionally filtered by applicability.
+
+    Parameters
+    ----------
+    instance:
+        When given, only specs whose preconditions hold for this
+        instance are returned (``spec.applies(instance)``).
+
+    Returns
+    -------
+    list of AlgorithmSpec
+        Registry entries in registration order.
+    """
     specs = list(ALGORITHMS.values())
     if instance is None:
         return specs
@@ -352,6 +363,25 @@ def auto_choice(instance: SchedulingInstance) -> str:
     Exposed so batch drivers (:mod:`repro.runtime`) and reports can record
     which registered method the dispatch policy resolved to without
     re-implementing the policy.
+
+    Parameters
+    ----------
+    instance:
+        The instance the dispatch policy inspects (machine environment,
+        unit jobs, graph structure).
+
+    Returns
+    -------
+    str
+        A key of :data:`ALGORITHMS`.
+
+    Raises
+    ------
+    repro.exceptions.InfeasibleInstanceError
+        If the instance has conflict edges but only one machine (no
+        feasible schedule can exist).
+    repro.exceptions.InvalidInstanceError
+        If the instance type is not registered.
     """
     if _is_uniform(instance):
         for name in _AUTO_UNIFORM:
@@ -387,9 +417,39 @@ _auto_choice = auto_choice
 def solve(instance: SchedulingInstance, algorithm: str = "auto") -> Schedule:
     """Schedule ``instance`` with the requested (or auto-chosen) method.
 
-    ``algorithm="auto"`` applies the dispatch policy in the module
-    docstring.  Explicit names come from :data:`ALGORITHMS`; asking for a
-    method whose preconditions fail raises :exc:`InvalidInstanceError`.
+    Parameters
+    ----------
+    instance:
+        A :class:`~repro.scheduling.instance.UniformInstance` or
+        :class:`~repro.scheduling.instance.UnrelatedInstance`.
+    algorithm:
+        ``"auto"`` (default) applies the dispatch policy in the module
+        docstring; any other value must be a key of :data:`ALGORITHMS`.
+
+    Returns
+    -------
+    repro.scheduling.schedule.Schedule
+        The produced schedule.  Graph-blind baselines may return an
+        infeasible schedule on graphs with edges — check
+        :meth:`~repro.scheduling.schedule.Schedule.is_feasible`.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        If ``algorithm`` is unknown, or its preconditions fail for this
+        instance.
+    repro.exceptions.InfeasibleInstanceError
+        If no feasible schedule exists (propagated from dispatch or the
+        exact methods).
+
+    Examples
+    --------
+    >>> from repro import BipartiteGraph, UniformInstance, solve
+    >>> graph = BipartiteGraph(4, [(0, 2), (1, 3)])
+    >>> inst = UniformInstance(graph, p=[5, 3, 4, 2], speeds=[3, 2, 1])
+    >>> schedule = solve(inst)
+    >>> schedule.is_feasible()
+    True
     """
     name = auto_choice(instance) if algorithm == "auto" else algorithm
     spec = ALGORITHMS.get(name)

@@ -1,0 +1,74 @@
+"""Perf-trajectory aggregation over BENCH artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.perf_trend import (
+    load_bench_records,
+    perf_trend_rows,
+    perf_trend_table,
+    phase_table,
+)
+from repro.exceptions import BenchSchemaError
+from repro.io import save_json
+from repro.perf import BenchPhase, BenchRecord, write_bench_record
+
+
+def _record(experiment: str, wall: float) -> BenchRecord:
+    return BenchRecord.build(
+        experiment,
+        ["case", "time (ms)"],
+        [["a", wall * 1e3]],
+        phases=[
+            BenchPhase("solve", wall, repeat=3, size={"n": 8}),
+            BenchPhase("audit", wall / 2, repeat=3),
+        ],
+        git_rev="abc1234",
+        timestamp="2026-07-28T00:00:00Z",
+    )
+
+
+def test_load_bench_records_validates_and_orders(tmp_path):
+    write_bench_record(_record("E2_x", 0.5), tmp_path)
+    write_bench_record(_record("E10_y", 0.25), tmp_path)
+    records = load_bench_records(tmp_path)
+    assert [r["experiment_id"] for r in records] == ["E10_y", "E2_x"]  # filename order
+
+
+def test_load_bench_records_trajectory_keeps_every_run(tmp_path):
+    write_bench_record(_record("E2_x", 0.5), tmp_path)
+    write_bench_record(_record("E2_x", 0.4), tmp_path)  # same id, newer run
+    assert len(load_bench_records(tmp_path)) == 1
+    assert len(load_bench_records(tmp_path, trajectory=True)) == 2
+    assert load_bench_records(tmp_path / "missing", trajectory=True) == []
+
+
+def test_load_bench_records_rejects_invalid_artifact(tmp_path):
+    save_json({"format": "wrong"}, tmp_path / "BENCH_bad.json")
+    with pytest.raises(BenchSchemaError):
+        load_bench_records(tmp_path)
+
+
+def test_perf_trend_rows_summarise_phases():
+    rows = perf_trend_rows([_record("E2_x", 0.5).to_dict()])
+    assert rows == [
+        ["E2_x", "abc1234", "2026-07-28T00:00:00Z", 1, 2, pytest.approx(750.0)]
+    ]
+
+
+def test_perf_trend_rows_without_phases_is_nan():
+    record = BenchRecord.build(
+        "E3_none", ["a"], [[1]], git_rev="r", timestamp="t"
+    )
+    (row,) = perf_trend_rows([record.to_dict()])
+    assert row[4] == 0
+    assert row[5] != row[5]  # NaN
+
+
+def test_tables_render(tmp_path):
+    records = [_record("E2_x", 0.5).to_dict(), _record("E10_y", 0.25).to_dict()]
+    trend = perf_trend_table(records)
+    assert "perf trajectory" in trend and "E10_y" in trend
+    phases = phase_table(records)
+    assert "solve" in phases and "n=8" in phases and "E2_x" in phases

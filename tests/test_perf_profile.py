@@ -1,0 +1,43 @@
+"""cProfile top-N extraction as structured data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.perf import profile_top
+
+
+def _workload():
+    return sum(i * i for i in range(5000))
+
+
+def test_profile_top_returns_structured_hotspots():
+    report = profile_top(_workload, top=5)
+    assert report.value == _workload()
+    assert report.label == "_workload"
+    assert 1 <= len(report.lines) <= 5
+    assert report.total_time_s >= 0.0
+    # the profiled workload itself must appear among the hotspots
+    assert any("_workload" in line.function for line in report.lines)
+    # sorted by cumulative time, descending
+    cums = [line.cumtime_s for line in report.lines]
+    assert cums == sorted(cums, reverse=True)
+
+
+def test_profile_top_forwards_arguments():
+    report = profile_top(sorted, [3, 1, 2], top=3, label="sort3")
+    assert report.value == [1, 2, 3]
+    assert report.label == "sort3"
+
+
+def test_profile_top_table_renders():
+    report = profile_top(_workload, top=3)
+    text = report.table()
+    assert "cumtime (ms)" in text
+    assert "_workload" in text
+
+
+def test_profile_top_rejects_bad_top():
+    with pytest.raises(InvalidInstanceError):
+        profile_top(_workload, top=0)

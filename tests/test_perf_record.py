@@ -1,0 +1,117 @@
+"""The BENCH artifact schema: round trips, validation, trajectory."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BenchSchemaError
+from repro.io import iter_jsonl, load_json, save_json
+from repro.perf import (
+    BENCH_FORMAT,
+    BenchPhase,
+    BenchRecord,
+    json_cell,
+    validate_bench_record,
+    write_bench_record,
+)
+
+
+def make_record() -> BenchRecord:
+    return BenchRecord.build(
+        "E99_test",
+        ["case", "ratio", "time (ms)"],
+        [
+            ["crown", Fraction(3, 2), 1.25],
+            ["gnnp", np.float64(1.5), np.int64(7)],
+        ],
+        phases=[
+            BenchPhase("solve", 0.5, cpu_time_s=0.4, repeat=3, size={"n": 8}),
+        ],
+        notes="unit test",
+        git_rev="abc1234",
+        timestamp="2026-07-28T00:00:00Z",
+    )
+
+
+def test_json_cell_coercions():
+    assert json_cell(Fraction(3, 2)) == "3/2"
+    assert json_cell(np.int64(7)) == 7
+    assert json_cell(np.float64(1.5)) == 1.5
+    assert json_cell(None) is None
+    assert json_cell(True) is True
+    assert json_cell("x") == "x"
+    assert json_cell((1, 2)) == "(1, 2)"  # unknown types degrade to str
+
+
+def test_build_stamps_and_coerces():
+    record = make_record()
+    assert record.git_rev == "abc1234"
+    assert record.rows[0] == ("crown", "3/2", 1.25)
+    assert record.rows[1] == ("gnnp", 1.5, 7)
+
+
+def test_round_trip_through_repro_io(tmp_path):
+    record = make_record()
+    path = save_json(record.to_dict(), tmp_path / "BENCH_E99_test.json")
+    loaded = BenchRecord.from_dict(load_json(path))
+    assert loaded == record
+
+
+def test_validate_accepts_emitted_shape():
+    validate_bench_record(make_record().to_dict())
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.update(format="repro/bench-record/v0"),
+        lambda d: d.update(kind="something_else"),
+        lambda d: d.update(experiment_id=""),
+        lambda d: d.update(git_rev=None),
+        lambda d: d.update(columns="case,ratio"),
+        lambda d: d["rows"].append(["short"]),
+        lambda d: d["rows"].append([["nested"], 1, 2]),
+        lambda d: d["phases"].append({"wall_time_s": 1.0}),
+        lambda d: d["phases"].append({"name": "x", "wall_time_s": -1.0}),
+        lambda d: d["phases"].append({"name": "x", "wall_time_s": 1.0, "repeat": 0}),
+        lambda d: d["phases"].append({"name": "x", "wall_time_s": 1.0, "cpu_time_s": "abc"}),
+        lambda d: d["phases"].append({"name": "x", "wall_time_s": 1.0, "ratio": "zzz"}),
+        lambda d: d.update(notes=7),
+    ],
+)
+def test_validate_rejects_schema_violations(mutate):
+    data = make_record().to_dict()
+    mutate(data)
+    with pytest.raises(BenchSchemaError):
+        validate_bench_record(data)
+
+
+def test_validate_rejects_non_object():
+    with pytest.raises(BenchSchemaError):
+        validate_bench_record(["not", "an", "object"])
+
+
+def test_build_rejects_ragged_rows():
+    with pytest.raises(BenchSchemaError):
+        BenchRecord.build("E99", ["a", "b"], [[1]])
+
+
+def test_write_bench_record_creates_parents_and_trajectory(tmp_path):
+    record = make_record()
+    out_dir = tmp_path / "deep" / "out"  # parents must be created
+    path = write_bench_record(record, out_dir)
+    assert path == out_dir / "BENCH_E99_test.json"
+    assert BenchRecord.from_dict(load_json(path)) == record
+    # append-only trajectory accumulates runs
+    write_bench_record(record, out_dir)
+    lines = list(iter_jsonl(out_dir / "BENCH_trajectory.jsonl"))
+    assert len(lines) == 2
+    assert all(line["format"] == BENCH_FORMAT for line in lines)
+
+
+def test_write_bench_record_can_skip_trajectory(tmp_path):
+    write_bench_record(make_record(), tmp_path, trajectory=False)
+    assert not (tmp_path / "BENCH_trajectory.jsonl").exists()
