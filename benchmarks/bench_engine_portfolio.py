@@ -1,0 +1,73 @@
+"""E19 — portfolio execution vs single-algorithm ``auto`` dispatch.
+
+Regenerates: a table comparing, per instance family, the makespan and
+wall time of the engine's single ``auto`` choice against a k-way
+portfolio race (:func:`repro.engine.portfolio_solve`).  The portfolio
+must never return a worse makespan than ``auto`` (the auto choice is
+always among its candidates); the interesting columns are how often a
+lower-ranked method wins and what the race costs.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI smoke shape (tiny instances,
+k=2) — that run guards the pipeline, not the numbers.
+"""
+
+import os
+from fractions import Fraction
+
+import numpy as np
+
+from repro.analysis.suites import portfolio_gain_rows
+from repro.analysis.tables import format_table
+from repro.graphs import generators
+from repro.random_graphs.gilbert import gnnp
+from repro.scheduling.instance import UnrelatedInstance, unit_uniform_instance
+
+from benchmarks._common import emit_record, emit_table
+
+F = Fraction
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N = 6 if SMOKE else 14
+K = 2 if SMOKE else 4
+
+
+def _suite():
+    rng = np.random.default_rng(19)
+    half = max(1, N // 2)
+    yield "crown unit Q2", unit_uniform_instance(
+        generators.crown(half), [F(2), F(1)]
+    )
+    yield "K_{a,b} unit Q3", unit_uniform_instance(
+        generators.complete_bipartite(half, N - half), [F(3), F(2), F(1)]
+    )
+    yield "gnnp unit Q3", unit_uniform_instance(
+        gnnp(half, 0.2, seed=rng), [F(3), F(2), F(1)]
+    )
+    graph = generators.matching_graph(half)
+    times = rng.integers(1, 12, size=(2, graph.n)).tolist()
+    yield "matching R2", UnrelatedInstance(graph, times)
+    graph3 = generators.path_graph(N)
+    times3 = rng.integers(1, 12, size=(3, graph3.n)).tolist()
+    yield "path R3", UnrelatedInstance(graph3, times3)
+
+
+def test_e19_portfolio_vs_auto(benchmark):
+    def build():
+        return portfolio_gain_rows(list(_suite()), k=K)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["instance", "auto choice", "auto Cmax", "auto ms",
+            "portfolio winner", "portfolio Cmax", "portfolio ms", "gain"]
+    emit_table(
+        "E19_engine_portfolio",
+        format_table(
+            cols,
+            rows,
+            title=f"E19: k={K} portfolio race vs single auto dispatch",
+        ),
+    )
+    emit_record("E19_engine_portfolio", cols, rows, notes=f"k={K}")
+    # the acceptance bar: the portfolio is never worse than auto on any
+    # instance, i.e. gain = auto Cmax / portfolio Cmax >= 1 everywhere
+    for row in rows:
+        assert row[7] >= 1.0 - 1e-12, row

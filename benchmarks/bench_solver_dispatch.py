@@ -12,11 +12,11 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import format_table
+from repro.engine import explain_dispatch, solve
 from repro.graphs import generators
 from repro.random_graphs.gilbert import gnnp
 from repro.scheduling.brute_force import brute_force_makespan
 from repro.scheduling.instance import UnrelatedInstance, unit_uniform_instance
-from repro.solvers import solve
 
 from benchmarks._common import emit_record, emit_table, run_batch
 
@@ -52,6 +52,9 @@ def test_e14_dispatch_table(benchmark):
         rows = []
         for (name, inst, must_be_exact), rec in zip(cases, results):
             assert rec.error is None, (name, rec.error)
+            # the engine's explain mode must agree with what the batch
+            # path actually ran
+            assert explain_dispatch(inst).chosen == rec.chosen, name
             opt = brute_force_makespan(inst)
             ratio = float(rec.makespan / opt)
             if must_be_exact:

@@ -14,7 +14,7 @@ import pytest
 from repro.analysis.speed_probe import worst_ratio_exhaustive
 from repro.analysis.tables import format_table
 from repro.core.sqrt_approx import sqrt_approx_schedule
-from repro.solvers import solve
+from repro.engine import solve
 
 from benchmarks._common import emit_record, emit_table
 

@@ -83,7 +83,36 @@ from repro.core import (
 from repro.hardness import theorem8_reduction, theorem24_reduction
 from repro.random_graphs import gnnp
 
-__version__ = "1.4.0"
+# Single-sourced from pyproject.toml: installed wheels read the
+# distribution metadata; source checkouts (PYTHONPATH=src, the CI
+# workflow) use the constant below, which MUST match [project].version —
+# the release test pins the two together.  The source tree is detected
+# first so a *different* version pip-installed elsewhere on the machine
+# can never misreport the code actually being executed.
+_FALLBACK_VERSION = "1.5.0"
+
+
+def _resolve_version() -> str:  # pragma: no cover — per-install-mode
+    from pathlib import Path
+
+    here = Path(__file__).resolve()
+    # this checkout's layout is <root>/src/repro/ — require the "src"
+    # segment so an unrelated pyproject.toml above an installed copy
+    # (pip --target into some project tree) cannot masquerade as us
+    if (
+        here.parents[1].name == "src"
+        and (here.parents[2] / "pyproject.toml").is_file()
+    ):
+        return _FALLBACK_VERSION  # running from a source checkout
+    try:
+        from importlib.metadata import version as _dist_version
+
+        return _dist_version("repro-bipartite-scheduling")
+    except Exception:  # no dist-info: vendored/zipped tree
+        return _FALLBACK_VERSION
+
+
+__version__ = _resolve_version()
 
 # imported below the paper-facing API so the registry sees every algorithm
 from repro.core import (
@@ -99,14 +128,31 @@ from repro.scheduling import (
     lst_two_approx,
     r_color_split,
 )
-from repro.solvers import (
+from repro.engine import (
     ALGORITHMS,
+    REGISTRY,
+    AlgorithmRegistry,
     AlgorithmSpec,
+    Capability,
+    DispatchReport,
+    EngineService,
+    PortfolioResult,
     auto_choice,
     available_algorithms,
+    explain_dispatch,
+    portfolio_solve,
+    register_algorithm,
     solve,
+    unregister_algorithm,
 )
-from repro.runtime import BatchResult, BatchRunner, BatchStats, BatchTask, ResultCache
+from repro.runtime import (
+    BatchResult,
+    BatchRunner,
+    BatchStats,
+    BatchTask,
+    ResultCache,
+    ShardedResultCache,
+)
 from repro.workloads import (
     UNRELATED_MODELS,
     build_machines_instance,
@@ -190,15 +236,26 @@ __all__ = [
     "lst_two_approx",
     "r_color_split",
     "ALGORITHMS",
+    "REGISTRY",
+    "AlgorithmRegistry",
     "AlgorithmSpec",
+    "Capability",
+    "DispatchReport",
+    "EngineService",
+    "PortfolioResult",
     "auto_choice",
     "available_algorithms",
+    "explain_dispatch",
+    "portfolio_solve",
+    "register_algorithm",
+    "unregister_algorithm",
     "solve",
     "BatchResult",
     "BatchRunner",
     "BatchStats",
     "BatchTask",
     "ResultCache",
+    "ShardedResultCache",
     "UNRELATED_MODELS",
     "build_machines_instance",
     "build_unrelated_instance",

@@ -43,6 +43,8 @@ __all__ = [
     "model_ratio_table",
     "violation_table",
     "certification_summary",
+    "portfolio_gain_rows",
+    "portfolio_gain_table",
 ]
 
 WeightKind = Literal["unit", "uniform", "heavy_tailed", "one_giant"]
@@ -322,6 +324,63 @@ def violation_table(rows: Iterable[Any], title: str | None = None) -> str:
         ["algorithm", "status", "count", "worst ratio"],
         certification_summary(records),
         title=title or f"certification sweep clean ({len(records)} audits)",
+    )
+
+
+def portfolio_gain_rows(
+    suite: Iterable[tuple[str, Any]], k: int = 3, runner: Any | None = None
+) -> list[list[Any]]:
+    """Single-algorithm ``auto`` vs k-way portfolio, per named instance.
+
+    Each row: ``[name, auto choice, auto Cmax, auto ms, portfolio
+    winner, portfolio Cmax, portfolio ms, gain]`` where ``gain`` is
+    ``auto Cmax / portfolio Cmax`` (``>= 1`` always — the portfolio
+    races the auto choice among its candidates, so it can never lose).
+    Exact makespans are rendered as floats for table cells; the
+    underlying race is exact (:func:`repro.engine.portfolio_solve`).
+    This is what ``benchmarks/bench_engine_portfolio.py`` (E19) emits.
+    """
+    from time import perf_counter
+
+    from repro.engine import auto_choice, portfolio_solve, solve
+
+    rows: list[list[Any]] = []
+    for name, instance in suite:
+        chosen = auto_choice(instance)
+        start = perf_counter()
+        auto_schedule = solve(instance, algorithm=chosen)
+        auto_ms = (perf_counter() - start) * 1e3
+        result = portfolio_solve(instance, k=k, runner=runner)
+        gain = float(auto_schedule.makespan / result.makespan)
+        rows.append(
+            [
+                name,
+                chosen,
+                float(auto_schedule.makespan),
+                auto_ms,
+                result.chosen,
+                float(result.makespan),
+                result.wall_time_s * 1e3,
+                gain,
+            ]
+        )
+    return rows
+
+
+def portfolio_gain_table(
+    suite: Iterable[tuple[str, Any]],
+    k: int = 3,
+    runner: Any | None = None,
+    title: str | None = None,
+) -> str:
+    """Render :func:`portfolio_gain_rows` as an aligned monospace table."""
+    from repro.analysis.tables import format_table
+
+    return format_table(
+        ["instance", "auto choice", "auto Cmax", "auto ms",
+         "portfolio winner", "portfolio Cmax", "portfolio ms", "gain"],
+        portfolio_gain_rows(suite, k=k, runner=runner),
+        title=title,
     )
 
 

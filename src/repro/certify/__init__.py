@@ -15,7 +15,7 @@ schedules against ground truth.  This package is that machinery:
   capacity bounds and per-component branching, and proves optimality
   well past the naive brute force's reach;
 * **auditor** — :func:`audit_guarantees` sweeps registered
-  :class:`~repro.solvers.AlgorithmSpec`\\ s across instance suites,
+  :class:`~repro.engine.registry.AlgorithmSpec`\\ s across instance suites,
   compares observed ratios against the declared guarantees, and reports
   violations (``repro certify`` on the command line;
   ``benchmarks/bench_certify.py`` in CI).

@@ -1,6 +1,6 @@
 """Guarantee-violation sweeps over the algorithm registry.
 
-Every :class:`~repro.solvers.AlgorithmSpec` declares what it promises
+Every :class:`~repro.engine.registry.AlgorithmSpec` declares what it promises
 (``ratio_bound``; Theorem 9's irrational ``sqrt(sum p_j)`` bound is
 special-cased with exact squared arithmetic).  The auditor runs every
 applicable registered algorithm on every instance of a sweep, certifies
@@ -118,9 +118,10 @@ def audit_instance(
     instance:
         The instance every applicable algorithm runs on.
     specs:
-        Algorithm registry to audit.  Defaults to the live
-        :data:`repro.solvers.ALGORITHMS`; passing a mapping makes the
-        auditor testable against deliberately lying specs.
+        Algorithm registry to audit.  Defaults to the live engine
+        registry (:data:`repro.engine.ALGORITHMS`, which plugins join
+        at registration); passing a mapping makes the auditor testable
+        against deliberately lying specs.
     algorithms:
         Restrict the sweep to this named subset (default: all).
     oracle_max_n:
@@ -138,7 +139,7 @@ def audit_instance(
         nothing applies.
     """
     if specs is None:
-        from repro.solvers import ALGORITHMS
+        from repro.engine import ALGORITHMS
 
         specs = ALGORITHMS
     wanted = None if algorithms is None else set(algorithms)

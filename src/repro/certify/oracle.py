@@ -7,7 +7,7 @@ pushes the frontier to ``n ~ 30`` on the unit-job uniform instances the
 paper's exact results target, with four ingredients:
 
 1. **incumbent seeding** — the dispatcher's own output
-   (:func:`repro.solvers.solve` with ``algorithm="auto"``) starts the
+   (:func:`repro.engine.solve` with ``algorithm="auto"``) starts the
    search with a feasible upper bound, often already optimal;
 2. **bound-tight fast path** — when the seed's makespan equals the
    environment's exact lower bound
@@ -83,7 +83,7 @@ class OracleResult:
 
 def _seed_incumbent(instance: SchedulingInstance) -> tuple[Schedule | None, str | None]:
     """Best feasible heuristic schedule to start the search from."""
-    from repro.solvers import auto_choice, solve
+    from repro.engine import auto_choice, solve
 
     best: Schedule | None = None
     chosen: str | None = None

@@ -22,6 +22,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any
 
+# the shared num/den wire formatter (the auditor imports it under this
+# private name, which predates the public repro.io export)
+from repro.io import frac_str as _frac_str
 from repro.scheduling.bounds import (
     uniform_capacity_lower_bound,
     unrelated_lower_bound,
@@ -34,10 +37,6 @@ from repro.scheduling.instance import (
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["CertificateReport", "certify_schedule", "instance_lower_bound"]
-
-
-def _frac_str(value: Fraction | None) -> str | None:
-    return None if value is None else f"{value.numerator}/{value.denominator}"
 
 
 def _frac_parse(text: str | None) -> Fraction | None:

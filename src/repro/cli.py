@@ -23,6 +23,10 @@ Commands
     families, audit every schedule, compare ratios against declared
     guarantees (exact-oracle ground truth where tractable), and exit
     non-zero on any violation.
+``serve``
+    Persistent serving loop (:mod:`repro.engine.service`): JSONL
+    requests on stdin (or a TCP socket with ``--port``), canonical
+    content-hash keys, repeats answered from a sharded result cache.
 ``perf``
     Measure the optimized hot paths (Hopcroft–Karp, greedy list
     scheduling, the exact oracle, BatchRunner fan-out) against their
@@ -46,6 +50,12 @@ from typing import Sequence
 from repro import __version__
 from repro.analysis.gantt import render_gantt, render_schedule_summary
 from repro.analysis.tables import format_table, render_number
+from repro.engine import (
+    available_algorithms,
+    explain_dispatch,
+    portfolio_solve,
+    solve,
+)
 from repro.exceptions import ReproError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.structure import analyze_structure
@@ -57,7 +67,6 @@ from repro.io import (
 )
 from repro.runtime import GRAPH_FAMILIES, BatchRunner, build_family_graph, load_spec_file
 from repro.scheduling.instance import UniformInstance
-from repro.solvers import available_algorithms, solve
 from repro.workloads import (
     UNRELATED_MODELS,
     build_unrelated_instance,
@@ -79,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Scheduling with bipartite incompatibility graphs "
             "(Pikies & Furmańczyk, IPPS 2022) — reproduction toolkit"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -126,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
     slv = sub.add_parser("solve", help="solve an instance JSON")
     slv.add_argument("instance", type=str, help="instance JSON path")
     slv.add_argument("--algorithm", type=str, default="auto")
+    slv.add_argument(
+        "--explain",
+        action="store_true",
+        help="print per-algorithm accept/reject reasons for this dispatch",
+    )
+    slv.add_argument(
+        "--portfolio", type=int, default=None, metavar="K",
+        help="race up to K eligible algorithms and keep the best schedule",
+    )
+    slv.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --portfolio (1 = sequential)",
+    )
     slv.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     slv.add_argument(
         "--polish",
@@ -183,6 +211,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated algorithm subset (default: every applicable)",
     )
     cert.add_argument("--out", type=str, default=None, help="audit rows JSONL path")
+
+    srv = sub.add_parser(
+        "serve",
+        help="persistent solve service: JSONL requests on stdin (or TCP "
+        "with --port), repeats answered from a sharded result cache",
+    )
+    srv.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="sharded result-cache directory (created on first run; "
+        "omit for an in-memory cache)",
+    )
+    srv.add_argument(
+        "--algorithm", type=str, default="auto",
+        help="default algorithm for requests without their own",
+    )
+    srv.add_argument(
+        "--port", type=int, default=None,
+        help="serve on this TCP port instead of stdin/stdout (0 = ephemeral)",
+    )
+    srv.add_argument("--host", type=str, default="127.0.0.1")
+    srv.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after this many requests (one-shot smoke tests)",
+    )
 
     perf = sub.add_parser(
         "perf",
@@ -268,9 +320,41 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    import contextlib
+
     instance = load_instance(args.instance)
-    schedule = solve(instance, algorithm=args.algorithm)
-    chosen = args.algorithm
+    if args.explain:
+        report = explain_dispatch(instance, algorithm=args.algorithm)
+        print(report.table())
+        if report.error is not None:
+            print(f"error: {report.error}", file=sys.stderr)
+            return 2
+        if args.portfolio is None and report.chosen is not None:
+            # reuse the resolved choice: the printed table and the
+            # executed algorithm can then never diverge, and the auto
+            # dispatch (structure scan included) runs once, not twice
+            args.algorithm = report.chosen
+    if args.portfolio is not None:
+        if args.algorithm != "auto":
+            # racing a fixed candidate list and honouring a named
+            # algorithm are contradictory requests — refuse loudly
+            # rather than silently dropping the name
+            print(
+                "error: --portfolio races the strongest eligible methods "
+                "and cannot honour --algorithm; drop one of the two flags",
+                file=sys.stderr,
+            )
+            return 2
+        with contextlib.ExitStack() as stack:
+            runner = None
+            if args.workers > 1:
+                runner = stack.enter_context(BatchRunner(workers=args.workers))
+            result = portfolio_solve(instance, k=args.portfolio, runner=runner)
+        print(result.table())
+        schedule, chosen = result.schedule, result.chosen
+    else:
+        schedule = solve(instance, algorithm=args.algorithm)
+        chosen = args.algorithm
     if args.polish and schedule.is_feasible():
         from repro.scheduling.local_search import improve_schedule
 
@@ -353,11 +437,52 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if stats.errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import EngineService, serve_tcp
+
+    service = EngineService(cache=args.cache_dir, algorithm=args.algorithm)
+    if args.port is not None:
+        def announce(address) -> None:
+            host, port = address
+            print(f"serving on {host}:{port}", file=sys.stderr)
+
+        served = serve_tcp(
+            service,
+            host=args.host,
+            port=args.port,
+            max_requests=args.max_requests,
+            ready=announce,
+        )
+    else:
+        source = sys.stdin
+        if args.max_requests is not None:
+            from itertools import islice
+
+            # count requests, not raw lines: serve_stream skips blank
+            # lines without answering them, and the TCP path's
+            # max_requests counts answered requests too
+            source = islice(
+                (line for line in sys.stdin if line.strip()),
+                args.max_requests,
+            )
+        service.serve_stream(source, sys.stdout)
+        served = service.stats.requests
+    stats = service.stats
+    print(
+        f"serve: {served} request(s) ({stats.solved} solved, "
+        f"{stats.cached} cached, {stats.errors} errors)",
+        file=sys.stderr,
+    )
+    # mirror `repro batch`: a shell pipeline gating on the exit code
+    # must see request errors, not a blanket 0
+    return 1 if stats.errors else 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.analysis.suites import certification_suite, violation_table
     from repro.certify import VIOLATION_STATUSES, audit_guarantees
+    from repro.engine import ALGORITHMS
     from repro.io import write_jsonl
-    from repro.solvers import ALGORITHMS
 
     suite = certification_suite(
         n=args.n, m=args.m, seeds=args.seeds, seed=args.seed
@@ -535,6 +660,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_structure(args)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "certify":
             return _cmd_certify(args)
         if args.command == "perf":

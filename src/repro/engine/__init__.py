@@ -1,0 +1,80 @@
+"""The solver engine: registry, dispatch, portfolio, serving.
+
+Four cooperating layers replace the old monolithic ``repro.solvers``:
+
+* :mod:`repro.engine.registry` — a declarative plugin registry; each
+  algorithm is an :class:`AlgorithmSpec` with structured
+  :class:`Capability` requirements, and :func:`register_algorithm` makes
+  any new method a one-call plugin;
+* :mod:`repro.engine.dispatch` — capability matching with ranked
+  ``auto`` selection and explain mode
+  (:func:`explain_dispatch`, surfaced as ``repro solve --explain``);
+* :mod:`repro.engine.portfolio` — race k eligible algorithms (optionally
+  on a :class:`~repro.runtime.batch.BatchRunner` worker pool) and keep
+  the best certified makespan, with early cutoff at the exact lower
+  bound;
+* :mod:`repro.engine.service` — the persistent serving loop behind
+  ``repro serve``: JSONL requests over stdin/socket, canonical
+  content-hash keys, repeat queries answered from a lazily-loaded
+  sharded cache.
+
+``repro.solvers`` remains as a thin back-compat shim over this package.
+"""
+
+from repro.engine.registry import (
+    ALGORITHMS,
+    GRAPH_CLASSES,
+    MACHINE_KINDS,
+    REGISTRY,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    Capability,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.engine.dispatch import (
+    DispatchEntry,
+    DispatchReport,
+    auto_choice,
+    available_algorithms,
+    explain_dispatch,
+    solve,
+)
+from repro.engine.portfolio import (
+    PortfolioEntry,
+    PortfolioResult,
+    portfolio_candidates,
+    portfolio_solve,
+)
+from repro.engine.service import (
+    SERVE_FORMAT,
+    EngineService,
+    ServiceStats,
+    serve_tcp,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "GRAPH_CLASSES",
+    "MACHINE_KINDS",
+    "REGISTRY",
+    "AlgorithmRegistry",
+    "AlgorithmSpec",
+    "Capability",
+    "register_algorithm",
+    "unregister_algorithm",
+    "DispatchEntry",
+    "DispatchReport",
+    "auto_choice",
+    "available_algorithms",
+    "explain_dispatch",
+    "solve",
+    "PortfolioEntry",
+    "PortfolioResult",
+    "portfolio_candidates",
+    "portfolio_solve",
+    "SERVE_FORMAT",
+    "EngineService",
+    "ServiceStats",
+    "serve_tcp",
+]

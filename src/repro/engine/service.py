@@ -1,0 +1,321 @@
+"""The persistent serving layer: ``repro serve``.
+
+A long-lived process that accepts JSONL requests — one JSON object per
+line, over stdin/stdout or a TCP socket — and answers them from the
+engine.  Instances are canonicalized and content-hashed
+(:func:`repro.runtime.cache.task_key`), so a repeated identical query is
+answered from the cache without touching a solver; with a
+:class:`~repro.runtime.cache.ShardedResultCache` directory the cache
+survives restarts and loads lazily per key prefix, keeping startup O(1)
+regardless of history size.
+
+Request protocol (``repro/serve/v1``), one JSON object per line::
+
+    {"op": "solve", "id": 7, "instance": {...}, "algorithm": "auto"}
+    {"op": "solve", "id": 8, "instance": {...}, "explain": true}
+    {"op": "solve", "id": 9, "instance": {...}, "portfolio": 3}
+    {"op": "ping"}
+    {"op": "stats"}
+
+``instance`` is the canonical JSON form of
+:func:`repro.io.instance_to_dict`.  Responses echo ``id`` and carry
+``ok``, the task ``key``, the resolved ``chosen`` algorithm, the exact
+``makespan`` (``"num/den"``), the ``assignment``, and ``cached``.
+Errors never kill the loop: they come back as ``ok=false`` responses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterable, TextIO
+
+from repro.engine.dispatch import auto_choice, explain_dispatch, solve
+from repro.engine.portfolio import portfolio_solve
+from repro.exceptions import CacheCollisionError, ReproError
+from repro.io import frac_str, instance_from_dict
+from repro.runtime.cache import ResultCache, ShardedResultCache, task_key
+
+__all__ = [
+    "SERVE_FORMAT",
+    "ServiceStats",
+    "EngineService",
+    "serve_tcp",
+]
+
+SERVE_FORMAT = "repro/serve/v1"
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters over one service lifetime."""
+
+    requests: int = 0
+    solved: int = 0
+    cached: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "solved": self.solved,
+            "cached": self.cached,
+            "errors": self.errors,
+        }
+
+
+class EngineService:
+    """Stateful request handler behind ``repro serve``.
+
+    Parameters
+    ----------
+    cache:
+        ``None`` (in-memory only), a ready cache object
+        (:class:`ResultCache` / :class:`ShardedResultCache` or anything
+        with their ``in``/``record``/``put`` protocol), or a path — a
+        directory becomes a sharded cache, a file a flat one.
+    algorithm:
+        Default algorithm for requests without their own.
+
+    Notes
+    -----
+    Serve-layer records carry the ``assignment`` (a serving API must
+    return the schedule, not just its makespan), so the service keeps
+    its own cache namespace — point it at a *serve* cache directory,
+    not at a batch results cache.  Only successful solves are cached;
+    errors are re-evaluated per request.
+    """
+
+    def __init__(
+        self,
+        cache: Any | str | Path | None = None,
+        algorithm: str = "auto",
+    ) -> None:
+        if cache is None:
+            self.cache: Any = ResultCache(None)
+        elif isinstance(cache, (str, Path)):
+            path = Path(cache)
+            if path.is_file():
+                self.cache = ResultCache(path)
+            else:
+                self.cache = ShardedResultCache(path)
+        else:
+            self.cache = cache
+        self.algorithm = algorithm
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    def handle_line(self, line: str) -> str:
+        """One JSONL request line in, one JSONL response line out."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.stats.requests += 1
+            self.stats.errors += 1
+            return json.dumps(
+                self._error_response(None, f"malformed request line: {exc}")
+            )
+        if not isinstance(request, dict):
+            self.stats.requests += 1
+            self.stats.errors += 1
+            return json.dumps(
+                self._error_response(None, "request must be a JSON object")
+            )
+        return json.dumps(self.handle_request(request))
+
+    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one decoded request to its ``op`` handler."""
+        self.stats.requests += 1
+        op = request.get("op", "solve")
+        request_id = request.get("id")
+        if op == "ping":
+            return {"format": SERVE_FORMAT, "id": request_id, "op": "ping", "ok": True}
+        if op == "stats":
+            return {
+                "format": SERVE_FORMAT,
+                "id": request_id,
+                "op": "stats",
+                "ok": True,
+                "stats": self.stats.to_dict(),
+            }
+        if op != "solve":
+            self.stats.errors += 1
+            return self._error_response(request_id, f"unknown op {op!r}")
+        try:
+            return self._handle_solve(request)
+        except ReproError as exc:
+            self.stats.errors += 1
+            return self._error_response(request_id, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a persistent server
+            # must survive *any* bad request (malformed payloads raise
+            # KeyError/ValueError, not ReproError); the typed message
+            # keeps the defect visible to the client and to stats
+            self.stats.errors += 1
+            return self._error_response(
+                request_id, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _error_response(
+        self, request_id: Any, message: str
+    ) -> dict[str, Any]:
+        return {
+            "format": SERVE_FORMAT,
+            "id": request_id,
+            "ok": False,
+            "error": message,
+        }
+
+    def _handle_solve(self, request: dict[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        payload = request.get("instance")
+        if not isinstance(payload, dict):
+            self.stats.errors += 1
+            return self._error_response(
+                request_id, "solve request carries no 'instance' payload"
+            )
+        algorithm = request.get("algorithm") or self.algorithm
+        portfolio_k = request.get("portfolio")
+        if portfolio_k is not None:
+            portfolio_k = int(portfolio_k)
+            if portfolio_k < 1:
+                raise ReproError(
+                    f"portfolio size must be >= 1, got {portfolio_k}"
+                )
+            if request.get("algorithm") not in (None, "auto"):
+                # mirror the CLI: racing a fixed candidate list cannot
+                # honour a named algorithm — refuse, don't drop it
+                raise ReproError(
+                    "a portfolio request races the strongest eligible "
+                    "methods and cannot honour a named 'algorithm'; "
+                    "send one of the two"
+                )
+        cache_algorithm = (
+            f"portfolio:{portfolio_k}" if portfolio_k is not None else algorithm
+        )
+        # the "serve/" marker namespaces serve keys apart from batch
+        # task keys, so pointing --cache-dir at a batch cache can never
+        # be answered with (or collide against) batch-shaped records
+        key = task_key(payload, f"serve/{cache_algorithm}")
+
+        if key in self.cache:
+            record = dict(self.cache.record(key))
+            if record.get("kind") != "serve_result":
+                # foreign record under a serve key: a poisoned cache —
+                # refuse before wasting a solve whose put() could only
+                # collide with the bad record anyway
+                raise CacheCollisionError(
+                    f"cache key {key[:16]}... holds a non-serve record "
+                    f"(kind={record.get('kind')!r}); the serve cache "
+                    "directory is poisoned or shared with another tool"
+                )
+            self.stats.cached += 1
+            record.update(id=request_id, cached=True, wall_time_s=0.0)
+            if request.get("explain"):
+                # explain derives from the instance alone (no solve),
+                # so cache hits still answer it
+                record["explain"] = explain_dispatch(
+                    instance_from_dict(payload), algorithm
+                ).to_dict()
+            return record
+
+        instance = instance_from_dict(payload)
+        start = perf_counter()
+        if portfolio_k is not None:
+            result = portfolio_solve(instance, k=portfolio_k)
+            chosen, schedule = result.chosen, result.schedule
+        else:
+            chosen = (
+                auto_choice(instance) if algorithm == "auto" else algorithm
+            )
+            schedule = solve(instance, algorithm=chosen)
+        wall = perf_counter() - start
+        self.stats.solved += 1
+
+        record: dict[str, Any] = {
+            "format": SERVE_FORMAT,
+            "kind": "serve_result",
+            "id": request_id,
+            "ok": True,
+            "key": key,
+            "algorithm": cache_algorithm,
+            "chosen": chosen,
+            "n": instance.n,
+            "m": instance.m,
+            "edges": instance.graph.edge_count,
+            "makespan": frac_str(schedule.makespan),
+            "makespan_float": float(schedule.makespan),
+            "feasible": schedule.is_feasible(),
+            "assignment": list(schedule.assignment),
+            "cached": False,
+            "wall_time_s": wall,
+            "error": None,
+        }
+        self.cache.put(key, dict(record, id=None, wall_time_s=0.0))
+        if request.get("explain"):
+            record["explain"] = explain_dispatch(instance, algorithm).to_dict()
+        return record
+
+    # ------------------------------------------------------------------ #
+    # serving loops
+    # ------------------------------------------------------------------ #
+
+    def serve_stream(
+        self, source: Iterable[str], sink: TextIO
+    ) -> ServiceStats:
+        """Answer every request line from ``source`` onto ``sink``.
+
+        The stdin/stdout serving mode: blank lines are skipped, each
+        response is flushed immediately so a piped client sees complete
+        lines, and the final stats are returned when the stream ends.
+        """
+        for line in source:
+            if not line.strip():
+                continue
+            sink.write(self.handle_line(line) + "\n")
+            sink.flush()
+        return self.stats
+
+
+def serve_tcp(
+    service: EngineService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_requests: int | None = None,
+    ready: "Any | None" = None,
+) -> int:
+    """Serve JSONL requests over a TCP socket (one line per request).
+
+    Accepts connections sequentially; within each connection, every
+    received line is answered in order until the client closes.  With
+    ``max_requests`` the loop exits after that many requests (one-shot
+    smoke tests); ``port=0`` binds an ephemeral port.  ``ready``, when
+    given, is a callable invoked with the bound ``(host, port)`` once
+    the socket is listening (tests use it to rendezvous).  Returns the
+    number of requests served.
+    """
+    import socket
+
+    served = 0
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as server:
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((host, port))
+        server.listen(1)
+        if ready is not None:
+            ready(server.getsockname())
+        while max_requests is None or served < max_requests:
+            conn, _ = server.accept()
+            with conn, conn.makefile("rw", encoding="utf-8") as stream:
+                for line in stream:
+                    if not line.strip():
+                        continue
+                    stream.write(service.handle_line(line) + "\n")
+                    stream.flush()
+                    served += 1
+                    if max_requests is not None and served >= max_requests:
+                        break
+    return served

@@ -150,7 +150,7 @@ class GraphStructure:
     """A structural fingerprint used by the solver dispatcher.
 
     Flags are not mutually exclusive (a path is also a forest and
-    bisubquartic); :func:`repro.solvers.solve` consults them from most
+    bisubquartic); :func:`repro.engine.solve` consults them from most
     to least specific.
     """
 

@@ -15,6 +15,7 @@ from repro.io.jsonl import (
 )
 from repro.io.serialization import (
     FORMAT_VERSION,
+    frac_str,
     graph_to_dict,
     graph_from_dict,
     instance_to_dict,
@@ -29,6 +30,7 @@ from repro.io.serialization import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "frac_str",
     "graph_to_dict",
     "graph_from_dict",
     "instance_to_dict",

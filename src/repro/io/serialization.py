@@ -33,6 +33,7 @@ from repro.scheduling.instance import (
 from repro.scheduling.schedule import Schedule
 
 __all__ = [
+    "frac_str",
     "FORMAT_VERSION",
     "graph_to_dict",
     "graph_from_dict",
@@ -49,8 +50,18 @@ __all__ = [
 FORMAT_VERSION = "repro/v1"
 
 
-def _frac_str(value: Fraction) -> str:
-    return f"{value.numerator}/{value.denominator}"
+def frac_str(value: Fraction | None) -> str | None:
+    """Loss-free ``"num/den"`` wire form of a rational (``None`` passes).
+
+    The one formatter every record format shares — schedules here, batch
+    results, certificates, and the serve layer must stay byte-compatible
+    with one another.
+    """
+    return None if value is None else f"{value.numerator}/{value.denominator}"
+
+
+# historical private name (internal callers predate the public export)
+_frac_str = frac_str
 
 
 def _check_header(data: dict[str, Any], kind: str) -> None:

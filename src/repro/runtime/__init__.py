@@ -18,7 +18,12 @@ from repro.runtime.batch import (
     BatchStats,
     BatchTask,
 )
-from repro.runtime.cache import ResultCache, canonical_instance_payload, task_key
+from repro.runtime.cache import (
+    ResultCache,
+    ShardedResultCache,
+    canonical_instance_payload,
+    task_key,
+)
 from repro.runtime.specs import (
     GRAPH_FAMILIES,
     SPEC_FORMAT,
@@ -40,6 +45,7 @@ __all__ = [
     "BatchStats",
     "BatchTask",
     "ResultCache",
+    "ShardedResultCache",
     "canonical_instance_payload",
     "task_key",
     "build_family_graph",

@@ -1,7 +1,7 @@
 """The batch execution engine: many instances, one driver.
 
 Every benchmark and example used to hand-roll the same loop — build an
-instance, call :func:`repro.solvers.solve`, time it, compute a lower
+instance, call :func:`repro.engine.solve`, time it, compute a lower
 bound, collect a row.  :class:`BatchRunner` centralises that loop and
 adds the throughput machinery the one-at-a-time path cannot offer:
 
@@ -36,11 +36,16 @@ from time import perf_counter
 from typing import Any, Iterable, Iterator, NamedTuple
 
 from repro.certify.validators import instance_lower_bound
+from repro.engine.dispatch import auto_choice, solve
 from repro.exceptions import InvalidInstanceError, ReproError
-from repro.io import dump_jsonl_line, instance_from_dict, instance_to_dict
+from repro.io import (
+    dump_jsonl_line,
+    frac_str as _frac_str,
+    instance_from_dict,
+    instance_to_dict,
+)
 from repro.runtime.cache import ResultCache, task_key
 from repro.scheduling.instance import SchedulingInstance
-from repro.solvers import auto_choice, solve
 
 __all__ = [
     "RESULT_FORMAT",
@@ -69,10 +74,6 @@ class BatchTask(NamedTuple):
     payload: dict[str, Any]
     algorithm: str | None = None
     certify: bool = False
-
-
-def _frac_str(value: Fraction | None) -> str | None:
-    return None if value is None else f"{value.numerator}/{value.denominator}"
 
 
 def _frac_parse(text: str | None) -> Fraction | None:
@@ -257,7 +258,10 @@ class BatchRunner:
         scheduling round; bounds driver memory on huge streams.
     cache:
         ``None`` (dedup only within the run), a path (JSONL-backed
-        persistent cache), or a ready :class:`ResultCache`.
+        persistent cache), or a ready cache object — a
+        :class:`ResultCache`, a lazily-loaded
+        :class:`~repro.runtime.cache.ShardedResultCache`, or anything
+        with their ``in``/``record``/``put`` protocol.
     persistent_pool:
         Keep the worker pool alive between :meth:`run` calls (default).
         Forking a fresh pool costs tens of milliseconds per run, which
@@ -302,10 +306,10 @@ class BatchRunner:
         self.chunk_jobs = chunk_jobs
         self.persistent_pool = persistent_pool
         self.certify = certify
-        if isinstance(cache, ResultCache):
-            self.cache = cache
+        if cache is None or isinstance(cache, (str, Path)):
+            self.cache: Any = ResultCache(cache)
         else:
-            self.cache = ResultCache(cache)
+            self.cache = cache
         self.stats = BatchStats()
         self._pool: multiprocessing.pool.Pool | None = None
         self._pool_finalizer: weakref.finalize | None = None
@@ -331,6 +335,20 @@ class BatchRunner:
             self._pool = pool
             self._pool_finalizer = weakref.finalize(self, _shutdown_pool, pool)
         return self._pool
+
+    def worker_pool(self) -> multiprocessing.pool.Pool | None:
+        """The runner's pool, for co-operating engines (``None`` in-process).
+
+        :func:`repro.engine.portfolio.portfolio_solve` races its
+        candidates on this pool so portfolio execution shares the
+        runner's worker lifecycle (persistent across calls, torn down by
+        :meth:`close`) instead of forking its own.  With ``workers=1``
+        or ``persistent_pool=False`` there is no long-lived pool to
+        share and callers fall back to sequential execution.
+        """
+        if self.workers == 1 or not self.persistent_pool:
+            return None
+        return self._acquire_pool()
 
     def close(self) -> None:
         """Terminate the persistent worker pool (idempotent).

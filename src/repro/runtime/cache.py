@@ -20,10 +20,15 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.exceptions import CacheCollisionError
+from repro.exceptions import CacheCollisionError, InvalidInstanceError
 from repro.io import append_jsonl
 
-__all__ = ["canonical_instance_payload", "task_key", "ResultCache"]
+__all__ = [
+    "canonical_instance_payload",
+    "task_key",
+    "ResultCache",
+    "ShardedResultCache",
+]
 
 
 def canonical_instance_payload(payload: dict[str, Any]) -> str:
@@ -56,6 +61,58 @@ def task_key(payload: dict[str, Any], algorithm: str, certify: bool = False) -> 
     return digest.hexdigest()
 
 
+def _load_jsonl_records(path: Path) -> tuple[dict[str, dict[str, Any]], bool]:
+    """Parse one JSONL cache file into ``key -> record`` (shared loader).
+
+    Tolerates malformed lines: a run killed mid-append leaves a
+    truncated tail (possibly with non-UTF-8 garbage bytes), and that
+    must not brick the whole cache; duplicate keys across appending runs
+    deterministically keep the newest record (last wins).  The second
+    return value flags a tail missing its newline — appending onto it
+    would splice the next record onto the broken line, so callers heal
+    it before their first put.
+    """
+    text = path.read_text(encoding="utf-8", errors="replace")
+    heal_tail = bool(text) and not text.endswith("\n")
+    records: dict[str, dict[str, Any]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        key = record.get("key") if isinstance(record, dict) else None
+        if isinstance(key, str):
+            records[key] = record
+    return records, heal_tail
+
+
+def _checked_store(
+    records: dict[str, dict[str, Any]], key: str, record: dict[str, Any]
+) -> bool:
+    """Store into ``records`` with collision semantics; True if new.
+
+    Re-storing the *same* record is a no-op; re-storing a key with a
+    *different* record raises :exc:`CacheCollisionError` — keys are
+    content hashes, so a mismatch means serialisation drift or a
+    poisoned cache file, and silently keeping the old record would mask
+    exactly the bugs the certifier exists to catch.
+    """
+    existing = records.get(key)
+    if existing is not None:
+        if existing == record:
+            return False
+        raise CacheCollisionError(
+            f"cache key {key[:16]}... already holds a different record "
+            "(same content hash, different data: serialisation drift "
+            "or corrupted cache file)"
+        )
+    records[key] = record
+    return True
+
+
 class ResultCache:
     """``task_key -> result record`` map, optionally backed by JSONL.
 
@@ -65,6 +122,13 @@ class ResultCache:
         When given, existing records are loaded eagerly and every
         :meth:`put` is appended to the file.  ``None`` keeps the cache
         purely in-memory (intra-batch deduplication still works).
+
+    Notes
+    -----
+    Loading is *eager*: the whole history is parsed up front, which is
+    the right trade for batch runs that will touch most keys anyway.
+    Long-lived services with large histories should use
+    :class:`ShardedResultCache`, which loads per-prefix shards lazily.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
@@ -72,25 +136,7 @@ class ResultCache:
         self._records: dict[str, dict[str, Any]] = {}
         self._heal_tail = False
         if self.path is not None and self.path.exists():
-            # tolerate malformed lines: a run killed mid-append leaves a
-            # truncated tail (possibly with garbage bytes), and that must
-            # not brick the whole cache; duplicate keys across appending
-            # runs deterministically keep the newest record (last wins)
-            text = self.path.read_text(encoding="utf-8", errors="replace")
-            # a tail without its newline would splice the next append
-            # onto the broken line — heal it before the first put
-            self._heal_tail = bool(text) and not text.endswith("\n")
-            for line in text.splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                key = record.get("key") if isinstance(record, dict) else None
-                if isinstance(key, str):
-                    self._records[key] = record
+            self._records, self._heal_tail = _load_jsonl_records(self.path)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -109,25 +155,142 @@ class ResultCache:
     def put(self, key: str, record: dict[str, Any]) -> None:
         """Store ``record`` under ``key`` (and append it to the file).
 
-        Re-storing the *same* record is a no-op; re-storing a key with a
-        *different* record raises :exc:`CacheCollisionError` — keys are
-        content hashes, so a mismatch means serialisation drift or a
-        poisoned cache file, and silently keeping the old record would
-        mask exactly the bugs the certifier exists to catch.
+        Same-record re-puts are no-ops; different-record re-puts raise
+        :exc:`CacheCollisionError` (see :func:`_checked_store`).
         """
-        existing = self._records.get(key)
-        if existing is not None:
-            if existing == record:
-                return
-            raise CacheCollisionError(
-                f"cache key {key[:16]}... already holds a different record "
-                "(same content hash, different data: serialisation drift "
-                "or corrupted cache file)"
-            )
-        self._records[key] = record
+        if not _checked_store(self._records, key, record):
+            return
         if self.path is not None:
             if self._heal_tail:
                 with self.path.open("a", encoding="utf-8") as fh:
                     fh.write("\n")
                 self._heal_tail = False
             append_jsonl(record, self.path)
+
+
+class ShardedResultCache:
+    """A directory of prefix-sharded JSONL caches, loaded lazily.
+
+    The single-file :class:`ResultCache` re-parses its entire JSONL
+    history at construction — fine for a batch that will touch most
+    keys, a serial-load hot path for a long-lived service that answers
+    point queries.  This cache splits the ``key -> record`` space by the
+    first ``shard_chars`` hex characters of the (SHA-256) task key into
+    ``shard-<prefix>.jsonl`` files and parses a shard only on the first
+    access of a key in it, so service startup is O(1) and each request
+    pays for exactly one shard.
+
+    Each shard keeps the single-file semantics: malformed/truncated
+    lines are skipped, non-UTF-8 garbage is tolerated, a tail missing
+    its newline is healed before the shard's first append, and
+    same-key/different-record puts raise :exc:`CacheCollisionError`.
+
+    Parameters
+    ----------
+    directory:
+        Shard directory; created (with parents) if missing.
+    shard_chars:
+        Key-prefix length: ``1`` (default) gives 16 shards, ``2`` gives
+        256.  Must match across processes sharing the directory, so it
+        is persisted implicitly in the shard file names.
+    """
+
+    def __init__(self, directory: str | Path, shard_chars: int = 1) -> None:
+        if not 1 <= shard_chars <= 8:
+            raise InvalidInstanceError(
+                f"shard_chars must be in 1..8, got {shard_chars}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_chars = shard_chars
+        self._shards: dict[str, dict[str, dict[str, Any]]] = {}
+        self._heal_tail: dict[str, bool] = {}
+        # a directory written with a different prefix length would make
+        # every lookup miss its records (and re-solves would write
+        # conflicting duplicates beside them) — fail loudly instead
+        for path in self.shard_files():
+            prefix = path.stem.removeprefix("shard-")
+            if len(prefix) != shard_chars:
+                raise InvalidInstanceError(
+                    f"{self.directory} was sharded with shard_chars="
+                    f"{len(prefix)} (found {path.name}); reopen with that "
+                    f"value, not {shard_chars}"
+                )
+
+    def _shard_id(self, key: str) -> str:
+        # keys shorter than the prefix (not SHA-256? tests, tools) pad
+        # with "_" so every shard name has the declared prefix length —
+        # otherwise a short key would write a shard the reopen guard
+        # reads as a different shard_chars and reject the directory
+        return key[: self.shard_chars].ljust(self.shard_chars, "_")
+
+    def _shard_path(self, shard_id: str) -> Path:
+        return self.directory / f"shard-{shard_id}.jsonl"
+
+    def _shard(self, shard_id: str) -> dict[str, dict[str, Any]]:
+        """The in-memory map of one shard, parsing its file on first use."""
+        loaded = self._shards.get(shard_id)
+        if loaded is not None:
+            return loaded
+        path = self._shard_path(shard_id)
+        if path.exists():
+            records, heal = _load_jsonl_records(path)
+        else:
+            records, heal = {}, False
+        self._shards[shard_id] = records
+        self._heal_tail[shard_id] = heal
+        return records
+
+    @property
+    def loaded_shards(self) -> tuple[str, ...]:
+        """Shard ids parsed so far (laziness is observable, and tested)."""
+        return tuple(sorted(self._shards))
+
+    def shard_files(self) -> list[Path]:
+        """Every shard file currently on disk, sorted by name."""
+        return sorted(self.directory.glob("shard-*.jsonl"))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._shard(self._shard_id(key))
+
+    def __len__(self) -> int:
+        """Total record count — loads *every* shard (tests/diagnostics)."""
+        for path in self.shard_files():
+            shard_id = path.stem.removeprefix("shard-")
+            self._shard(shard_id)
+        return sum(len(shard) for shard in self._shards.values())
+
+    def record(self, key: str) -> dict[str, Any]:
+        """The stored record for ``key`` (``KeyError`` if absent)."""
+        return self._shard(self._shard_id(key))[key]
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        """Store ``record`` under ``key`` and append it to its shard file."""
+        shard_id = self._shard_id(key)
+        if not _checked_store(self._shard(shard_id), key, record):
+            return
+        path = self._shard_path(shard_id)
+        if self._heal_tail.get(shard_id):
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write("\n")
+            self._heal_tail[shard_id] = False
+        append_jsonl(record, path)
+
+    @classmethod
+    def migrate_jsonl(
+        cls,
+        jsonl_path: str | Path,
+        directory: str | Path,
+        shard_chars: int = 1,
+    ) -> "ShardedResultCache":
+        """Split a flat :class:`ResultCache` JSONL file into shards.
+
+        Existing shard contents are kept (collisions raise, as always);
+        the source file is left untouched so the migration is safe to
+        re-run or abort.
+        """
+        flat = ResultCache(jsonl_path)
+        sharded = cls(directory, shard_chars=shard_chars)
+        for key, record in flat._records.items():
+            sharded.put(key, record)
+        return sharded

@@ -1,464 +1,51 @@
-"""Algorithm registry and structure-aware dispatch.
+"""Back-compat shim over :mod:`repro.engine` (PR 5).
 
-A downstream user rarely wants to remember which of the paper's
-algorithms applies to which machine environment / graph class / job
-shape.  :func:`solve` inspects the instance (via
-:mod:`repro.graphs.structure`) and picks the strongest method whose
-preconditions hold; :func:`available_algorithms` lists every registered
-method with its applicability for a given instance.
+The algorithm registry and structure-aware dispatch that used to live
+in this module as a 450-line monolith are now the
+:mod:`repro.engine` package:
 
-Dispatch policy (first match wins):
+* :mod:`repro.engine.registry` — :class:`AlgorithmSpec` with structured
+  :class:`~repro.engine.registry.Capability` requirements, the live
+  :data:`ALGORITHMS` registry, and the
+  :func:`~repro.engine.registry.register_algorithm` plugin entry point;
+* :mod:`repro.engine.dispatch` — :func:`solve` / :func:`auto_choice` /
+  :func:`available_algorithms`, ranked capability matching, and the
+  explain mode behind ``repro solve --explain`` (the dispatch-policy
+  table lives in that module's docstring and the README);
+* :mod:`repro.engine.portfolio` — k-way algorithm racing;
+* :mod:`repro.engine.service` — the persistent ``repro serve`` loop.
 
-==============================  =============================================
-condition                       method
-==============================  =============================================
-``Q``, unit jobs, ``K_{a,b}``   exact unary algorithm ([20]/[24]); also
-(+ isolated vertices)           covers unit-job edgeless instances exactly
-``Q``, unit jobs, ``m = 2``     exact Theorem 4 algorithm
-``Q``, edgeless, identical      dual-approximation PTAS ([11], ``1 + 1/3``)
-``Q``, ``m = 2``                Algorithm 5 on ``to_unrelated()``
-                                (``1 + 1/10``, the Theorem 4 route)
-``Q``, edgeless                 graph-blind LPT (feasible here; factor 2)
-``Q``, otherwise                Algorithm 1 (``sqrt(sum p_j)``-approx, Thm 9)
-``R``, ``m = 2``                Algorithm 5 FPTAS (``eps = 1/10``)
-``R``, edgeless                 Lenstra–Shmoys–Tardos 2-approx ([18])
-``R``, otherwise                color split (Theorem 24 forbids guarantees)
-==============================  =============================================
-
-Every method is also callable by name (``algorithm="sqrt_approx"``).
+Every public name below is re-exported unchanged — ``from repro.solvers
+import solve`` keeps working and is behaviour-identical (the frozen
+dispatch corpus in ``tests/test_engine_dispatch.py`` pins this down).
+New code should import from :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from fractions import Fraction
-from typing import Callable
-
-from repro.core.complete_multipartite import schedule_complete_bipartite_unit
-from repro.core.q2_unit_exact import q2_unit_exact
-from repro.core.r2_fptas import r2_fptas
-from repro.core.r2_two_approx import r2_two_approx
-from repro.core.random_graph_scheduler import (
-    random_graph_schedule,
-    random_graph_schedule_balanced,
+from repro.engine.dispatch import (
+    auto_choice,
+    available_algorithms,
+    solve,
 )
-from repro.core.sqrt_approx import sqrt_approx_schedule
-from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
-from repro.graphs.structure import analyze_structure
-from repro.scheduling.baselines import (
-    bjw_identical_approx,
-    r_color_split,
-    two_machine_split,
-    unconstrained_lpt,
+from repro.engine.registry import (
+    ALGORITHMS,
+    REGISTRY,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    Capability,
 )
-from repro.scheduling.brute_force import brute_force_optimal
-from repro.scheduling.dual_approx import dual_approx_identical
-from repro.scheduling.instance import (
-    SchedulingInstance,
-    UniformInstance,
-    UnrelatedInstance,
-)
-from repro.scheduling.list_scheduling import graph_aware_greedy
-from repro.scheduling.lp_rounding import lst_two_approx
-from repro.scheduling.schedule import Schedule
 
 __all__ = [
     "AlgorithmSpec",
+    "AlgorithmRegistry",
     "ALGORITHMS",
+    "REGISTRY",
+    "Capability",
     "auto_choice",
     "available_algorithms",
     "solve",
 ]
 
-
-@dataclass(frozen=True)
-class AlgorithmSpec:
-    """One registered algorithm.
-
-    ``applies`` only checks *preconditions*; it does not promise the
-    method is a good idea (brute force applies to everything).
-    ``guarantee`` is the human-readable approximation guarantee, with
-    its paper anchor.  ``ratio_bound`` is the *machine-checkable* form:
-    given an instance it returns the exact rational ``B`` such that the
-    paper claims ``Cmax <= B * OPT`` (``1`` for exact methods, ``None``
-    when no worst-case ratio is declared — heuristics, a.a.s.-only
-    results, and the irrational ``sqrt(sum p_j)`` guarantee, which
-    :mod:`repro.certify.auditor` checks exactly via squared arithmetic
-    instead).
-    """
-
-    name: str
-    guarantee: str
-    anchor: str
-    applies: Callable[[SchedulingInstance], bool]
-    run: Callable[[SchedulingInstance], Schedule]
-    ratio_bound: Callable[[SchedulingInstance], Fraction | None] | None = None
-    guarantee_check: (
-        Callable[[SchedulingInstance, Fraction, Fraction], bool] | None
-    ) = None
-    """Exact predicate ``(instance, makespan, optimum) -> holds?`` for
-    guarantees a rational ``ratio_bound`` cannot express (Theorem 9's
-    irrational ``sqrt(sum p_j)``, checked via squared arithmetic).  Must
-    be monotone in the optimum: holding against a lower bound must imply
-    holding against the true optimum, so the auditor may use either."""
-    graph_blind: bool = False
-    """Whether the method ignores the incompatibility graph entirely.
-
-    Graph-blind baselines deliberately emit infeasible schedules on
-    graphs with edges; the certification auditor treats that as
-    expected behaviour rather than a violation."""
-    exponential: bool = False
-    """Whether the runtime is exponential in ``n`` (exhaustive search).
-
-    The certification auditor only runs such methods inside its oracle
-    cut-off; above it they would dominate (or hang) a sweep."""
-
-
-def _is_uniform(instance: SchedulingInstance) -> bool:
-    return isinstance(instance, UniformInstance)
-
-
-def _is_unrelated(instance: SchedulingInstance) -> bool:
-    return isinstance(instance, UnrelatedInstance)
-
-
-def _uniform_unit_complete_bipartite(instance: SchedulingInstance) -> bool:
-    return (
-        _is_uniform(instance)
-        and instance.has_unit_jobs
-        and analyze_structure(instance.graph).complete_bipartite_free is not None
-    )
-
-
-def _run_r2_fptas(instance: SchedulingInstance) -> Schedule:
-    return r2_fptas(instance, eps=Fraction(1, 10))
-
-
-def _run_q2_fptas(instance: SchedulingInstance) -> Schedule:
-    """Two uniform machines are a special case of two unrelated ones, so
-    Algorithm 5 applies verbatim (the paper's Theorem 4 route)."""
-    two_machine = r2_fptas(instance.to_unrelated(), eps=Fraction(1, 10))
-    return Schedule(instance, two_machine.assignment)
-
-
-def _run_dual_approx(instance: SchedulingInstance) -> Schedule:
-    return dual_approx_identical(instance, Fraction(1, 3)).schedule
-
-
-def _run_lst(instance: SchedulingInstance) -> Schedule:
-    return lst_two_approx(instance).schedule
-
-
-def _run_sqrt(instance: SchedulingInstance) -> Schedule:
-    return sqrt_approx_schedule(instance).schedule
-
-
-def _run_greedy(instance: SchedulingInstance) -> Schedule:
-    schedule = graph_aware_greedy(instance)
-    if schedule is None:
-        raise InvalidInstanceError(
-            "graph-aware greedy ran out of conflict-free machines; "
-            "use a guaranteed method (solve with algorithm='auto')"
-        )
-    return schedule
-
-
-def _ratio_one(_: SchedulingInstance) -> Fraction:
-    return Fraction(1)
-
-
-def _ratio_const(value: Fraction) -> Callable[[SchedulingInstance], Fraction]:
-    return lambda _: value
-
-
-def _ratio_two_if_edgeless(instance: SchedulingInstance) -> Fraction | None:
-    """Graph-blind 2-approximations only promise their ratio when the
-    incompatibility graph has no edges (otherwise they may be
-    infeasible, and no ratio is declared)."""
-    return Fraction(2) if instance.graph.edge_count == 0 else None
-
-
-def _sqrt_guarantee_check(
-    instance: SchedulingInstance, makespan: Fraction, optimum: Fraction
-) -> bool:
-    """Theorem 9 without radicals: ``Cmax^2 <= sum p_j * OPT^2``.
-
-    Monotone in ``optimum``, as :class:`AlgorithmSpec.guarantee_check`
-    requires.
-    """
-    return makespan * makespan <= instance.total_p * optimum * optimum
-
-
-ALGORITHMS: dict[str, AlgorithmSpec] = {
-    spec.name: spec
-    for spec in [
-        AlgorithmSpec(
-            "complete_multipartite",
-            "exact (unary encoding)",
-            "[20]/[24], related work",
-            _uniform_unit_complete_bipartite,
-            schedule_complete_bipartite_unit,
-            ratio_bound=_ratio_one,
-        ),
-        AlgorithmSpec(
-            "q2_unit_exact",
-            "exact, O(n^3)",
-            "Theorem 4",
-            lambda inst: _is_uniform(inst) and inst.m == 2 and inst.has_unit_jobs,
-            q2_unit_exact,
-            ratio_bound=_ratio_one,
-        ),
-        AlgorithmSpec(
-            "q2_fptas",
-            "1 + eps on two uniform machines (eps = 1/10 here)",
-            "Theorem 4's FPTAS route / Algorithm 5",
-            lambda inst: _is_uniform(inst) and inst.m == 2,
-            _run_q2_fptas,
-            ratio_bound=_ratio_const(Fraction(11, 10)),
-        ),
-        AlgorithmSpec(
-            "dual_approx",
-            "1 + eps (eps = 1/3 here)",
-            "[11], related work",
-            lambda inst: _is_uniform(inst)
-            and inst.graph.edge_count == 0
-            and inst.is_identical,
-            _run_dual_approx,
-            ratio_bound=_ratio_const(Fraction(4, 3)),
-        ),
-        AlgorithmSpec(
-            "lpt",
-            "graph-blind LPT (feasible iff graph edgeless)",
-            "classical",
-            _is_uniform,
-            unconstrained_lpt,
-            ratio_bound=_ratio_two_if_edgeless,
-            graph_blind=True,
-        ),
-        AlgorithmSpec(
-            "sqrt_approx",
-            "sqrt(sum p_j)-approximate",
-            "Algorithm 1 / Theorem 9",
-            lambda inst: _is_uniform(inst) and inst.m >= 2,
-            _run_sqrt,
-            # sqrt(sum p_j) is irrational, so no rational ratio_bound;
-            # the predicate checks Theorem 9 exactly in squared form
-            guarantee_check=_sqrt_guarantee_check,
-        ),
-        AlgorithmSpec(
-            "random_graph",
-            "a.a.s. 2-approximate on G(n,n,p), unit jobs",
-            "Algorithm 2 / Theorem 19",
-            lambda inst: _is_uniform(inst) and inst.has_unit_jobs,
-            random_graph_schedule,
-        ),
-        AlgorithmSpec(
-            "random_graph_balanced",
-            "Algorithm 2 + isolated-job balancing (Sec. 6 improvement)",
-            "Section 6 open problems",
-            lambda inst: _is_uniform(inst) and inst.has_unit_jobs,
-            random_graph_schedule_balanced,
-        ),
-        AlgorithmSpec(
-            "bjw",
-            "2-approximate, identical machines, m >= 3",
-            "[3], related work",
-            lambda inst: _is_uniform(inst) and inst.is_identical and inst.m >= 3,
-            bjw_identical_approx,
-            ratio_bound=_ratio_const(Fraction(2)),
-        ),
-        AlgorithmSpec(
-            "two_machine_split",
-            "feasible two-machine split (no ratio bound)",
-            "Algorithm 1 fallback shape",
-            lambda inst: _is_uniform(inst) and inst.m >= 2,
-            two_machine_split,
-        ),
-        AlgorithmSpec(
-            "r2_two_approx",
-            "2-approximate, O(n)",
-            "Algorithm 4 / Theorem 21",
-            lambda inst: _is_unrelated(inst) and inst.m == 2,
-            r2_two_approx,
-            ratio_bound=_ratio_const(Fraction(2)),
-        ),
-        AlgorithmSpec(
-            "r2_fptas",
-            "1 + eps (eps = 1/10 here)",
-            "Algorithm 5 / Theorem 22",
-            lambda inst: _is_unrelated(inst) and inst.m == 2,
-            _run_r2_fptas,
-            ratio_bound=_ratio_const(Fraction(11, 10)),
-        ),
-        AlgorithmSpec(
-            "lst",
-            "graph-blind 2-approx for R||Cmax",
-            "[18], related work",
-            _is_unrelated,
-            _run_lst,
-            ratio_bound=_ratio_two_if_edgeless,
-            graph_blind=True,
-        ),
-        AlgorithmSpec(
-            "r_color_split",
-            "feasible color split (no ratio bound; cf. Theorem 24)",
-            "Theorem 24 context",
-            lambda inst: _is_unrelated(inst) and inst.m >= 2,
-            r_color_split,
-        ),
-        AlgorithmSpec(
-            "greedy",
-            "graph-aware greedy heuristic (no guarantee, may fail)",
-            "baseline",
-            lambda inst: True,
-            _run_greedy,
-        ),
-        AlgorithmSpec(
-            "brute_force",
-            "exact (exponential time)",
-            "ground truth",
-            lambda inst: True,
-            brute_force_optimal,
-            ratio_bound=_ratio_one,
-            exponential=True,
-        ),
-    ]
-}
-
-
-def available_algorithms(
-    instance: SchedulingInstance | None = None,
-) -> list[AlgorithmSpec]:
-    """All registered algorithms, optionally filtered by applicability.
-
-    Parameters
-    ----------
-    instance:
-        When given, only specs whose preconditions hold for this
-        instance are returned (``spec.applies(instance)``).
-
-    Returns
-    -------
-    list of AlgorithmSpec
-        Registry entries in registration order.
-    """
-    specs = list(ALGORITHMS.values())
-    if instance is None:
-        return specs
-    return [s for s in specs if s.applies(instance)]
-
-
-_AUTO_UNIFORM = (
-    "complete_multipartite",
-    "q2_unit_exact",
-    "dual_approx",
-    "q2_fptas",
-)
-_AUTO_UNRELATED = ("r2_fptas",)
-
-
-def auto_choice(instance: SchedulingInstance) -> str:
-    """The algorithm name ``solve(instance, "auto")`` would run.
-
-    Exposed so batch drivers (:mod:`repro.runtime`) and reports can record
-    which registered method the dispatch policy resolved to without
-    re-implementing the policy.
-
-    Parameters
-    ----------
-    instance:
-        The instance the dispatch policy inspects (machine environment,
-        unit jobs, graph structure).
-
-    Returns
-    -------
-    str
-        A key of :data:`ALGORITHMS`.
-
-    Raises
-    ------
-    repro.exceptions.InfeasibleInstanceError
-        If the instance has conflict edges but only one machine (no
-        feasible schedule can exist).
-    repro.exceptions.InvalidInstanceError
-        If the instance type is not registered.
-    """
-    if _is_uniform(instance):
-        for name in _AUTO_UNIFORM:
-            if ALGORITHMS[name].applies(instance):
-                return name
-        if instance.graph.edge_count == 0:
-            return "lpt"  # feasible here, classical factor 2 on Q
-        if instance.m >= 2:
-            return "sqrt_approx"
-        raise InfeasibleInstanceError(
-            "instances with conflicts need at least two machines"
-        )
-    if _is_unrelated(instance):
-        for name in _AUTO_UNRELATED:
-            if ALGORITHMS[name].applies(instance):
-                return name
-        if instance.graph.edge_count == 0:
-            return "lst"
-        if instance.m >= 2:
-            return "r_color_split"
-        raise InfeasibleInstanceError(
-            "instances with conflicts need at least two machines"
-        )
-    raise InvalidInstanceError(
-        f"unknown instance type {type(instance).__name__}"
-    )
-
-
 # backwards-compatible alias (benchmarks imported the private name)
 _auto_choice = auto_choice
-
-
-def solve(instance: SchedulingInstance, algorithm: str = "auto") -> Schedule:
-    """Schedule ``instance`` with the requested (or auto-chosen) method.
-
-    Parameters
-    ----------
-    instance:
-        A :class:`~repro.scheduling.instance.UniformInstance` or
-        :class:`~repro.scheduling.instance.UnrelatedInstance`.
-    algorithm:
-        ``"auto"`` (default) applies the dispatch policy in the module
-        docstring; any other value must be a key of :data:`ALGORITHMS`.
-
-    Returns
-    -------
-    repro.scheduling.schedule.Schedule
-        The produced schedule.  Graph-blind baselines may return an
-        infeasible schedule on graphs with edges — check
-        :meth:`~repro.scheduling.schedule.Schedule.is_feasible`.
-
-    Raises
-    ------
-    repro.exceptions.InvalidInstanceError
-        If ``algorithm`` is unknown, or its preconditions fail for this
-        instance.
-    repro.exceptions.InfeasibleInstanceError
-        If no feasible schedule exists (propagated from dispatch or the
-        exact methods).
-
-    Examples
-    --------
-    >>> from repro import BipartiteGraph, UniformInstance, solve
-    >>> graph = BipartiteGraph(4, [(0, 2), (1, 3)])
-    >>> inst = UniformInstance(graph, p=[5, 3, 4, 2], speeds=[3, 2, 1])
-    >>> schedule = solve(inst)
-    >>> schedule.is_feasible()
-    True
-    """
-    name = auto_choice(instance) if algorithm == "auto" else algorithm
-    spec = ALGORITHMS.get(name)
-    if spec is None:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise InvalidInstanceError(f"unknown algorithm {name!r}; known: {known}")
-    if not spec.applies(instance):
-        raise InvalidInstanceError(
-            f"algorithm {name!r} does not apply to this instance "
-            f"({spec.guarantee}; {spec.anchor})"
-        )
-    return spec.run(instance)

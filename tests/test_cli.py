@@ -301,3 +301,137 @@ class TestParser:
     def test_experiment_unknown_id(self, capsys):
         assert main(["experiment", "E999"]) == 1
         assert "no benchmark" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        """The importlib.metadata fallback must track pyproject.toml."""
+        import re
+        from pathlib import Path
+
+        from repro import __version__
+
+        pyproject = (
+            Path(__file__).resolve().parents[1] / "pyproject.toml"
+        ).read_text(encoding="utf-8")
+        declared = re.search(r'^version = "([^"]+)"', pyproject, re.M).group(1)
+        assert __version__ == declared
+
+
+class TestSolveEngineFlags:
+    @pytest.fixture()
+    def instance_path(self, tmp_path):
+        path = tmp_path / "crown.json"
+        assert main(
+            ["generate", "--family", "crown", "--n", "4", "--speeds", "3,1",
+             "--out", str(path)]
+        ) == 0
+        return path
+
+    def test_explain_prints_reasons(self, instance_path, capsys):
+        capsys.readouterr()
+        assert main(["solve", str(instance_path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch: chose 'q2_unit_exact'" in out
+        assert "requires unrelated machines" in out  # a rejection reason
+        assert "Cmax" in out  # still solves after explaining
+
+    def test_explain_infeasible_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "one_machine.json"
+        assert main(
+            ["generate", "--family", "crown", "--n", "3", "--speeds", "1",
+             "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["solve", str(path), "--explain"]) == 2
+        captured = capsys.readouterr()
+        assert "dispatch failed" in captured.out
+        assert "two machines" in captured.err
+
+    def test_portfolio_solves(self, instance_path, capsys):
+        capsys.readouterr()
+        assert main(["solve", str(instance_path), "--portfolio", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio:" in out and "wins with" in out
+        assert "feasible=True" in out
+
+    def test_portfolio_rejects_named_algorithm(self, instance_path, capsys):
+        """--portfolio must not silently drop an explicit --algorithm."""
+        capsys.readouterr()
+        code = main(
+            ["solve", str(instance_path), "--algorithm", "greedy",
+             "--portfolio", "3"]
+        )
+        assert code == 2
+        assert "cannot honour --algorithm" in capsys.readouterr().err
+
+
+class TestServe:
+    def _request_line(self, request_id=1, **extra):
+        import json
+
+        from repro.graphs import generators
+        from repro.io import instance_to_dict
+        from repro.scheduling.instance import unit_uniform_instance
+        from fractions import Fraction
+
+        inst = unit_uniform_instance(
+            generators.crown(4), [Fraction(3), Fraction(1)]
+        )
+        return json.dumps(
+            {"op": "solve", "id": request_id, "instance": instance_to_dict(inst),
+             **extra}
+        )
+
+    def test_stdin_one_shot(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        lines = self._request_line(1) + "\n" + self._request_line(2) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code = main(["serve", "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["cached"] for r in responses] == [False, True]
+        assert responses[0]["makespan"] == responses[1]["makespan"]
+        assert "1 solved, 1 cached" in captured.err
+
+    def test_max_requests_limits_the_stream(self, capsys, monkeypatch):
+        import io
+        import json
+
+        lines = "\n".join(self._request_line(i) for i in range(5)) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--max-requests", "2"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 2
+        assert json.loads(captured.out.splitlines()[1])["cached"] is True
+
+    def test_request_errors_set_the_exit_code(self, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("garbage\n"))
+        assert main(["serve"]) == 1
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["ok"] is False
+        assert "1 errors" in captured.err
+
+    def test_max_requests_counts_requests_not_lines(self, capsys, monkeypatch):
+        import io
+
+        # blank lines are skipped without answering and must not eat
+        # request slots (the TCP path counts answered requests too)
+        lines = "\n\n" + self._request_line(1) + "\n\n" + self._request_line(2) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--max-requests", "2"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2

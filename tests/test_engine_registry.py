@@ -1,0 +1,212 @@
+"""Tests for :mod:`repro.engine.registry` — capabilities and plugins."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import (
+    ALGORITHMS,
+    REGISTRY,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    Capability,
+    available_algorithms,
+    register_algorithm,
+    solve,
+    unregister_algorithm,
+)
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators
+from repro.scheduling.instance import (
+    UnrelatedInstance,
+    unit_uniform_instance,
+)
+from repro.scheduling.schedule import Schedule
+
+F = Fraction
+
+
+def _q2_unit():
+    return unit_uniform_instance(generators.crown(3), [F(2), F(1)])
+
+
+def _r2():
+    return UnrelatedInstance(generators.matching_graph(1), [[2, 3], [5, 1]])
+
+
+class TestCapability:
+    def test_default_matches_everything(self):
+        cap = Capability()
+        for inst in (_q2_unit(), _r2()):
+            ok, reasons = cap.evaluate(inst)
+            assert ok and reasons == ()
+
+    def test_machine_kind(self):
+        cap = Capability(machine_kind="unrelated")
+        assert cap.check(_r2())
+        ok, reasons = cap.evaluate(_q2_unit())
+        assert not ok
+        assert any("unrelated" in r for r in reasons)
+
+    def test_machine_count_bounds(self):
+        cap = Capability(min_machines=3)
+        ok, reasons = cap.evaluate(_q2_unit())
+        assert not ok and any("m >= 3" in r for r in reasons)
+        cap = Capability(max_machines=1)
+        ok, reasons = cap.evaluate(_q2_unit())
+        assert not ok and any("m <= 1" in r for r in reasons)
+
+    def test_unit_jobs_and_identical(self):
+        unit = unit_uniform_instance(generators.crown(3), [F(2), F(1)])
+        cap = Capability(machine_kind="uniform", unit_jobs=True)
+        assert cap.check(unit)  # unit jobs by construction
+        from repro.scheduling.instance import UniformInstance
+
+        heavy = UniformInstance(generators.crown(3), [2, 1, 1, 1, 1, 1], [F(2), F(1)])
+        assert not cap.check(heavy)
+        cap = Capability(identical=True)
+        assert not cap.check(heavy)  # speeds 2,1 differ
+
+    def test_unit_jobs_requires_uniform_kind(self):
+        """unit_jobs without machine_kind='uniform' would match nothing
+        ever; it must be rejected at construction, not dispatch time."""
+        with pytest.raises(InvalidInstanceError, match="unit_jobs"):
+            Capability(unit_jobs=True)
+        with pytest.raises(InvalidInstanceError, match="unit_jobs"):
+            Capability(machine_kind="unrelated", unit_jobs=True)
+
+    def test_graph_classes(self):
+        edged = _q2_unit()
+        empty = unit_uniform_instance(generators.empty_graph(4), [F(1), F(1)])
+        kab = unit_uniform_instance(
+            generators.complete_bipartite(2, 2), [F(1), F(1)]
+        )
+        assert not Capability(graph="edgeless").check(edged)
+        assert Capability(graph="edgeless").check(empty)
+        assert Capability(graph="complete_bipartite").check(kab)
+        # edgeless graphs are K_{a,b}-free-plus-isolated-vertices too
+        assert Capability(graph="complete_bipartite").check(empty)
+        assert not Capability(graph="complete_bipartite").check(edged)
+
+    def test_all_failed_requirements_reported(self):
+        cap = Capability(machine_kind="unrelated", min_machines=3)
+        ok, reasons = cap.evaluate(_q2_unit())
+        assert not ok and len(reasons) == 2
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Capability(machine_kind="quantum")
+        with pytest.raises(InvalidInstanceError):
+            Capability(graph="hypercube")
+        with pytest.raises(InvalidInstanceError):
+            Capability(min_machines=0)
+        with pytest.raises(InvalidInstanceError):
+            Capability(min_machines=3, max_machines=2)
+
+    def test_requirements_human_readable(self):
+        cap = Capability(
+            machine_kind="uniform", unit_jobs=True, min_machines=2, max_machines=2
+        )
+        text = " / ".join(cap.requirements())
+        assert "uniform" in text and "unit jobs" in text and "m = 2" in text
+
+
+class TestAlgorithmSpec:
+    def test_applies_derived_from_capability(self):
+        spec = AlgorithmSpec(
+            name="toy",
+            guarantee="none",
+            anchor="test",
+            run=lambda inst: None,
+            capability=Capability(machine_kind="unrelated"),
+        )
+        assert spec.applies(_r2())
+        assert not spec.applies(_q2_unit())
+
+    def test_run_required(self):
+        with pytest.raises(InvalidInstanceError, match="run callable"):
+            AlgorithmSpec(name="broken", guarantee="none", anchor="test")
+
+    def test_legacy_predicate_still_works(self):
+        spec = AlgorithmSpec(
+            name="legacy",
+            guarantee="none",
+            anchor="test",
+            applies=lambda inst: inst.m == 2,
+            run=lambda inst: None,
+        )
+        assert spec.applies(_q2_unit())
+        ok, reasons = spec.matches(_q2_unit())
+        assert ok and reasons == ()
+
+    def test_every_builtin_spec_is_capability_backed(self):
+        for spec in ALGORITHMS.values():
+            assert spec.capability is not None, spec.name
+            assert callable(spec.applies) and callable(spec.run)
+
+
+class TestRegistry:
+    def test_algorithms_is_the_live_registry(self):
+        assert ALGORITHMS is REGISTRY
+        assert len(ALGORITHMS) == len(available_algorithms())
+        assert "sqrt_approx" in ALGORITHMS
+        assert ALGORITHMS["sqrt_approx"].name == "sqrt_approx"
+
+    def test_duplicate_registration_rejected(self):
+        spec = ALGORITHMS["greedy"]
+        with pytest.raises(InvalidInstanceError, match="already registered"):
+            REGISTRY.register(spec)
+        # replace=True round-trips to the same spec
+        assert REGISTRY.register(spec, replace=True) is spec
+
+    def test_unknown_unregister_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="not registered"):
+            unregister_algorithm("no_such_algorithm")
+
+    def test_plugin_lifecycle(self):
+        """A registered plugin is dispatchable, listable, and solvable
+        through every public route (including the repro.solvers shim)."""
+
+        def run_toy(instance):
+            return Schedule(instance, [j % instance.m for j in range(instance.n)])
+
+        spec = AlgorithmSpec(
+            name="toy_round_robin",
+            guarantee="none (test plugin)",
+            anchor="test fixture",
+            run=run_toy,
+            capability=Capability(machine_kind="uniform", graph="edgeless"),
+        )
+        register_algorithm(spec)
+        try:
+            from repro.solvers import ALGORITHMS as shim_algorithms
+
+            assert "toy_round_robin" in shim_algorithms
+            inst = unit_uniform_instance(
+                generators.empty_graph(4), [F(1), F(1)]
+            )
+            assert "toy_round_robin" in {
+                s.name for s in available_algorithms(inst)
+            }
+            schedule = solve(inst, algorithm="toy_round_robin")
+            assert schedule.is_feasible()
+            # preconditions still enforced for plugins
+            edged = _q2_unit()
+            with pytest.raises(InvalidInstanceError, match="does not apply"):
+                solve(edged, algorithm="toy_round_robin")
+        finally:
+            unregister_algorithm("toy_round_robin")
+        assert "toy_round_robin" not in ALGORITHMS
+
+    def test_isolated_registry_does_not_touch_global(self):
+        registry = AlgorithmRegistry()
+        registry.register(
+            AlgorithmSpec(
+                name="only_here",
+                guarantee="none",
+                anchor="test",
+                run=lambda inst: None,
+            )
+        )
+        assert "only_here" in registry
+        assert "only_here" not in ALGORITHMS

@@ -1,0 +1,254 @@
+"""Tests for :mod:`repro.engine.service` — the persistent serving layer."""
+
+import io
+import json
+import threading
+from fractions import Fraction
+
+from repro.engine import EngineService, SERVE_FORMAT, serve_tcp
+from repro.graphs import generators
+from repro.io import instance_to_dict
+from repro.runtime import ShardedResultCache
+from repro.scheduling.instance import UnrelatedInstance, unit_uniform_instance
+
+F = Fraction
+
+
+def _payload():
+    inst = unit_uniform_instance(generators.crown(4), [F(3), F(1)])
+    return instance_to_dict(inst)
+
+
+def _solve_request(request_id=1, **extra):
+    return {"op": "solve", "id": request_id, "instance": _payload(), **extra}
+
+
+class TestSolveRequests:
+    def test_fresh_solve(self):
+        service = EngineService()
+        response = service.handle_request(_solve_request())
+        assert response["format"] == SERVE_FORMAT
+        assert response["ok"] and response["id"] == 1
+        assert response["chosen"] == "q2_unit_exact"
+        assert response["cached"] is False
+        assert Fraction(response["makespan"]) > 0
+        assert len(response["assignment"]) == 8
+        assert service.stats.solved == 1
+
+    def test_repeat_served_from_cache_without_resolving(self, monkeypatch):
+        """The acceptance criterion: an identical repeated instance is
+        answered from the cache and no solver runs."""
+        import repro.engine.service as service_module
+
+        service = EngineService()
+        first = service.handle_request(_solve_request(request_id=1))
+        calls = []
+
+        def exploding_solve(*args, **kwargs):  # pragma: no cover
+            calls.append(args)
+            raise AssertionError("cache miss: solver was invoked again")
+
+        monkeypatch.setattr(service_module, "solve", exploding_solve)
+        monkeypatch.setattr(service_module, "auto_choice", exploding_solve)
+        second = service.handle_request(_solve_request(request_id=2))
+        assert calls == []
+        assert second["cached"] is True and second["id"] == 2
+        assert second["makespan"] == first["makespan"]
+        assert second["assignment"] == first["assignment"]
+        assert service.stats.cached == 1
+
+    def test_cache_persists_across_service_instances(self, tmp_path, monkeypatch):
+        import repro.engine.service as service_module
+
+        cache_dir = tmp_path / "serve-cache"
+        EngineService(cache=cache_dir).handle_request(_solve_request())
+        assert ShardedResultCache(cache_dir).shard_files()
+
+        reborn = EngineService(cache=cache_dir)
+        monkeypatch.setattr(
+            service_module,
+            "solve",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("re-solved")),
+        )
+        response = reborn.handle_request(_solve_request(request_id=9))
+        assert response["cached"] is True
+        # laziness: exactly one shard was parsed for this key
+        assert len(reborn.cache.loaded_shards) == 1
+
+    def test_named_algorithm_and_distinct_cache_keys(self):
+        service = EngineService()
+        auto = service.handle_request(_solve_request(request_id=1))
+        named = service.handle_request(
+            _solve_request(request_id=2, algorithm="sqrt_approx")
+        )
+        assert named["chosen"] == "sqrt_approx"
+        assert named["key"] != auto["key"]
+        assert service.stats.solved == 2
+
+    def test_explain_and_portfolio_requests(self):
+        service = EngineService()
+        explained = service.handle_request(_solve_request(explain=True))
+        assert explained["explain"]["chosen"] == "q2_unit_exact"
+        assert any(
+            not entry["applicable"] for entry in explained["explain"]["entries"]
+        )
+        raced = service.handle_request(_solve_request(request_id=2, portfolio=3))
+        assert raced["ok"] and raced["algorithm"] == "portfolio:3"
+        # the portfolio result caches under its own key
+        repeat = service.handle_request(_solve_request(request_id=3, portfolio=3))
+        assert repeat["cached"] is True
+
+    def test_portfolio_zero_and_named_algorithm_rejected(self):
+        """portfolio: 0 must error like every other k < 1, and a named
+        algorithm alongside portfolio is refused (as on the CLI), never
+        silently dropped."""
+        service = EngineService()
+        zero = service.handle_request(_solve_request(portfolio=0))
+        assert zero["ok"] is False and ">= 1" in zero["error"]
+        named = service.handle_request(
+            _solve_request(portfolio=2, algorithm="greedy")
+        )
+        assert named["ok"] is False and "cannot honour" in named["error"]
+        assert service.stats.errors == 2
+
+    def test_explain_still_answered_on_cache_hits(self):
+        service = EngineService()
+        service.handle_request(_solve_request(request_id=1))
+        cached = service.handle_request(_solve_request(request_id=2, explain=True))
+        assert cached["cached"] is True
+        assert cached["explain"]["chosen"] == "q2_unit_exact"
+
+
+class TestErrors:
+    def test_malformed_line(self):
+        service = EngineService()
+        response = json.loads(service.handle_line("{not json"))
+        assert response["ok"] is False and "malformed" in response["error"]
+        assert service.stats.errors == 1
+
+    def test_missing_instance(self):
+        service = EngineService()
+        response = service.handle_request({"op": "solve", "id": 4})
+        assert response["ok"] is False and "instance" in response["error"]
+
+    def test_unknown_algorithm_is_an_error_response(self):
+        service = EngineService()
+        response = service.handle_request(
+            _solve_request(algorithm="quantum_annealing")
+        )
+        assert response["ok"] is False
+        assert "unknown algorithm" in response["error"]
+        assert service.stats.errors == 1
+
+    def test_infeasible_instance_is_an_error_response(self):
+        inst = unit_uniform_instance(generators.crown(3), [F(1)])
+        service = EngineService()
+        response = service.handle_request(
+            {"op": "solve", "id": 5, "instance": instance_to_dict(inst)}
+        )
+        assert response["ok"] is False and "two machines" in response["error"]
+
+    def test_foreign_cache_records_are_not_served(self):
+        """A cache seeded with non-serve records under a serve key must
+        not be echoed back as a response (schema safety)."""
+        from repro.runtime import ResultCache
+        from repro.runtime.cache import task_key
+
+        cache = ResultCache(None)
+        key = task_key(_payload(), "serve/auto")
+        cache.put(key, {"kind": "batch_result", "key": key})
+        service = EngineService(cache=cache)
+        response = service.handle_request(_solve_request())
+        # the poisoned slot surfaces loudly as a collision error before
+        # any solve is attempted — never as a malformed "cached" response
+        assert response["ok"] is False and "non-serve record" in response["error"]
+        assert service.stats.cached == 0 and service.stats.solved == 0
+
+    def test_malformed_payload_never_kills_the_server(self):
+        """Non-ReproError defects (KeyError from a truncated payload,
+        ValueError from a bad portfolio count) must come back as error
+        responses, not crash the persistent loop."""
+        service = EngineService()
+        truncated = service.handle_request(
+            {"op": "solve", "id": 7, "instance": {"kind": "uniform_instance"}}
+        )
+        assert truncated["ok"] is False and "graph" in truncated["error"]
+        bad_k = service.handle_request(_solve_request(portfolio="three"))
+        assert bad_k["ok"] is False and "ValueError" in bad_k["error"]
+        assert service.stats.errors == 2
+        # and the service still answers afterwards
+        assert service.handle_request(_solve_request(request_id=8))["ok"]
+
+    def test_unknown_op(self):
+        service = EngineService()
+        response = service.handle_request({"op": "dance", "id": 6})
+        assert response["ok"] is False and "unknown op" in response["error"]
+
+    def test_errors_never_kill_the_stream(self):
+        service = EngineService()
+        source = [
+            "{broken",
+            "",
+            json.dumps(_solve_request(request_id=1)),
+            json.dumps({"op": "stats", "id": 2}),
+        ]
+        sink = io.StringIO()
+        stats = service.serve_stream(source, sink)
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert len(lines) == 3  # blank line skipped
+        assert lines[0]["ok"] is False
+        assert lines[1]["ok"] is True
+        assert lines[2]["stats"]["errors"] == 1
+        assert stats.requests == 3
+
+
+class TestOps:
+    def test_ping_and_stats(self):
+        service = EngineService()
+        assert service.handle_request({"op": "ping"})["ok"] is True
+        stats = service.handle_request({"op": "stats", "id": 0})
+        assert stats["stats"]["requests"] == 2
+
+    def test_unrelated_instance_served(self):
+        inst = UnrelatedInstance(
+            generators.matching_graph(2), [[2, 3, 1, 4], [5, 1, 2, 2]]
+        )
+        response = EngineService().handle_request(
+            {"op": "solve", "id": 1, "instance": instance_to_dict(inst)}
+        )
+        assert response["ok"] and response["chosen"] == "r2_fptas"
+
+
+class TestTcp:
+    def test_one_shot_tcp_round_trip(self):
+        import socket
+
+        service = EngineService()
+        address: list = []
+        bound = threading.Event()
+
+        def ready(addr):
+            address.append(addr)
+            bound.set()
+
+        server = threading.Thread(
+            target=serve_tcp,
+            args=(service,),
+            kwargs={"port": 0, "max_requests": 2, "ready": ready},
+            daemon=True,
+        )
+        server.start()
+        assert bound.wait(timeout=10)
+        host, port = address[0]
+        with socket.create_connection((host, port), timeout=10) as conn:
+            with conn.makefile("rw", encoding="utf-8") as stream:
+                stream.write(json.dumps(_solve_request(request_id=1)) + "\n")
+                stream.flush()
+                first = json.loads(stream.readline())
+                stream.write(json.dumps(_solve_request(request_id=2)) + "\n")
+                stream.flush()
+                second = json.loads(stream.readline())
+        server.join(timeout=10)
+        assert not server.is_alive()
+        assert first["ok"] and first["cached"] is False
+        assert second["ok"] and second["cached"] is True

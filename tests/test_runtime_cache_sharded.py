@@ -1,0 +1,165 @@
+"""Tests for :class:`repro.runtime.cache.ShardedResultCache`."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import CacheCollisionError, InvalidInstanceError
+from repro.graphs import generators
+from repro.runtime import BatchRunner, ResultCache, ShardedResultCache
+from repro.scheduling.instance import unit_uniform_instance
+
+F = Fraction
+
+
+def _record(key: str, value: int = 1) -> dict:
+    return {"key": key, "value": value}
+
+
+class TestBasics:
+    def test_put_record_contains(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        cache.put("abc123", _record("abc123"))
+        assert "abc123" in cache
+        assert cache.record("abc123")["value"] == 1
+        assert "def456" not in cache
+        with pytest.raises(KeyError):
+            cache.record("def456")
+
+    def test_keys_spread_over_shard_files(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        for key in ("0aaa", "1bbb", "fccc", "0ddd"):
+            cache.put(key, _record(key))
+        files = {p.name for p in cache.shard_files()}
+        assert files == {"shard-0.jsonl", "shard-1.jsonl", "shard-f.jsonl"}
+        assert len(cache) == 4
+
+    def test_same_record_re_put_is_noop(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        cache.put("aa", _record("aa"))
+        cache.put("aa", _record("aa"))
+        path = cache.shard_files()[0]
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_collision_raises(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        cache.put("aa", _record("aa", 1))
+        with pytest.raises(CacheCollisionError):
+            cache.put("aa", _record("aa", 2))
+
+    def test_invalid_shard_chars(self, tmp_path):
+        with pytest.raises(InvalidInstanceError):
+            ShardedResultCache(tmp_path / "c", shard_chars=0)
+
+    def test_two_char_shards(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", shard_chars=2)
+        cache.put("abcd", _record("abcd"))
+        assert cache.shard_files()[0].name == "shard-ab.jsonl"
+
+    def test_short_keys_pad_to_the_declared_prefix(self, tmp_path):
+        """A key shorter than shard_chars must not write a shard the
+        reopen guard reads as a different shard_chars."""
+        cache = ShardedResultCache(tmp_path / "c", shard_chars=2)
+        cache.put("a", _record("a"))
+        cache.put("", _record(""))
+        assert {p.name for p in cache.shard_files()} == {
+            "shard-a_.jsonl", "shard-__.jsonl",
+        }
+        reopened = ShardedResultCache(tmp_path / "c", shard_chars=2)
+        assert "a" in reopened and "" in reopened
+
+    def test_mismatched_shard_chars_rejected(self, tmp_path):
+        """Reopening a directory with a different prefix length would
+        miss every stored record — it must fail loudly instead."""
+        ShardedResultCache(tmp_path / "c", shard_chars=2).put(
+            "abcd", _record("abcd")
+        )
+        with pytest.raises(InvalidInstanceError, match="shard_chars=2"):
+            ShardedResultCache(tmp_path / "c", shard_chars=1)
+        # the matching value keeps working
+        assert "abcd" in ShardedResultCache(tmp_path / "c", shard_chars=2)
+
+
+class TestLaziness:
+    def test_construction_loads_nothing(self, tmp_path):
+        warm = ShardedResultCache(tmp_path / "c")
+        for key in ("0a", "1b", "2c", "3d"):
+            warm.put(key, _record(key))
+
+        cold = ShardedResultCache(tmp_path / "c")
+        assert cold.loaded_shards == ()
+        assert "0a" in cold
+        assert cold.loaded_shards == ("0",)  # exactly one shard parsed
+        assert cold.record("1b")["key"] == "1b"
+        assert cold.loaded_shards == ("0", "1")
+
+    def test_len_is_the_eager_escape_hatch(self, tmp_path):
+        warm = ShardedResultCache(tmp_path / "c")
+        for key in ("0a", "1b", "2c"):
+            warm.put(key, _record(key))
+        cold = ShardedResultCache(tmp_path / "c")
+        assert len(cold) == 3
+        assert cold.loaded_shards == ("0", "1", "2")
+
+
+class TestHealing:
+    def test_garbage_and_truncated_lines_skipped(self, tmp_path):
+        directory = tmp_path / "c"
+        warm = ShardedResultCache(directory)
+        warm.put("0aaa", _record("0aaa"))
+        shard = directory / "shard-0.jsonl"
+        # simulate a run killed mid-append: non-UTF-8 garbage, then a
+        # truncated record with no trailing newline
+        with shard.open("ab") as fh:
+            fh.write(b"\xff\xfenot json\n")
+            fh.write(b'{"key": "0bbb", "val')
+
+        healed = ShardedResultCache(directory)
+        assert "0aaa" in healed
+        assert "0bbb" not in healed
+        # the first append after healing must start on a fresh line
+        healed.put("0ccc", _record("0ccc"))
+        reread = ShardedResultCache(directory)
+        assert "0aaa" in reread and "0ccc" in reread
+        assert len(reread) == 2
+
+    def test_last_record_wins_on_duplicate_keys(self, tmp_path):
+        directory = tmp_path / "c"
+        directory.mkdir()
+        shard = directory / "shard-a.jsonl"
+        shard.write_text(
+            '{"key": "aa", "value": 1}\n{"key": "aa", "value": 2}\n'
+        )
+        cache = ShardedResultCache(directory)
+        assert cache.record("aa")["value"] == 2
+
+
+class TestMigration:
+    def test_migrate_flat_jsonl(self, tmp_path):
+        flat_path = tmp_path / "flat.jsonl"
+        flat = ResultCache(flat_path)
+        for key in ("0a", "1b", "fc"):
+            flat.put(key, _record(key))
+
+        sharded = ShardedResultCache.migrate_jsonl(flat_path, tmp_path / "shards")
+        assert len(sharded) == 3
+        assert {p.name for p in sharded.shard_files()} == {
+            "shard-0.jsonl", "shard-1.jsonl", "shard-f.jsonl",
+        }
+        # the source file is untouched
+        assert len(flat_path.read_text().splitlines()) == 3
+
+
+class TestBatchRunnerIntegration:
+    def test_runner_accepts_sharded_cache(self, tmp_path):
+        inst = unit_uniform_instance(generators.crown(4), [F(3), F(1)])
+        cache = ShardedResultCache(tmp_path / "c")
+        runner = BatchRunner(cache=cache)
+        (first,) = runner.run_to_list([inst])
+        assert first.cached is False and first.error is None
+
+        # a fresh runner over the same directory answers from disk
+        rerun = BatchRunner(cache=ShardedResultCache(tmp_path / "c"))
+        (second,) = rerun.run_to_list([inst])
+        assert second.cached is True
+        assert second.makespan == first.makespan
