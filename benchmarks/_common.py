@@ -67,17 +67,20 @@ def emit_record(
     rows: Iterable[Sequence[Any]],
     phases: Iterable[BenchPhase] = (),
     notes: str = "",
+    meta: dict[str, Any] | None = None,
 ) -> BenchRecord:
     """Persist one experiment's sweep as ``BENCH_<experiment_id>.json``.
 
     ``columns``/``rows`` mirror the data behind the emitted ``.txt``
     table; cells are coerced to JSON-stable scalars (exact rationals as
-    ``"num/den"``).  The record is schema-validated, written next to the
-    ``.txt``, and appended to the ``BENCH_trajectory.jsonl`` perf
-    trajectory.  Returns the built record.
+    ``"num/den"``).  ``meta`` carries headline scalars outside the sweep
+    table (e.g. a speedup quotient).  The record is schema-validated,
+    written next to the ``.txt``, and appended to the
+    ``BENCH_trajectory.jsonl`` perf trajectory.  Returns the built
+    record.
     """
     record = BenchRecord.build(
-        experiment_id, columns, rows, phases=phases, notes=notes
+        experiment_id, columns, rows, phases=phases, notes=notes, meta=meta
     )
     path = write_bench_record(record, OUT_DIR)
     print(f"[bench record written to {path}]")

@@ -228,12 +228,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--port", type=int, default=None,
-        help="serve on this TCP port instead of stdin/stdout (0 = ephemeral)",
+        help="serve on this TCP port instead of stdin/stdout (0 = "
+        "ephemeral); TCP serving is concurrent (asyncio) unless --sync",
     )
     srv.add_argument("--host", type=str, default="127.0.0.1")
     srv.add_argument(
         "--max-requests", type=int, default=None,
         help="exit after this many requests (one-shot smoke tests)",
+    )
+    srv.add_argument(
+        "--sync", action="store_true",
+        help="TCP fallback: serve connections sequentially, one at a "
+        "time, on the classic blocking loop (no coalescing/backpressure)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=1,
+        help="async tier: solver processes (1 = in-process thread pool; "
+        ">1 = persistent multiprocessing pool)",
+    )
+    srv.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="async tier: concurrent fresh solves admitted at once",
+    )
+    srv.add_argument(
+        "--max-queue", type=int, default=64,
+        help="async tier: admitted solves allowed to wait beyond "
+        "--max-inflight before fresh requests are rejected as overloaded",
+    )
+    srv.add_argument(
+        "--backlog", type=int, default=128,
+        help="TCP listen backlog (kernel-queued pending connections)",
+    )
+    srv.add_argument(
+        "--stats-interval", type=float, default=None,
+        help="async tier: log a qps/latency/coalesce metrics line to "
+        "stderr every this many seconds",
     )
 
     perf = sub.add_parser(
@@ -440,20 +469,51 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import EngineService, serve_tcp
 
-    service = EngineService(cache=args.cache_dir, algorithm=args.algorithm)
-    if args.port is not None:
-        def announce(address) -> None:
-            host, port = address
-            print(f"serving on {host}:{port}", file=sys.stderr)
+    def announce(address) -> None:
+        host, port = address
+        print(f"serving on {host}:{port}", file=sys.stderr)
 
+    if args.port is not None and not args.sync:
+        # the default TCP path: the concurrent asyncio tier
+        import asyncio
+
+        from repro.engine import AsyncEngineService, serve_async
+
+        service = AsyncEngineService(
+            cache=args.cache_dir,
+            algorithm=args.algorithm,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+        )
+        try:
+            served = asyncio.run(
+                serve_async(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    backlog=args.backlog,
+                    max_requests=args.max_requests,
+                    ready=announce,
+                    stats_interval=args.stats_interval,
+                )
+            )
+        except KeyboardInterrupt:
+            served = service.stats.requests
+        finally:
+            service.close()
+    elif args.port is not None:
+        service = EngineService(cache=args.cache_dir, algorithm=args.algorithm)
         served = serve_tcp(
             service,
             host=args.host,
             port=args.port,
             max_requests=args.max_requests,
             ready=announce,
+            backlog=args.backlog,
         )
     else:
+        service = EngineService(cache=args.cache_dir, algorithm=args.algorithm)
         source = sys.stdin
         if args.max_requests is not None:
             from itertools import islice
@@ -470,7 +530,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stats = service.stats
     print(
         f"serve: {served} request(s) ({stats.solved} solved, "
-        f"{stats.cached} cached, {stats.errors} errors)",
+        f"{stats.cached} cached, {stats.coalesced} coalesced, "
+        f"{stats.rejected} rejected, {stats.errors} errors)",
         file=sys.stderr,
     )
     # mirror `repro batch`: a shell pipeline gating on the exit code

@@ -16,7 +16,11 @@ Four cooperating layers replace the old monolithic ``repro.solvers``:
 * :mod:`repro.engine.service` — the persistent serving loop behind
   ``repro serve``: JSONL requests over stdin/socket, canonical
   content-hash keys, repeat queries answered from a lazily-loaded
-  sharded cache.
+  sharded cache;
+* :mod:`repro.engine.aserve` — the concurrent asyncio TCP tier (the
+  default for ``repro serve --port``): many connections on one event
+  loop, solves on a worker pool, in-flight coalescing by content hash,
+  admission control, and a p50/p95/p99 latency surface.
 
 ``repro.solvers`` remains as a thin back-compat shim over this package.
 """
@@ -49,8 +53,16 @@ from repro.engine.portfolio import (
 from repro.engine.service import (
     SERVE_FORMAT,
     EngineService,
+    LatencyReservoir,
     ServiceStats,
+    build_solve_record,
+    parse_solve_request,
     serve_tcp,
+)
+from repro.engine.aserve import (
+    SERVE_FORMAT_V2,
+    AsyncEngineService,
+    serve_async,
 )
 
 __all__ = [
@@ -74,7 +86,13 @@ __all__ = [
     "portfolio_candidates",
     "portfolio_solve",
     "SERVE_FORMAT",
+    "SERVE_FORMAT_V2",
     "EngineService",
+    "AsyncEngineService",
+    "LatencyReservoir",
     "ServiceStats",
+    "build_solve_record",
+    "parse_solve_request",
     "serve_tcp",
+    "serve_async",
 ]

@@ -27,7 +27,9 @@ Errors never kill the loop: they come back as ``ok=false`` responses.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import math
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Iterable, TextIO
@@ -40,30 +42,202 @@ from repro.runtime.cache import ResultCache, ShardedResultCache, task_key
 
 __all__ = [
     "SERVE_FORMAT",
+    "LatencyReservoir",
     "ServiceStats",
     "EngineService",
+    "parse_solve_request",
+    "build_solve_record",
     "serve_tcp",
 ]
 
 SERVE_FORMAT = "repro/serve/v1"
 
 
+class LatencyReservoir:
+    """A ring buffer of recent request latencies with percentile snapshots.
+
+    Keeps the last ``window`` samples (seconds) for percentiles — so
+    p50/p95/p99 track *recent* behaviour, not the whole history — plus
+    lifetime count/total/max.  Snapshots sort the window
+    (O(window log window)), which is negligible at the default size.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"latency window must be >= 1, got {window}")
+        self.window = window
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one request latency (negative inputs clamp to 0)."""
+        seconds = max(0.0, float(seconds))
+        self._samples.append(seconds)
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank ``q``-th percentile (0..100) of the window."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = math.ceil(q / 100.0 * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON-ready metrics block served under ``stats.latency``."""
+
+        def ms(value: float | None) -> float | None:
+            return None if value is None else round(value * 1000.0, 3)
+
+        return {
+            "count": self.count,
+            "window": len(self._samples),
+            "p50_ms": ms(self.percentile(50)),
+            "p95_ms": ms(self.percentile(95)),
+            "p99_ms": ms(self.percentile(99)),
+            "mean_ms": ms(self.total_s / self.count) if self.count else None,
+            "max_ms": ms(self.max_s) if self.count else None,
+        }
+
+
 @dataclass
 class ServiceStats:
-    """Aggregate counters over one service lifetime."""
+    """Aggregate counters and latency surface over one service lifetime.
+
+    ``coalesced``/``rejected``/``connections`` are serving-tier counters
+    (the async TCP tier drives them; they stay 0 on the stdin stream
+    path).  ``latency`` is a :class:`LatencyReservoir` of per-request
+    handling times; ``qps`` is requests over the service's uptime.
+    """
 
     requests: int = 0
     solved: int = 0
     cached: int = 0
     errors: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    connections: int = 0
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    started: float = field(default_factory=perf_counter)
 
-    def to_dict(self) -> dict[str, int]:
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's handling latency."""
+        self.latency.observe(seconds)
+
+    def uptime_s(self) -> float:
+        """Seconds since the stats object was created (never zero)."""
+        return max(perf_counter() - self.started, 1e-9)
+
+    def qps(self) -> float:
+        """Lifetime requests per second."""
+        return self.requests / self.uptime_s()
+
+    def to_dict(self) -> dict[str, Any]:
         return {
             "requests": self.requests,
             "solved": self.solved,
             "cached": self.cached,
             "errors": self.errors,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "connections": self.connections,
+            "uptime_s": round(self.uptime_s(), 3),
+            "qps": round(self.qps(), 3),
+            "latency": self.latency.snapshot(),
         }
+
+
+def parse_solve_request(
+    request: dict[str, Any], default_algorithm: str = "auto"
+) -> tuple[dict[str, Any], str, int | None, str]:
+    """Validate one solve request into ``(payload, algorithm, k, cache_algorithm)``.
+
+    Shared by the sync and async services so both reject malformed
+    requests identically.  Raises :exc:`~repro.exceptions.ReproError`
+    for protocol-level problems; a non-numeric ``portfolio`` raises the
+    underlying ``ValueError``/``TypeError`` (callers shape it into a
+    typed error response).
+    """
+    payload = request.get("instance")
+    if not isinstance(payload, dict):
+        raise ReproError("solve request carries no 'instance' payload")
+    algorithm = request.get("algorithm") or default_algorithm
+    if not isinstance(algorithm, str):
+        raise ReproError(
+            f"'algorithm' must be a string, got {type(algorithm).__name__}"
+        )
+    portfolio_k = request.get("portfolio")
+    if portfolio_k is not None:
+        portfolio_k = int(portfolio_k)
+        if portfolio_k < 1:
+            raise ReproError(
+                f"portfolio size must be >= 1, got {portfolio_k}"
+            )
+        if request.get("algorithm") not in (None, "auto"):
+            # mirror the CLI: racing a fixed candidate list cannot
+            # honour a named algorithm — refuse, don't drop it
+            raise ReproError(
+                "a portfolio request races the strongest eligible "
+                "methods and cannot honour a named 'algorithm'; "
+                "send one of the two"
+            )
+    cache_algorithm = (
+        f"portfolio:{portfolio_k}" if portfolio_k is not None else algorithm
+    )
+    return payload, algorithm, portfolio_k, cache_algorithm
+
+
+def build_solve_record(
+    payload: dict[str, Any],
+    algorithm: str,
+    portfolio_k: int | None,
+    key: str,
+) -> dict[str, Any]:
+    """Solve one validated payload and build its cacheable serve record.
+
+    Module-level (and with the response ``id`` left ``None``) so worker
+    processes can run it through pickle — the async tier hands solves to
+    :class:`~repro.runtime.batch.BatchRunner`'s pool via
+    :func:`repro.engine.aserve._pool_solve`.  Raises on solver-level
+    failure (unknown algorithm, infeasible instance, ...); callers shape
+    errors into responses.
+    """
+    instance = instance_from_dict(payload)
+    start = perf_counter()
+    if portfolio_k is not None:
+        result = portfolio_solve(instance, k=portfolio_k)
+        chosen, schedule = result.chosen, result.schedule
+    else:
+        chosen = auto_choice(instance) if algorithm == "auto" else algorithm
+        schedule = solve(instance, algorithm=chosen)
+    wall = perf_counter() - start
+    cache_algorithm = (
+        f"portfolio:{portfolio_k}" if portfolio_k is not None else algorithm
+    )
+    return {
+        "format": SERVE_FORMAT,
+        "kind": "serve_result",
+        "id": None,
+        "ok": True,
+        "key": key,
+        "algorithm": cache_algorithm,
+        "chosen": chosen,
+        "n": instance.n,
+        "m": instance.m,
+        "edges": instance.graph.edge_count,
+        "makespan": frac_str(schedule.makespan),
+        "makespan_float": float(schedule.makespan),
+        "feasible": schedule.is_feasible(),
+        "assignment": list(schedule.assignment),
+        "cached": False,
+        "wall_time_s": wall,
+        "error": None,
+    }
 
 
 class EngineService:
@@ -111,10 +285,19 @@ class EngineService:
     # ------------------------------------------------------------------ #
 
     def handle_line(self, line: str) -> str:
-        """One JSONL request line in, one JSONL response line out."""
+        """One JSONL request line in, exactly one JSONL response line out.
+
+        The protocol boundary: whatever junk arrives — non-JSON bytes,
+        deeply nested JSON (``RecursionError`` from the parser), huge
+        integer literals (``ValueError`` from the int-conversion limit),
+        wrong-typed fields — the reply is a single parseable JSON line
+        with a boolean ``ok``, and every call counts exactly one
+        request.  The fuzz suite pins this down.
+        """
         try:
             request = json.loads(line)
-        except json.JSONDecodeError as exc:
+        except Exception as exc:  # noqa: BLE001 — JSONDecodeError is only
+            # the common case; see the docstring for the exotic ones
             self.stats.requests += 1
             self.stats.errors += 1
             return json.dumps(
@@ -126,11 +309,27 @@ class EngineService:
             return json.dumps(
                 self._error_response(None, "request must be a JSON object")
             )
-        return json.dumps(self.handle_request(request))
+        try:
+            return json.dumps(self.handle_request(request))
+        except Exception as exc:  # noqa: BLE001 — a response that cannot
+            # be serialised must still come back as one parseable line
+            self.stats.errors += 1
+            return json.dumps(
+                self._error_response(
+                    None, f"unserialisable response: {type(exc).__name__}"
+                )
+            )
 
     def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Dispatch one decoded request to its ``op`` handler."""
+        """Dispatch one decoded request, timing it into the stats surface."""
         self.stats.requests += 1
+        started = perf_counter()
+        try:
+            return self._handle_op(request)
+        finally:
+            self.stats.observe_latency(perf_counter() - started)
+
+    def _handle_op(self, request: dict[str, Any]) -> dict[str, Any]:
         op = request.get("op", "solve")
         request_id = request.get("id")
         if op == "ping":
@@ -172,30 +371,8 @@ class EngineService:
 
     def _handle_solve(self, request: dict[str, Any]) -> dict[str, Any]:
         request_id = request.get("id")
-        payload = request.get("instance")
-        if not isinstance(payload, dict):
-            self.stats.errors += 1
-            return self._error_response(
-                request_id, "solve request carries no 'instance' payload"
-            )
-        algorithm = request.get("algorithm") or self.algorithm
-        portfolio_k = request.get("portfolio")
-        if portfolio_k is not None:
-            portfolio_k = int(portfolio_k)
-            if portfolio_k < 1:
-                raise ReproError(
-                    f"portfolio size must be >= 1, got {portfolio_k}"
-                )
-            if request.get("algorithm") not in (None, "auto"):
-                # mirror the CLI: racing a fixed candidate list cannot
-                # honour a named algorithm — refuse, don't drop it
-                raise ReproError(
-                    "a portfolio request races the strongest eligible "
-                    "methods and cannot honour a named 'algorithm'; "
-                    "send one of the two"
-                )
-        cache_algorithm = (
-            f"portfolio:{portfolio_k}" if portfolio_k is not None else algorithm
+        payload, algorithm, portfolio_k, cache_algorithm = parse_solve_request(
+            request, self.algorithm
         )
         # the "serve/" marker namespaces serve keys apart from batch
         # task keys, so pointing --cache-dir at a batch cache can never
@@ -223,41 +400,14 @@ class EngineService:
                 ).to_dict()
             return record
 
-        instance = instance_from_dict(payload)
-        start = perf_counter()
-        if portfolio_k is not None:
-            result = portfolio_solve(instance, k=portfolio_k)
-            chosen, schedule = result.chosen, result.schedule
-        else:
-            chosen = (
-                auto_choice(instance) if algorithm == "auto" else algorithm
-            )
-            schedule = solve(instance, algorithm=chosen)
-        wall = perf_counter() - start
+        record = build_solve_record(payload, algorithm, portfolio_k, key)
         self.stats.solved += 1
-
-        record: dict[str, Any] = {
-            "format": SERVE_FORMAT,
-            "kind": "serve_result",
-            "id": request_id,
-            "ok": True,
-            "key": key,
-            "algorithm": cache_algorithm,
-            "chosen": chosen,
-            "n": instance.n,
-            "m": instance.m,
-            "edges": instance.graph.edge_count,
-            "makespan": frac_str(schedule.makespan),
-            "makespan_float": float(schedule.makespan),
-            "feasible": schedule.is_feasible(),
-            "assignment": list(schedule.assignment),
-            "cached": False,
-            "wall_time_s": wall,
-            "error": None,
-        }
         self.cache.put(key, dict(record, id=None, wall_time_s=0.0))
+        record["id"] = request_id
         if request.get("explain"):
-            record["explain"] = explain_dispatch(instance, algorithm).to_dict()
+            record["explain"] = explain_dispatch(
+                instance_from_dict(payload), algorithm
+            ).to_dict()
         return record
 
     # ------------------------------------------------------------------ #
@@ -287,16 +437,24 @@ def serve_tcp(
     port: int = 0,
     max_requests: int | None = None,
     ready: "Any | None" = None,
+    backlog: int = 128,
 ) -> int:
-    """Serve JSONL requests over a TCP socket (one line per request).
+    """Serve JSONL requests over a TCP socket, one connection at a time.
 
-    Accepts connections sequentially; within each connection, every
-    received line is answered in order until the client closes.  With
-    ``max_requests`` the loop exits after that many requests (one-shot
-    smoke tests); ``port=0`` binds an ephemeral port.  ``ready``, when
-    given, is a callable invoked with the bound ``(host, port)`` once
-    the socket is listening (tests use it to rendezvous).  Returns the
-    number of requests served.
+    The *sequential* fallback behind ``repro serve --port --sync``:
+    connections are accepted strictly one after another, and within each
+    connection every received line is answered in order until the client
+    closes — only then is the next queued client served.  The raised
+    ``backlog`` (was 1) keeps overlapping clients queued in the kernel
+    instead of dropping their connects, so each of them *is* eventually
+    answered; the asyncio tier (:mod:`repro.engine.aserve`, the default
+    with ``--port``) is what serves them concurrently.
+
+    With ``max_requests`` the loop exits after that many requests
+    (one-shot smoke tests); ``port=0`` binds an ephemeral port.
+    ``ready``, when given, is a callable invoked with the bound
+    ``(host, port)`` once the socket is listening (tests use it to
+    rendezvous).  Returns the number of requests served.
     """
     import socket
 
@@ -304,7 +462,7 @@ def serve_tcp(
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as server:
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         server.bind((host, port))
-        server.listen(1)
+        server.listen(backlog)
         if ready is not None:
             ready(server.getsockname())
         while max_requests is None or served < max_requests:

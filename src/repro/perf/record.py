@@ -198,6 +198,11 @@ class BenchRecord:
         Per-phase timings (may be empty for ratio-only experiments).
     notes:
         Free-form provenance (sweep description, smoke flag, ...).
+    meta:
+        Optional headline scalars that don't fit the sweep table
+        (``{"speedup_qps": 5.2, "concurrency": 32}``).  Serialised only
+        when non-empty, so records without it stay byte-identical to
+        the pre-``meta`` schema.
     """
 
     experiment_id: str
@@ -207,6 +212,7 @@ class BenchRecord:
     rows: tuple[tuple[Any, ...], ...]
     phases: tuple[BenchPhase, ...] = ()
     notes: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -218,13 +224,15 @@ class BenchRecord:
         notes: str = "",
         git_rev: str | None = None,
         timestamp: str | None = None,
+        meta: dict[str, Any] | None = None,
     ) -> "BenchRecord":
         """Construct a record, stamping provenance and coercing cells.
 
         Parameters
         ----------
-        experiment_id, columns, rows, phases, notes:
-            See the class fields.
+        experiment_id, columns, rows, phases, notes, meta:
+            See the class fields (``meta`` values pass through
+            :func:`json_cell` like table cells).
         git_rev, timestamp:
             Explicit provenance overrides; default to the live
             :func:`git_revision` / :func:`utc_timestamp`.
@@ -248,13 +256,14 @@ class BenchRecord:
             rows=tuple(tuple(json_cell(cell) for cell in row) for row in rows),
             phases=tuple(phases),
             notes=notes,
+            meta={str(k): json_cell(v) for k, v in (meta or {}).items()},
         )
         validate_bench_record(record.to_dict())
         return record
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict form (the on-disk schema)."""
-        return {
+        data = {
             "format": BENCH_FORMAT,
             "kind": "bench_record",
             "experiment_id": self.experiment_id,
@@ -265,6 +274,9 @@ class BenchRecord:
             "phases": [phase.to_dict() for phase in self.phases],
             "notes": self.notes,
         }
+        if self.meta:
+            data["meta"] = dict(self.meta)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "BenchRecord":
@@ -284,6 +296,7 @@ class BenchRecord:
             rows=tuple(tuple(row) for row in data["rows"]),
             phases=tuple(BenchPhase.from_dict(p) for p in data["phases"]),
             notes=str(data.get("notes", "")),
+            meta=dict(data.get("meta", {})),
         )
 
 
@@ -357,6 +370,14 @@ def validate_bench_record(data: Any) -> None:
             _fail(experiment, f"phase {i} size must be an object")
     if not isinstance(data.get("notes", ""), str):
         _fail(experiment, "notes must be a string")
+    meta = data.get("meta", {})
+    if not isinstance(meta, dict):
+        _fail(experiment, "meta must be an object")
+    for key, value in meta.items():
+        if not isinstance(key, str):
+            _fail(experiment, f"meta key {key!r} must be a string")
+        if value is not None and not isinstance(value, (bool, int, float, str)):
+            _fail(experiment, f"meta[{key!r}] holds a non-scalar value {value!r}")
 
 
 def write_bench_record(

@@ -435,3 +435,122 @@ class TestServe:
         monkeypatch.setattr("sys.stdin", io.StringIO(lines))
         assert main(["serve", "--max-requests", "2"]) == 0
         assert len(capsys.readouterr().out.splitlines()) == 2
+
+    def test_summary_reports_serving_counters(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self._request_line() + "\n"))
+        assert main(["serve"]) == 0
+        err = capsys.readouterr().err
+        assert "0 coalesced, 0 rejected" in err
+
+    def _serve_tcp_one_shot(self, argv, requests):
+        """Run `repro serve` in a thread, drive it over TCP, return responses."""
+        import io
+        import json
+        import re
+        import socket
+        import sys
+        import threading
+        import time
+
+        stderr = io.StringIO()
+        codes = []
+
+        def run():
+            real = sys.stderr
+            sys.stderr = stderr
+            try:
+                codes.append(main(argv))
+            finally:
+                sys.stderr = real
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30
+        match = None
+        while match is None:
+            assert time.monotonic() < deadline, stderr.getvalue()
+            time.sleep(0.02)
+            match = re.search(r"serving on ([\d.]+):(\d+)", stderr.getvalue())
+        host, port = match.group(1), int(match.group(2))
+        responses = []
+        with socket.create_connection((host, port), timeout=30) as conn:
+            with conn.makefile("rw", encoding="utf-8") as stream:
+                for line in requests:
+                    stream.write(line + "\n")
+                    stream.flush()
+                    responses.append(json.loads(stream.readline()))
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes == [0], stderr.getvalue()
+        return responses, stderr.getvalue()
+
+    def test_tcp_default_is_the_async_tier(self):
+        requests = [self._request_line(1), self._request_line(2)]
+        responses, err = self._serve_tcp_one_shot(
+            ["serve", "--port", "0", "--max-requests", "2",
+             "--max-inflight", "4", "--max-queue", "8"],
+            requests,
+        )
+        assert [r["format"] for r in responses] == ["repro/serve/v2"] * 2
+        assert responses[0]["cached"] is False
+        assert responses[1]["cached"] is True
+        assert "1 solved, 1 cached" in err
+
+    def test_tcp_sync_flag_keeps_the_sequential_tier(self):
+        responses, err = self._serve_tcp_one_shot(
+            ["serve", "--port", "0", "--max-requests", "1", "--sync"],
+            [self._request_line(1)],
+        )
+        assert responses[0]["format"] == "repro/serve/v1"
+        assert responses[0]["ok"] is True
+        assert "1 solved" in err
+
+    def test_stats_interval_flag_logs_metrics(self):
+        import io
+        import json
+        import re
+        import socket
+        import sys
+        import threading
+        import time
+
+        stderr = io.StringIO()
+        codes = []
+
+        def run():
+            real = sys.stderr
+            sys.stderr = stderr
+            try:
+                codes.append(
+                    main(["serve", "--port", "0", "--max-requests", "2",
+                          "--stats-interval", "0.05"])
+                )
+            finally:
+                sys.stderr = real
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30
+        match = None
+        while match is None:
+            assert time.monotonic() < deadline, stderr.getvalue()
+            time.sleep(0.02)
+            match = re.search(r"serving on ([\d.]+):(\d+)", stderr.getvalue())
+        host, port = match.group(1), int(match.group(2))
+        with socket.create_connection((host, port), timeout=30) as conn:
+            with conn.makefile("rw", encoding="utf-8") as stream:
+                stream.write(self._request_line(1) + "\n")
+                stream.flush()
+                first = json.loads(stream.readline())
+                time.sleep(0.25)  # let a few stats intervals fire
+                stream.write('{"op": "ping"}\n')
+                stream.flush()
+                second = json.loads(stream.readline())
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert first["ok"] and second["ok"]
+        err = stderr.getvalue()
+        assert "serve[stats]" in err and "qps=" in err and "p50=" in err

@@ -1,0 +1,479 @@
+"""Tests for :mod:`repro.engine.aserve` — the concurrent asyncio tier."""
+
+import asyncio
+import json
+import threading
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import (
+    AlgorithmSpec,
+    AsyncEngineService,
+    Capability,
+    SERVE_FORMAT_V2,
+    register_algorithm,
+    serve_async,
+    unregister_algorithm,
+)
+from repro.exceptions import ReproError
+from repro.graphs import generators
+from repro.io import instance_to_dict
+from repro.scheduling.instance import unit_uniform_instance
+
+F = Fraction
+
+
+def _payload(half=4):
+    inst = unit_uniform_instance(generators.crown(half), [F(3), F(1)])
+    return instance_to_dict(inst)
+
+
+def _solve_request(request_id=1, half=4, **extra):
+    return {"op": "solve", "id": request_id, "instance": _payload(half), **extra}
+
+
+@pytest.fixture
+def gate_algorithm():
+    """A registered algorithm that blocks until the test opens the gate.
+
+    Holding the gate keeps a solve deterministically in flight, which is
+    what the coalescing and overload tests rendezvous on.
+    """
+    gate = threading.Event()
+
+    def gated(instance):
+        from repro.engine.dispatch import solve
+
+        assert gate.wait(timeout=30), "test gate never opened"
+        return solve(instance, algorithm="sqrt_approx")
+
+    def gated_fail(instance):
+        assert gate.wait(timeout=30), "test gate never opened"
+        raise ReproError("gated solver failed deliberately")
+
+    register_algorithm(
+        AlgorithmSpec(
+            name="gate_slow",
+            guarantee="test fixture",
+            anchor="test",
+            run=gated,
+            capability=Capability(machine_kind="uniform", unit_jobs=True),
+        )
+    )
+    register_algorithm(
+        AlgorithmSpec(
+            name="gate_fail",
+            guarantee="test fixture",
+            anchor="test",
+            run=gated_fail,
+            capability=Capability(machine_kind="uniform", unit_jobs=True),
+        )
+    )
+    try:
+        yield gate
+    finally:
+        gate.set()  # never leave a worker thread stuck on teardown
+        unregister_algorithm("gate_slow")
+        unregister_algorithm("gate_fail")
+
+
+async def _spin_until(predicate, timeout_s=10.0, interval_s=0.005):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never reached"
+        await asyncio.sleep(interval_s)
+
+
+class TestHandler:
+    def test_round_trip_v2_and_cached_repeat(self):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                first = await service.handle_request(_solve_request(request_id=1))
+                assert first["format"] == SERVE_FORMAT_V2
+                assert first["ok"] and first["id"] == 1
+                assert first["cached"] is False and first["coalesced"] is False
+                assert first["chosen"] == "q2_unit_exact"
+                assert len(first["assignment"]) == 8
+                second = await service.handle_request(_solve_request(request_id=2))
+                assert second["cached"] is True and second["id"] == 2
+                assert second["makespan"] == first["makespan"]
+                assert service.stats.solved == 1 and service.stats.cached == 1
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_ping_stats_and_gauges(self):
+        async def run():
+            service = AsyncEngineService(max_inflight=3, max_queue=5)
+            try:
+                ping = await service.handle_request({"op": "ping", "id": 0})
+                assert ping["ok"] is True and ping["format"] == SERVE_FORMAT_V2
+                await service.handle_request(_solve_request())
+                stats = await service.handle_request({"op": "stats", "id": 9})
+                block = stats["stats"]
+                assert block["requests"] == 3
+                assert block["solved"] == 1
+                assert block["qps"] > 0
+                assert block["latency"]["count"] == 2  # before this stats op
+                assert block["latency"]["p50_ms"] is not None
+                server = stats["server"]
+                assert server["max_inflight"] == 3 and server["max_queue"] == 5
+                assert server["inflight"] == 0 and server["workers"] == 1
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_errors_are_v2_shaped_and_counted(self):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                missing = await service.handle_request({"op": "solve", "id": 4})
+                assert missing["ok"] is False and "instance" in missing["error"]
+                bad_k = await service.handle_request(
+                    _solve_request(portfolio="three")
+                )
+                assert bad_k["ok"] is False and "ValueError" in bad_k["error"]
+                unknown = await service.handle_request({"op": "dance"})
+                assert unknown["ok"] is False and "unknown op" in unknown["error"]
+                assert service.stats.errors == 3
+                # and the loop still answers afterwards
+                assert (await service.handle_request(_solve_request()))["ok"]
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_explain_answered_fresh_and_cached(self):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                fresh = await service.handle_request(_solve_request(explain=True))
+                assert fresh["explain"]["chosen"] == "q2_unit_exact"
+                cached = await service.handle_request(
+                    _solve_request(request_id=2, explain=True)
+                )
+                assert cached["cached"] is True
+                assert cached["explain"]["chosen"] == "q2_unit_exact"
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_constructor_rejects_bad_limits(self):
+        for kwargs in (
+            {"workers": 0},
+            {"max_inflight": 0},
+            {"max_queue": -1},
+        ):
+            with pytest.raises(ReproError):
+                AsyncEngineService(**kwargs)
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_solve(self, gate_algorithm):
+        """Satellite: M identical + K distinct concurrent requests →
+        K + 1 solves, M - 1 coalesced, correct answers for everyone."""
+        M, K = 5, 3
+
+        async def run():
+            service = AsyncEngineService(max_inflight=K + 1)
+            try:
+                tasks = [
+                    asyncio.create_task(
+                        service.handle_request(
+                            _solve_request(request_id=i, algorithm="gate_slow")
+                        )
+                    )
+                    for i in range(M)
+                ]
+                tasks += [
+                    asyncio.create_task(
+                        service.handle_request(
+                            _solve_request(
+                                request_id=100 + i,
+                                half=5 + i,
+                                algorithm="gate_slow",
+                            )
+                        )
+                    )
+                    for i in range(K)
+                ]
+                # wait until every follower has attached to the leader,
+                # then let the solves finish
+                await _spin_until(lambda: service.stats.coalesced == M - 1)
+                gate_algorithm.set()
+                results = await asyncio.wait_for(asyncio.gather(*tasks), 30)
+                assert all(r["ok"] for r in results)
+                assert service.stats.solved == K + 1
+                assert service.stats.coalesced == M - 1
+                assert sum(1 for r in results if r["coalesced"]) == M - 1
+                identical = results[:M]
+                assert len({r["makespan"] for r in identical}) == 1
+                assert len({tuple(r["assignment"]) for r in identical}) == 1
+                assert {r["id"] for r in identical} == set(range(M))
+                for r in results[M:]:
+                    assert r["makespan"] and r["assignment"]
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_follower_of_failed_solve_gets_the_error(self, gate_algorithm):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                request = _solve_request(
+                    request_id=1, half=3, algorithm="gate_fail"
+                )
+                leader = asyncio.create_task(service.handle_request(request))
+                follower = asyncio.create_task(
+                    service.handle_request(dict(request, id=2))
+                )
+                await _spin_until(lambda: service.stats.coalesced == 1)
+                gate_algorithm.set()
+                first, second = await asyncio.wait_for(
+                    asyncio.gather(leader, follower), 30
+                )
+                assert first["ok"] is False and second["ok"] is False
+                assert second["coalesced"] is True
+                # errors are never cached: a retry re-evaluates
+                assert service.stats.cached == 0
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_overload_rejects_promptly_and_server_stays_live(
+        self, gate_algorithm
+    ):
+        """Satellite: with max_inflight=2 and slow solves, excess
+        requests are rejected as 'overloaded' immediately — no
+        timeouts — and the service keeps answering."""
+
+        async def run():
+            service = AsyncEngineService(max_inflight=2, max_queue=0)
+            try:
+                tasks = [
+                    asyncio.create_task(
+                        service.handle_request(
+                            _solve_request(
+                                request_id=i, half=4 + i, algorithm="gate_slow"
+                            )
+                        )
+                    )
+                    for i in range(5)
+                ]
+                started = time.monotonic()
+                await _spin_until(lambda: service.stats.rejected == 3)
+                rejection_latency = time.monotonic() - started
+                assert rejection_latency < 2.0, rejection_latency
+                # control ops still answered while solves are stuck
+                ping = await service.handle_request({"op": "ping"})
+                assert ping["ok"] is True
+                stats = await service.handle_request({"op": "stats"})
+                assert stats["stats"]["rejected"] == 3
+                assert stats["server"]["inflight"] == 2
+                gate_algorithm.set()
+                results = await asyncio.wait_for(asyncio.gather(*tasks), 30)
+                rejected = [r for r in results if not r["ok"]]
+                assert len(rejected) == 3
+                assert all(r["error"] == "overloaded" for r in rejected)
+                assert all("retry" in r["detail"] for r in rejected)
+                assert sum(1 for r in results if r["ok"]) == 2
+                # rejections are not protocol errors
+                assert service.stats.errors == 0
+                # and fresh capacity serves again afterwards
+                again = await service.handle_request(
+                    _solve_request(request_id=9, half=4, algorithm="gate_slow")
+                )
+                assert again["ok"] is True
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_cache_hits_bypass_admission_control(self, gate_algorithm):
+        async def run():
+            service = AsyncEngineService(max_inflight=1, max_queue=0)
+            try:
+                warm = await service.handle_request(_solve_request(request_id=1))
+                assert warm["ok"]
+                # saturate the single slot with a gated solve
+                stuck = asyncio.create_task(
+                    service.handle_request(
+                        _solve_request(request_id=2, half=6, algorithm="gate_slow")
+                    )
+                )
+                await _spin_until(lambda: service.gauges()["inflight"] == 1)
+                # an identical-to-warm request is a cache hit: answered
+                # despite zero admission capacity
+                hit = await service.handle_request(_solve_request(request_id=3))
+                assert hit["ok"] and hit["cached"] is True
+                assert service.stats.rejected == 0
+                gate_algorithm.set()
+                assert (await asyncio.wait_for(stuck, 30))["ok"]
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+
+class TestWorkerPool:
+    def test_multiprocess_dispatch_round_trip(self):
+        async def run():
+            service = AsyncEngineService(workers=2)
+            try:
+                response = await service.handle_request(_solve_request())
+                assert response["ok"] and response["chosen"] == "q2_unit_exact"
+                # worker-side failures come back as error responses
+                bad = await service.handle_request(
+                    _solve_request(request_id=2, algorithm="quantum_annealing")
+                )
+                assert bad["ok"] is False
+                assert "unknown algorithm" in bad["error"]
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+
+class TestTcpServer:
+    @staticmethod
+    async def _start(service, **kwargs):
+        address = []
+        bound = asyncio.Event()
+
+        def ready(addr):
+            address.append(addr)
+            bound.set()
+
+        task = asyncio.create_task(serve_async(service, port=0, ready=ready, **kwargs))
+        await asyncio.wait_for(bound.wait(), 10)
+        return task, address[0]
+
+    def test_concurrent_connections_and_shutdown(self):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                task, (host, port) = await self._start(service, max_requests=4)
+
+                async def client(request_id):
+                    reader, writer = await asyncio.open_connection(host, port)
+                    line = json.dumps(_solve_request(request_id=request_id))
+                    writer.write((line + "\n").encode())
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    return response
+
+                responses = await asyncio.wait_for(
+                    asyncio.gather(*(client(i) for i in range(4))), 30
+                )
+                served = await asyncio.wait_for(task, 10)
+                assert served == 4
+                assert all(r["ok"] for r in responses)
+                assert {r["id"] for r in responses} == {0, 1, 2, 3}
+                assert service.stats.connections == 4
+                # one fresh solve; the rest cached or coalesced
+                assert service.stats.solved == 1
+                assert service.stats.cached + service.stats.coalesced == 3
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_invalid_utf8_and_junk_bytes_get_error_lines(self):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                task, (host, port) = await self._start(service, max_requests=3)
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"\xff\xfe{not json\n")
+                writer.write(b'{"op": "ping", "id": 1}\n')
+                writer.write(b"[[[[[\n")
+                await writer.drain()
+                junk = json.loads(await reader.readline())
+                ping = json.loads(await reader.readline())
+                more = json.loads(await reader.readline())
+                writer.close()
+                await asyncio.wait_for(task, 10)
+                assert junk["ok"] is False and "malformed" in junk["error"]
+                assert ping["ok"] is True
+                assert more["ok"] is False
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_oversized_line_is_answered_then_dropped(self):
+        from repro.engine.aserve import LINE_LIMIT
+
+        async def run():
+            service = AsyncEngineService()
+            try:
+                task, (host, port) = await self._start(service, max_requests=1)
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=LINE_LIMIT * 2
+                )
+                writer.write(b'{"pad": "' + b"x" * (LINE_LIMIT + 1024) + b'"}\n')
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert "bytes" in response["error"]
+                # the connection is closed after the error line
+                assert await reader.read(1) == b""
+                writer.close()
+                # the server is still up for the next client
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                writer2.write(b'{"op": "ping"}\n')
+                await writer2.drain()
+                assert json.loads(await reader2.readline())["ok"] is True
+                writer2.close()
+                await asyncio.wait_for(task, 10)
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_stats_interval_logs_metrics_lines(self):
+        import io
+
+        from repro.engine.aserve import format_stats_line
+
+        async def run():
+            sink = io.StringIO()
+            service = AsyncEngineService()
+            try:
+                task, (host, port) = await self._start(
+                    service,
+                    max_requests=1,
+                    stats_interval=0.05,
+                    stats_sink=sink,
+                )
+                await asyncio.sleep(0.18)
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                await reader.readline()
+                writer.close()
+                await asyncio.wait_for(task, 10)
+            finally:
+                service.close()
+            lines = sink.getvalue().splitlines()
+            assert len(lines) >= 2
+            assert all(line.startswith("serve[stats]") for line in lines)
+            assert "qps=" in lines[0] and "p50=" in lines[0]
+            # the formatter itself exposes every headline counter
+            one = format_stats_line(service)
+            for token in ("coalesced=", "rejected=", "connections="):
+                assert token in one
+
+        asyncio.run(run())

@@ -209,6 +209,33 @@ class TestOps:
         stats = service.handle_request({"op": "stats", "id": 0})
         assert stats["stats"]["requests"] == 2
 
+    def test_stats_surface_exposes_latency_and_serving_counters(self):
+        service = EngineService()
+        service.handle_request(_solve_request(request_id=1))
+        service.handle_request(_solve_request(request_id=2))
+        block = service.handle_request({"op": "stats"})["stats"]
+        for key in ("coalesced", "rejected", "connections", "uptime_s", "qps"):
+            assert key in block, key
+        assert block["qps"] > 0
+        latency = block["latency"]
+        assert latency["count"] == 2  # the stats op itself is timed after
+        assert latency["p50_ms"] is not None and latency["p50_ms"] >= 0
+        assert latency["p99_ms"] >= latency["p50_ms"]
+        assert latency["max_ms"] >= latency["p99_ms"]
+
+    def test_latency_reservoir_percentiles_and_window(self):
+        from repro.engine import LatencyReservoir
+
+        reservoir = LatencyReservoir(window=4)
+        for ms in (10, 20, 30, 40, 1000):  # 1000 pushes 10 out the window
+            reservoir.observe(ms / 1000.0)
+        assert reservoir.count == 5
+        snap = reservoir.snapshot()
+        assert snap["window"] == 4
+        assert snap["p50_ms"] == 30.0
+        assert snap["p99_ms"] == 1000.0
+        assert snap["max_ms"] == 1000.0
+
     def test_unrelated_instance_served(self):
         inst = UnrelatedInstance(
             generators.matching_graph(2), [[2, 3, 1, 4], [5, 1, 2, 2]]
@@ -252,3 +279,53 @@ class TestTcp:
         assert not server.is_alive()
         assert first["ok"] and first["cached"] is False
         assert second["ok"] and second["cached"] is True
+
+    def test_interleaved_connections_are_all_answered(self):
+        """Regression for the listen(1) era: clients that connect while
+        another connection is being served must queue in the raised
+        backlog and eventually be answered — never dropped or wedged."""
+        import socket
+
+        service = EngineService()
+        address: list = []
+        bound = threading.Event()
+
+        def ready(addr):
+            address.append(addr)
+            bound.set()
+
+        clients = 3
+        server = threading.Thread(
+            target=serve_tcp,
+            args=(service,),
+            kwargs={"port": 0, "max_requests": clients, "ready": ready},
+            daemon=True,
+        )
+        server.start()
+        assert bound.wait(timeout=10)
+        host, port = address[0]
+
+        # open every connection up front — while the server is busy with
+        # the first, the others sit in the kernel backlog
+        connections = [
+            socket.create_connection((host, port), timeout=10)
+            for _ in range(clients)
+        ]
+        responses = []
+        try:
+            for i, conn in enumerate(connections):
+                with conn.makefile("rw", encoding="utf-8") as stream:
+                    stream.write(
+                        json.dumps(_solve_request(request_id=i)) + "\n"
+                    )
+                    stream.flush()
+                    responses.append(json.loads(stream.readline()))
+                conn.close()
+        finally:
+            for conn in connections:
+                conn.close()
+        server.join(timeout=10)
+        assert not server.is_alive()
+        assert [r["id"] for r in responses] == list(range(clients))
+        assert all(r["ok"] for r in responses)
+        assert service.stats.solved == 1 and service.stats.cached == clients - 1

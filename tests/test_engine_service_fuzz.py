@@ -1,0 +1,126 @@
+"""Fuzz tests for the serving protocol boundary (``handle_line``).
+
+The contract both tiers must keep under arbitrary junk input — invalid
+UTF-8 fragments, deeply nested JSON, huge integer literals, wrong-typed
+``op``/``id``/``instance``/``portfolio`` fields:
+
+* ``handle_line`` never raises;
+* it returns exactly one parseable JSON line with a boolean ``ok``;
+* ``stats.requests`` equals the number of lines fed.
+"""
+
+import asyncio
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import AsyncEngineService, EngineService
+
+# wrong-typed field values a confused client might send
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+_requests = st.dictionaries(
+    st.sampled_from(["op", "id", "instance", "algorithm", "portfolio", "explain"]),
+    _json_values,
+    max_size=6,
+)
+_junk_lines = st.one_of(
+    st.text(max_size=200),  # includes surrogates and control characters
+    st.binary(max_size=200).map(lambda b: b.decode("utf-8", errors="replace")),
+    _requests.map(json.dumps),
+    _json_values.map(json.dumps),
+)
+
+_fuzz_settings = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _check_response(raw: str) -> dict:
+    assert isinstance(raw, str)
+    assert "\n" not in raw  # exactly one line
+    response = json.loads(raw)
+    assert isinstance(response, dict)
+    assert isinstance(response["ok"], bool)
+    return response
+
+
+class TestSyncBoundary:
+    @given(line=_junk_lines)
+    @_fuzz_settings
+    def test_any_single_line_yields_one_json_reply(self, line):
+        service = EngineService()
+        _check_response(service.handle_line(line))
+        assert service.stats.requests == 1
+
+    @given(lines=st.lists(_junk_lines, max_size=8))
+    @_fuzz_settings
+    def test_requests_counts_lines_fed(self, lines):
+        service = EngineService()
+        for line in lines:
+            _check_response(service.handle_line(line))
+        assert service.stats.requests == len(lines)
+        # only dispatched (parseable-object) requests are timed
+        assert service.stats.latency.count <= len(lines)
+
+    def test_deeply_nested_json_is_answered_not_raised(self):
+        service = EngineService()
+        response = _check_response(service.handle_line("[" * 3000 + "]" * 3000))
+        assert response["ok"] is False and "malformed" in response["error"]
+
+    def test_huge_integer_literal_is_answered_not_raised(self):
+        # Python's int-conversion limit raises ValueError inside
+        # json.loads, which a narrow JSONDecodeError handler would miss
+        service = EngineService()
+        response = _check_response(service.handle_line("9" * 5000))
+        assert response["ok"] is False and "malformed" in response["error"]
+
+    def test_invalid_utf8_replacement_text(self):
+        service = EngineService()
+        line = b"\xff\xfe{\x80".decode("utf-8", errors="replace")
+        response = _check_response(service.handle_line(line))
+        assert response["ok"] is False
+
+
+class TestAsyncBoundary:
+    @given(lines=st.lists(_junk_lines, max_size=6))
+    @_fuzz_settings
+    def test_async_tier_keeps_the_same_contract(self, lines):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                for line in lines:
+                    _check_response(await service.handle_line(line))
+                assert service.stats.requests == len(lines)
+            finally:
+                service.close()
+
+        asyncio.run(run())
+
+    def test_async_exotic_parse_crashes_are_answered(self):
+        async def run():
+            service = AsyncEngineService()
+            try:
+                for line in ("[" * 3000 + "]" * 3000, "9" * 5000, "{broken"):
+                    response = _check_response(await service.handle_line(line))
+                    assert response["ok"] is False
+                assert service.stats.requests == 3
+            finally:
+                service.close()
+
+        asyncio.run(run())

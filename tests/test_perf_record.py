@@ -115,3 +115,42 @@ def test_write_bench_record_creates_parents_and_trajectory(tmp_path):
 def test_write_bench_record_can_skip_trajectory(tmp_path):
     write_bench_record(make_record(), tmp_path, trajectory=False)
     assert not (tmp_path / "BENCH_trajectory.jsonl").exists()
+
+
+class TestMeta:
+    def test_meta_round_trips_and_coerces(self, tmp_path):
+        record = BenchRecord.build(
+            "E99_meta",
+            ["a"],
+            [[1]],
+            meta={"speedup_qps": np.float64(5.25), "ratio": Fraction(3, 2)},
+            git_rev="abc1234",
+            timestamp="2026-08-07T00:00:00Z",
+        )
+        assert record.meta == {"speedup_qps": 5.25, "ratio": "3/2"}
+        data = record.to_dict()
+        assert data["meta"] == {"speedup_qps": 5.25, "ratio": "3/2"}
+        path = save_json(data, tmp_path / "BENCH_E99_meta.json")
+        assert BenchRecord.from_dict(load_json(path)) == record
+
+    def test_absent_meta_keeps_the_v1_shape(self):
+        # pre-meta records validate unchanged, and records built without
+        # meta serialise without the key at all
+        data = make_record().to_dict()
+        assert "meta" not in data
+        validate_bench_record(data)
+        assert BenchRecord.from_dict(data).meta == {}
+
+    @pytest.mark.parametrize(
+        "meta",
+        [
+            "not a dict",
+            {"nested": {"x": 1}},
+            {"listy": [1, 2]},
+        ],
+    )
+    def test_validate_rejects_bad_meta(self, meta):
+        data = make_record().to_dict()
+        data["meta"] = meta
+        with pytest.raises(BenchSchemaError):
+            validate_bench_record(data)
