@@ -1,0 +1,191 @@
+"""E21 — conflict-graph families beyond bipartite: dispatch, quality, audits.
+
+The conflict-graph generalization (complete multipartite and block
+incompatibility graphs, machine-eligibility masks) must hold up under
+the same scrutiny as the bipartite paper families:
+
+* (a) the engine dispatches each family to its strongest method —
+  ``complete_multipartite_min_time`` (exact, Pikies–Turowski
+  arXiv:2010.13207) on unit multipartite instances,
+  ``conflict_color_split`` (optimal MCS coloring, Furmańczyk et al.
+  arXiv:2207.05868 context) elsewhere — and every produced schedule is
+  feasible;
+* (b) on brute-force-tractable sizes the exact algorithm matches the
+  oracle and the coloring split's gap is recorded;
+* (c) the certification auditor sweeps the new families with **zero**
+  violations (eligibility masks included).
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI smoke shape (tiny instances) —
+that run guards the pipeline, not the numbers.
+"""
+
+import os
+from fractions import Fraction
+
+from repro.certify import VIOLATION_STATUSES, audit_instance
+from repro.engine import auto_choice, solve
+from repro.graphs.conflict import BlockGraph, CompleteMultipartiteGraph
+from repro.machines.profiles import geometric_speeds
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.instance import UniformInstance, unit_uniform_instance
+from repro.workloads import (
+    random_block_graph,
+    random_complete_multipartite,
+    random_eligibility,
+)
+
+from benchmarks._common import emit_record, emit_table
+from repro.analysis.tables import format_table
+
+F = Fraction
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: (label, graph, m) sweep cases per family
+MULTIPARTITE_CASES = (
+    [("K_{2,2,1}+1f", CompleteMultipartiteGraph.from_sizes([2, 2, 1], free=1), 3)]
+    if SMOKE
+    else [
+        ("K_{2,2,1}+1f", CompleteMultipartiteGraph.from_sizes([2, 2, 1], free=1), 3),
+        ("K_{3,2,2}", CompleteMultipartiteGraph.from_sizes([3, 2, 2]), 3),
+        ("K_{4,3,2,1}", CompleteMultipartiteGraph.from_sizes([4, 3, 2, 1]), 4),
+        ("rand(n=12,k=3)", random_complete_multipartite(12, 3, free=2, seed=21), 4),
+    ]
+)
+
+BLOCK_CASES = (
+    [("chain(3,2)", BlockGraph.chain([3, 2]), 3)]
+    if SMOKE
+    else [
+        ("chain(3,2,4)", BlockGraph.chain([3, 2, 4]), 4),
+        ("chain(3,3,3)", BlockGraph.chain([3, 3, 3]), 3),
+        ("rand(n=14)", random_block_graph(14, max_block=4, seed=21), 4),
+        ("rand(n=20)", random_block_graph(20, max_block=5, seed=22), 5),
+    ]
+)
+
+ORACLE_MAX_N = 8 if SMOKE else 10
+
+
+def _jobs(graph, seed):
+    # small deterministic non-unit job sizes
+    return [((seed + 3 * j) % 4) + 1 for j in range(graph.n)]
+
+
+def test_e21_dispatch_and_quality(benchmark):
+    """Auto dispatch per family; exactness/gap vs the oracle where tractable."""
+
+    def build():
+        rows = []
+        for label, graph, m in MULTIPARTITE_CASES:
+            inst = unit_uniform_instance(graph, geometric_speeds(m))
+            chosen = auto_choice(inst)
+            schedule = solve(inst)
+            assert schedule.is_feasible()
+            assert chosen == "complete_multipartite_min_time", (label, chosen)
+            if inst.n <= ORACLE_MAX_N:
+                opt = brute_force_makespan(inst)
+                assert schedule.makespan == opt, label
+                ratio = 1.0
+            else:
+                ratio = None
+            rows.append(
+                ["complete_multipartite", label, inst.n, m, chosen,
+                 float(schedule.makespan), ratio]
+            )
+        for label, graph, m in BLOCK_CASES:
+            inst = UniformInstance(graph, _jobs(graph, 2), geometric_speeds(m))
+            chosen = auto_choice(inst)
+            schedule = solve(inst)
+            assert schedule.is_feasible()
+            assert chosen == "conflict_color_split", (label, chosen)
+            if inst.n <= ORACLE_MAX_N:
+                opt = brute_force_makespan(inst)
+                ratio = float(schedule.makespan / opt)
+                assert schedule.makespan >= opt
+            else:
+                ratio = None
+            rows.append(
+                ["block", label, inst.n, m, chosen,
+                 float(schedule.makespan), ratio]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    cols = ["family", "graph", "n", "m", "chosen", "Cmax", "ratio vs opt"]
+    emit_table(
+        "E21_conflict_families",
+        format_table(
+            cols,
+            [
+                [c if c is not None else "-" for c in row]
+                for row in rows
+            ],
+            title="E21: dispatch + quality on non-bipartite conflict families",
+        ),
+    )
+    emit_record(
+        "E21_conflict_families",
+        cols,
+        rows,
+        notes="auto dispatch on complete multipartite / block conflict "
+        "graphs; exact match vs brute force where tractable",
+    )
+
+
+def test_e21_eligibility_audit(benchmark):
+    """Certification sweep over the new families + eligibility: 0 violations."""
+
+    def build():
+        audits = []
+        for label, graph, m in MULTIPARTITE_CASES + BLOCK_CASES:
+            inst = unit_uniform_instance(graph, geometric_speeds(m))
+            audits.extend(audit_instance(label, inst, oracle_max_n=ORACLE_MAX_N))
+        # eligibility-masked bipartite instances ride the same auditor
+        from repro.graphs import generators
+
+        for seed in range(1 if SMOKE else 3):
+            graph = generators.matching_graph(3)
+            m = 4
+            inst = UniformInstance(
+                graph,
+                _jobs(graph, seed),
+                geometric_speeds(m),
+                eligible=random_eligibility(graph.n, m, choices=2, seed=seed),
+            )
+            audits.extend(
+                audit_instance(f"masked-s{seed}", inst, oracle_max_n=ORACLE_MAX_N)
+            )
+        return audits
+
+    audits = benchmark.pedantic(build, rounds=1, iterations=1)
+    violations = [row for row in audits if row.status in VIOLATION_STATUSES]
+    assert not violations, [
+        (row.name, row.algorithm, row.status, row.detail)
+        for row in violations
+    ]
+    rows = [
+        [row.name, row.algorithm, row.status,
+         None if row.ratio is None else float(row.ratio)]
+        for row in audits
+    ]
+    cols = ["instance", "algorithm", "status", "ratio"]
+    emit_table(
+        "E21_conflict_audit",
+        format_table(
+            cols,
+            [[c if c is not None else "-" for c in row] for row in rows],
+            title=(
+                f"E21: certification audit over conflict families "
+                f"({len(audits)} audits, {len(violations)} violations)"
+            ),
+        ),
+    )
+    emit_record(
+        "E21_conflict_audit",
+        cols,
+        rows,
+        notes="auditor sweep over complete multipartite / block / "
+        "eligibility-masked instances; must be violation-free",
+        meta={"audits": len(audits), "violations": len(violations)},
+    )

@@ -57,7 +57,7 @@ from repro.engine import (
     solve,
 )
 from repro.exceptions import ReproError
-from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import ConflictGraph
 from repro.graphs.structure import analyze_structure
 from repro.io import (
     instance_to_dict,
@@ -65,19 +65,27 @@ from repro.io import (
     save_json,
     schedule_to_dict,
 )
-from repro.runtime import GRAPH_FAMILIES, BatchRunner, build_family_graph, load_spec_file
+from repro.runtime import (
+    CONFLICT_FAMILIES,
+    GRAPH_FAMILIES,
+    BatchRunner,
+    build_conflict_graph,
+    build_family_graph,
+    load_spec_file,
+)
 from repro.scheduling.instance import UniformInstance
 from repro.workloads import (
     UNRELATED_MODELS,
     build_unrelated_instance,
     parse_jobs,
     parse_speeds,
+    random_eligibility,
 )
 from repro.workloads.parsing import JOB_PROFILES
 
 __all__ = ["main", "build_parser"]
 
-_FAMILIES = GRAPH_FAMILIES
+_FAMILIES = GRAPH_FAMILIES + CONFLICT_FAMILIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +114,42 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--p", type=float, default=0.1, help="edge probability (gnnp)")
     gen.add_argument("--max-degree", type=int, default=4, help="degree bound (degree_bounded)")
     gen.add_argument("--trees", type=int, default=3, help="tree count (forest)")
+    gen.add_argument(
+        "--parts",
+        type=str,
+        default=None,
+        help="complete_multipartite: comma-separated class sizes "
+        "('2,2,3'), or a single integer class count for a random split "
+        "of --n vertices",
+    )
+    gen.add_argument(
+        "--free",
+        type=int,
+        default=0,
+        help="complete_multipartite: isolated (conflict-free) vertices "
+        "appended after the classes",
+    )
+    gen.add_argument(
+        "--blocks",
+        type=str,
+        default=None,
+        help="block: comma-separated clique sizes chained at cut "
+        "vertices ('3,2,4'); omit for a random block graph on --n "
+        "vertices",
+    )
+    gen.add_argument(
+        "--max-block",
+        type=int,
+        default=4,
+        help="block: largest clique size for the random generator",
+    )
+    gen.add_argument(
+        "--eligible-choices",
+        type=int,
+        default=None,
+        help="kind=uniform: restrict each job to this many seeded "
+        "machine choices (machine-eligibility masks)",
+    )
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument(
         "--speeds",
@@ -197,6 +241,11 @@ def build_parser() -> argparse.ArgumentParser:
         "certify",
         help="sweep the algorithm registry for guarantee violations "
         "(schedule audits + exact-oracle ground truth)",
+    )
+    cert.add_argument(
+        "--instance", type=str, default=None, metavar="PATH",
+        help="audit this one instance JSON instead of sweeping the "
+        "generated suite (every applicable algorithm runs on it)",
     )
     cert.add_argument("--n", type=int, default=10, help="instance size parameter")
     cert.add_argument("--m", type=int, default=3, help="machine count")
@@ -305,7 +354,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_graph(args: argparse.Namespace) -> BipartiteGraph:
+def _make_graph(args: argparse.Namespace) -> ConflictGraph:
+    if args.family == "complete_multipartite":
+        spec: dict = {"family": "complete_multipartite", "free": args.free}
+        if args.parts is not None and "," in args.parts:
+            spec["sizes"] = [int(x) for x in args.parts.split(",")]
+        else:
+            spec["n"] = args.n
+            if args.parts is not None:
+                spec["parts"] = int(args.parts)
+        return build_conflict_graph(spec, seed=args.seed)
+    if args.family == "block":
+        if args.blocks is not None:
+            spec = {
+                "family": "block",
+                "chain": [int(x) for x in args.blocks.split(",")],
+            }
+        else:
+            spec = {"family": "block", "n": args.n, "max_block": args.max_block}
+        return build_conflict_graph(spec, seed=args.seed)
     return build_family_graph(
         args.family,
         args.n,
@@ -333,12 +400,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     jobs_value = args.jobs if named else args.jobs.split(",")
     p = parse_jobs(jobs_value, graph.n, args.seed)
     if args.kind == "unrelated":
+        if args.eligible_choices is not None:
+            raise ReproError(
+                "--eligible-choices applies to kind=uniform only "
+                "(unrelated models express restrictions as forbidden times)"
+            )
         instance = build_unrelated_instance(
             graph, args.model, args.m, p=p, seed=args.seed
         )
         detail = f"model={args.model}"
     else:
-        instance = UniformInstance(graph, p, parse_speeds(args.speeds))
+        speeds = parse_speeds(args.speeds)
+        eligible = (
+            None
+            if args.eligible_choices is None
+            else random_eligibility(
+                graph.n,
+                len(speeds),
+                choices=args.eligible_choices,
+                seed=args.seed,
+            )
+        )
+        instance = UniformInstance(graph, p, speeds, eligible=eligible)
         detail = f"sum p={instance.total_p}"
     path = save_json(instance_to_dict(instance), args.out)
     print(
@@ -545,9 +628,6 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.engine import ALGORITHMS
     from repro.io import write_jsonl
 
-    suite = certification_suite(
-        n=args.n, m=args.m, seeds=args.seeds, seed=args.seed
-    )
     algorithms = (
         None
         if args.algorithms is None
@@ -561,9 +641,26 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"unknown algorithm(s) {unknown}; known: {known}"
             )
-    rows = audit_guarantees(
-        suite, algorithms=algorithms, oracle_max_n=args.oracle_max_n
-    )
+    if args.instance is not None:
+        from pathlib import Path
+
+        from repro.certify import audit_instance
+
+        instance = load_instance(args.instance)
+        suite = [instance]
+        rows = audit_instance(
+            Path(args.instance).stem,
+            instance,
+            algorithms=algorithms,
+            oracle_max_n=args.oracle_max_n,
+        )
+    else:
+        suite = certification_suite(
+            n=args.n, m=args.m, seeds=args.seeds, seed=args.seed
+        )
+        rows = audit_guarantees(
+            suite, algorithms=algorithms, oracle_max_n=args.oracle_max_n
+        )
     if args.out:
         write_jsonl((row.to_dict() for row in rows), args.out)
         print(f"{len(rows)} audit rows written to {args.out}")

@@ -34,7 +34,10 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
-from repro.graphs.structure import complete_bipartite_parts_with_free
+from repro.graphs.structure import (
+    complete_bipartite_parts_with_free,
+    multipartite_decomposition,
+)
 from repro.scheduling.bounds import min_cover_time
 from repro.scheduling.instance import UniformInstance
 from repro.scheduling.schedule import Schedule
@@ -44,6 +47,7 @@ __all__ = [
     "MultipartiteSolution",
     "complete_multipartite_min_time",
     "schedule_complete_bipartite_unit",
+    "schedule_complete_multipartite_unit",
 ]
 
 
@@ -333,4 +337,52 @@ def schedule_complete_bipartite_unit(instance: UniformInstance) -> Schedule:
         for _ in range(solution.free_counts[i]):
             assignment[free_pool.pop()] = i
     assert not pools[0] and not pools[1] and not free_pool
+    return Schedule(instance, assignment)
+
+
+def schedule_complete_multipartite_unit(instance: UniformInstance) -> Schedule:
+    """Exact schedule for ``Q|G = complete multipartite (+isolated), p_j=1|Cmax``.
+
+    The ``k``-class generalization of
+    :func:`schedule_complete_bipartite_unit` (Pikies–Turowski,
+    arXiv:2010.13207): recognises the instance graph as structurally
+    complete multipartite — regardless of which
+    :class:`~repro.graphs.conflict.ConflictGraph` representation stores
+    it — and solves exactly with
+    :func:`complete_multipartite_min_time`.  Raises
+    :exc:`InvalidInstanceError` when the jobs are not unit, the graph is
+    not complete multipartite, or the instance carries machine-eligibility
+    masks (the unary algorithm's capacity argument assumes every machine
+    may take every job).
+    """
+    if not instance.has_unit_jobs:
+        raise InvalidInstanceError(
+            "the exact multipartite algorithm needs unit jobs (p_j = 1)"
+        )
+    if instance.has_eligibility:
+        raise InvalidInstanceError(
+            "the exact multipartite algorithm does not support "
+            "machine-eligibility masks"
+        )
+    decomposition = multipartite_decomposition(instance.graph)
+    if decomposition is None:
+        raise InvalidInstanceError(
+            "graph is not complete multipartite plus isolated vertices"
+        )
+    classes, free = decomposition
+    solution = complete_multipartite_min_time(
+        [len(c) for c in classes], instance.speeds, free_jobs=len(free)
+    )
+    pools = [list(c) for c in classes]
+    assignment = [-1] * instance.n
+    for i in range(instance.m):
+        part = solution.machine_part[i]
+        if part is not None:
+            for _ in range(solution.part_counts[i]):
+                assignment[pools[part].pop()] = i
+    free_pool = list(free)
+    for i in range(instance.m):
+        for _ in range(solution.free_counts[i]):
+            assignment[free_pool.pop()] = i
+    assert not any(pools) and not free_pool
     return Schedule(instance, assignment)

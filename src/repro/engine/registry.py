@@ -32,7 +32,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Iterator
 
-from repro.core.complete_multipartite import schedule_complete_bipartite_unit
+from repro.core.complete_multipartite import (
+    schedule_complete_bipartite_unit,
+    schedule_complete_multipartite_unit,
+)
 from repro.core.q2_unit_exact import q2_unit_exact
 from repro.core.r2_fptas import r2_fptas
 from repro.core.r2_two_approx import r2_two_approx
@@ -42,7 +45,12 @@ from repro.core.random_graph_scheduler import (
 )
 from repro.core.sqrt_approx import sqrt_approx_schedule
 from repro.exceptions import InvalidInstanceError
-from repro.graphs.structure import analyze_structure
+from repro.graphs.structure import (
+    analyze_structure,
+    is_bipartite_structure,
+    is_block_structure,
+    multipartite_decomposition,
+)
 from repro.scheduling.baselines import (
     bjw_identical_approx,
     r_color_split,
@@ -50,6 +58,7 @@ from repro.scheduling.baselines import (
     unconstrained_lpt,
 )
 from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.conflict_split import conflict_color_split
 from repro.scheduling.dual_approx import dual_approx_identical
 from repro.scheduling.instance import (
     SchedulingInstance,
@@ -76,8 +85,19 @@ __all__ = [
 MACHINE_KINDS = ("any", "uniform", "unrelated")
 
 #: graph classes a capability can require; ``complete_bipartite`` means
-#: ``K_{a,b}`` plus isolated vertices (which covers edgeless graphs too)
-GRAPH_CLASSES = ("any", "edgeless", "complete_bipartite")
+#: ``K_{a,b}`` plus isolated vertices (which covers edgeless graphs too),
+#: ``bipartite`` any 2-colorable conflict graph, ``complete_multipartite``
+#: classes of mutually-compatible jobs with all cross-class conflicts
+#: (+ isolated vertices), ``block`` graphs whose biconnected components
+#: are cliques
+GRAPH_CLASSES = (
+    "any",
+    "edgeless",
+    "complete_bipartite",
+    "bipartite",
+    "complete_multipartite",
+    "block",
+)
 
 
 @dataclass(frozen=True)
@@ -94,7 +114,11 @@ class Capability:
       uniform environment, so it requires ``machine_kind="uniform"``);
     * ``identical`` — require identical machine speeds (``Q`` only);
     * ``min_machines`` / ``max_machines`` — bounds on ``m``
-      (``max_machines=None`` means unbounded).
+      (``max_machines=None`` means unbounded);
+    * ``supports_eligibility`` — whether the method honours per-job
+      machine-eligibility masks (``UniformInstance.eligible``); methods
+      that don't are rejected on masked instances rather than silently
+      producing mask-violating schedules.
 
     :meth:`evaluate` returns the *reasons* a requirement fails, which is
     what ``repro solve --explain`` surfaces per algorithm.
@@ -106,6 +130,7 @@ class Capability:
     identical: bool = False
     min_machines: int = 1
     max_machines: int | None = None
+    supports_eligibility: bool = False
 
     def __post_init__(self) -> None:
         if self.machine_kind not in MACHINE_KINDS:
@@ -146,6 +171,12 @@ class Capability:
             out.append("edgeless graph")
         elif self.graph == "complete_bipartite":
             out.append("K_{a,b} (+ isolated vertices)")
+        elif self.graph == "bipartite":
+            out.append("bipartite graph")
+        elif self.graph == "complete_multipartite":
+            out.append("complete multipartite (+ isolated vertices)")
+        elif self.graph == "block":
+            out.append("block graph")
         if self.unit_jobs:
             out.append("unit jobs")
         if self.identical:
@@ -205,6 +236,24 @@ class Capability:
                 reasons.append(
                     "requires K_{a,b} plus isolated vertices"
                 )
+        elif self.graph == "bipartite":
+            if not is_bipartite_structure(instance.graph):
+                reasons.append("requires a bipartite conflict graph")
+        elif self.graph == "complete_multipartite":
+            if multipartite_decomposition(instance.graph) is None:
+                reasons.append(
+                    "requires a complete multipartite conflict graph "
+                    "(+ isolated vertices)"
+                )
+        elif self.graph == "block":
+            if not is_block_structure(instance.graph):
+                reasons.append("requires a block conflict graph")
+        if (
+            not self.supports_eligibility
+            and is_uniform
+            and instance.has_eligibility
+        ):
+            reasons.append("cannot honour machine-eligibility masks")
         return (not reasons, tuple(reasons))
 
     def check(self, instance: SchedulingInstance) -> bool:
@@ -431,13 +480,30 @@ _BUILTIN_SPECS = (
         auto_rank=10,
     ),
     AlgorithmSpec(
+        "complete_multipartite_min_time",
+        "exact (unary encoding), k >= 2 classes",
+        "[24] / arXiv:2010.13207",
+        run=schedule_complete_multipartite_unit,
+        ratio_bound=_ratio_one,
+        capability=Capability(
+            machine_kind="uniform",
+            graph="complete_multipartite",
+            unit_jobs=True,
+        ),
+        auto_rank=15,
+    ),
+    AlgorithmSpec(
         "q2_unit_exact",
         "exact, O(n^3)",
         "Theorem 4",
         run=q2_unit_exact,
         ratio_bound=_ratio_one,
         capability=Capability(
-            machine_kind="uniform", unit_jobs=True, min_machines=2, max_machines=2
+            machine_kind="uniform",
+            graph="bipartite",
+            unit_jobs=True,
+            min_machines=2,
+            max_machines=2,
         ),
         auto_rank=20,
     ),
@@ -448,7 +514,10 @@ _BUILTIN_SPECS = (
         run=_run_q2_fptas,
         ratio_bound=_ratio_const(Fraction(11, 10)),
         capability=Capability(
-            machine_kind="uniform", min_machines=2, max_machines=2
+            machine_kind="uniform",
+            graph="bipartite",
+            min_machines=2,
+            max_machines=2,
         ),
         auto_rank=40,
     ),
@@ -482,7 +551,9 @@ _BUILTIN_SPECS = (
         # sqrt(sum p_j) is irrational, so no rational ratio_bound;
         # the predicate checks Theorem 9 exactly in squared form
         guarantee_check=_sqrt_guarantee_check,
-        capability=Capability(machine_kind="uniform", min_machines=2),
+        capability=Capability(
+            machine_kind="uniform", graph="bipartite", min_machines=2
+        ),
         auto_rank=60,
     ),
     AlgorithmSpec(
@@ -490,14 +561,18 @@ _BUILTIN_SPECS = (
         "a.a.s. 2-approximate on G(n,n,p), unit jobs",
         "Algorithm 2 / Theorem 19",
         run=random_graph_schedule,
-        capability=Capability(machine_kind="uniform", unit_jobs=True),
+        capability=Capability(
+            machine_kind="uniform", graph="bipartite", unit_jobs=True
+        ),
     ),
     AlgorithmSpec(
         "random_graph_balanced",
         "Algorithm 2 + isolated-job balancing (Sec. 6 improvement)",
         "Section 6 open problems",
         run=random_graph_schedule_balanced,
-        capability=Capability(machine_kind="uniform", unit_jobs=True),
+        capability=Capability(
+            machine_kind="uniform", graph="bipartite", unit_jobs=True
+        ),
     ),
     AlgorithmSpec(
         "bjw",
@@ -506,7 +581,10 @@ _BUILTIN_SPECS = (
         run=bjw_identical_approx,
         ratio_bound=_ratio_const(Fraction(2)),
         capability=Capability(
-            machine_kind="uniform", identical=True, min_machines=3
+            machine_kind="uniform",
+            graph="bipartite",
+            identical=True,
+            min_machines=3,
         ),
     ),
     AlgorithmSpec(
@@ -514,7 +592,9 @@ _BUILTIN_SPECS = (
         "feasible two-machine split (no ratio bound)",
         "Algorithm 1 fallback shape",
         run=two_machine_split,
-        capability=Capability(machine_kind="uniform", min_machines=2),
+        capability=Capability(
+            machine_kind="uniform", graph="bipartite", min_machines=2
+        ),
     ),
     AlgorithmSpec(
         "r2_two_approx",
@@ -523,7 +603,10 @@ _BUILTIN_SPECS = (
         run=r2_two_approx,
         ratio_bound=_ratio_const(Fraction(2)),
         capability=Capability(
-            machine_kind="unrelated", min_machines=2, max_machines=2
+            machine_kind="unrelated",
+            graph="bipartite",
+            min_machines=2,
+            max_machines=2,
         ),
     ),
     AlgorithmSpec(
@@ -533,7 +616,10 @@ _BUILTIN_SPECS = (
         run=_run_r2_fptas,
         ratio_bound=_ratio_const(Fraction(11, 10)),
         capability=Capability(
-            machine_kind="unrelated", min_machines=2, max_machines=2
+            machine_kind="unrelated",
+            graph="bipartite",
+            min_machines=2,
+            max_machines=2,
         ),
         auto_rank=110,
     ),
@@ -553,15 +639,26 @@ _BUILTIN_SPECS = (
         "feasible color split (no ratio bound; cf. Theorem 24)",
         "Theorem 24 context",
         run=r_color_split,
-        capability=Capability(machine_kind="unrelated", min_machines=2),
+        capability=Capability(
+            machine_kind="unrelated", graph="bipartite", min_machines=2
+        ),
         auto_rank=130,
+    ),
+    AlgorithmSpec(
+        "conflict_color_split",
+        "feasible MCS-coloring split (exact infeasibility detection on "
+        "block / complete multipartite graphs; no ratio bound)",
+        "arXiv:2207.05868 context",
+        run=conflict_color_split,
+        capability=Capability(min_machines=2, supports_eligibility=True),
+        auto_rank=500,
     ),
     AlgorithmSpec(
         "greedy",
         "graph-aware greedy heuristic (no guarantee, may fail)",
         "baseline",
         run=_run_greedy,
-        capability=Capability(),
+        capability=Capability(supports_eligibility=True),
     ),
     AlgorithmSpec(
         "brute_force",
@@ -570,7 +667,7 @@ _BUILTIN_SPECS = (
         run=brute_force_optimal,
         ratio_bound=_ratio_one,
         exponential=True,
-        capability=Capability(),
+        capability=Capability(supports_eligibility=True),
     ),
 )
 

@@ -1,13 +1,22 @@
-"""Bipartite-graph substrate.
+"""Conflict-graph substrate.
 
-Everything the paper's algorithms need from graph theory, implemented from
-scratch: the :class:`BipartiteGraph` container, proper/inequitable
-2-colorings (Definition 1), maximum matching (Hopcroft-Karp), König
-vertex covers, maximum-weight independent sets via min-cut (used by
-Algorithm 1), deterministic instance-family generators, and the 1-PrExt
-precoloring-extension problem (Definition 2 / Theorem 3).
+Everything the paper's algorithms need from graph theory, implemented
+from scratch: the :class:`ConflictGraph` abstraction with its
+:class:`BipartiteGraph`, :class:`CompleteMultipartiteGraph`, and
+:class:`BlockGraph` implementations, proper/inequitable 2-colorings
+(Definition 1), maximum matching (Hopcroft-Karp), König vertex covers,
+maximum-weight independent sets via min-cut (used by Algorithm 1),
+deterministic instance-family generators, structural conflict-class
+recognition, and the 1-PrExt precoloring-extension problem
+(Definition 2 / Theorem 3).
 """
 
+from repro.graphs.conflict import (
+    BlockGraph,
+    CompleteMultipartiteGraph,
+    ConflictGraph,
+    biconnected_components,
+)
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.components import connected_components, component_subgraphs
 from repro.graphs.coloring import (
@@ -45,19 +54,27 @@ from repro.graphs.precoloring import (
 from repro.graphs.structure import (
     GraphStructure,
     analyze_structure,
+    classify_conflict_graph,
     complete_bipartite_parts,
     complete_bipartite_parts_with_free,
+    is_bipartite_structure,
     is_bisubquartic,
+    is_block_structure,
     is_cubic,
     is_empty,
     is_forest,
     is_path,
     is_perfect_matching_graph,
     is_regular,
+    multipartite_decomposition,
 )
 
 __all__ = [
+    "ConflictGraph",
     "BipartiteGraph",
+    "CompleteMultipartiteGraph",
+    "BlockGraph",
+    "biconnected_components",
     "connected_components",
     "component_subgraphs",
     "proper_two_coloring",
@@ -86,13 +103,17 @@ __all__ = [
     "random_prext_instance",
     "GraphStructure",
     "analyze_structure",
+    "classify_conflict_graph",
     "complete_bipartite_parts",
     "complete_bipartite_parts_with_free",
+    "is_bipartite_structure",
     "is_bisubquartic",
+    "is_block_structure",
     "is_cubic",
     "is_empty",
     "is_forest",
     "is_path",
     "is_perfect_matching_graph",
     "is_regular",
+    "multipartite_decomposition",
 ]

@@ -13,12 +13,13 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import InvalidInstanceError, NotBipartiteError
+from repro.graphs.conflict import ConflictGraph
 
 __all__ = ["BipartiteGraph"]
 
 
-class BipartiteGraph:
-    """An undirected bipartite graph on vertices ``0..n-1``.
+class BipartiteGraph(ConflictGraph):
+    """An undirected bipartite conflict graph on vertices ``0..n-1``.
 
     Parameters
     ----------
@@ -34,6 +35,8 @@ class BipartiteGraph:
     """
 
     __slots__ = ("_n", "_side", "_adj", "_edge_count")
+
+    family = "bipartite"
 
     def __init__(
         self,
@@ -163,6 +166,13 @@ class BipartiteGraph:
     def vertices_on_side(self, s: int) -> list[int]:
         """All vertices whose witness side equals ``s``."""
         return [v for v in range(self._n) if self._side[v] == s]
+
+    def parts(self) -> tuple[tuple[int, ...], ...]:
+        """The two bipartition sides as vertex classes (witness order)."""
+        return (
+            tuple(self.vertices_on_side(0)),
+            tuple(self.vertices_on_side(1)),
+        )
 
     def isolated_vertices(self) -> list[int]:
         """Vertices of degree zero."""

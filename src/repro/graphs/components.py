@@ -8,11 +8,12 @@ an orientation per component.  Both consume the helpers here.
 from __future__ import annotations
 
 from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import ConflictGraph
 
 __all__ = ["connected_components", "component_subgraphs"]
 
 
-def connected_components(graph: BipartiteGraph) -> list[list[int]]:
+def connected_components(graph: ConflictGraph) -> list[list[int]]:
     """Vertex lists of the connected components, each sorted ascending.
 
     Components are ordered by their smallest vertex, so the decomposition is
@@ -45,5 +46,6 @@ def component_subgraphs(
 
     The second element maps subgraph vertex ``i`` back to its id in the
     parent graph, which the R2 reduction uses to reconstruct schedules.
+    (Bipartite-only: ``induced_subgraph`` carries the side witness.)
     """
     return [graph.induced_subgraph(comp) for comp in connected_components(graph)]

@@ -15,6 +15,8 @@ from repro.io.jsonl import (
 )
 from repro.io.serialization import (
     FORMAT_VERSION,
+    FORMAT_VERSION_V2,
+    FORMAT_VERSIONS,
     frac_str,
     graph_to_dict,
     graph_from_dict,
@@ -30,6 +32,8 @@ from repro.io.serialization import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "FORMAT_VERSION_V2",
+    "FORMAT_VERSIONS",
     "frac_str",
     "graph_to_dict",
     "graph_from_dict",

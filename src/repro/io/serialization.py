@@ -11,6 +11,17 @@ Schema (``"format": "repro/v1"``):
 * schedule — ``{"kind": "schedule", "instance": ...,
   "assignment": [int...]}``
 
+Format ``"repro/v2"`` is the conflict-graph superset of v1.  Payloads
+gain a ``"graph_kind"`` tag on graphs (``"bipartite"`` |
+``"complete_multipartite"`` + ``"parts"`` | ``"block"`` + ``"blocks"``)
+and an optional ``"eligible"`` field on uniform instances (per job: a
+list of allowed machine indices, or ``null`` for "any machine").  A
+missing ``graph_kind`` means bipartite, so **every existing v1 file
+loads unchanged**, and bipartite objects still *serialise* as
+byte-identical v1 — content-hash caches keyed on serialised bytes keep
+hitting across the refactor.  Only payloads that need the new
+vocabulary (non-bipartite graphs, eligibility masks) are written as v2.
+
 Fractions are stored as strings so exact values survive the round trip;
 this is what makes saved hardness-reduction instances (speeds like
 ``1/(k n)``) reloadable without loss.
@@ -25,6 +36,11 @@ from typing import Any
 
 from repro.exceptions import InvalidInstanceError
 from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import (
+    BlockGraph,
+    CompleteMultipartiteGraph,
+    ConflictGraph,
+)
 from repro.scheduling.instance import (
     SchedulingInstance,
     UniformInstance,
@@ -35,6 +51,8 @@ from repro.scheduling.schedule import Schedule
 __all__ = [
     "frac_str",
     "FORMAT_VERSION",
+    "FORMAT_VERSION_V2",
+    "FORMAT_VERSIONS",
     "graph_to_dict",
     "graph_from_dict",
     "instance_to_dict",
@@ -48,6 +66,8 @@ __all__ = [
 ]
 
 FORMAT_VERSION = "repro/v1"
+FORMAT_VERSION_V2 = "repro/v2"
+FORMAT_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_V2)
 
 
 def frac_str(value: Fraction | None) -> str | None:
@@ -68,9 +88,10 @@ def _check_header(data: dict[str, Any], kind: str) -> None:
     if not isinstance(data, dict):
         raise InvalidInstanceError(f"expected a JSON object for {kind}")
     fmt = data.get("format", FORMAT_VERSION)
-    if fmt != FORMAT_VERSION:
+    if fmt not in FORMAT_VERSIONS:
+        supported = " or ".join(repr(f) for f in FORMAT_VERSIONS)
         raise InvalidInstanceError(
-            f"unsupported format {fmt!r} (this build reads {FORMAT_VERSION})"
+            f"unsupported format {fmt!r} (this build reads {supported})"
         )
     if data.get("kind") != kind:
         raise InvalidInstanceError(
@@ -78,42 +99,119 @@ def _check_header(data: dict[str, Any], kind: str) -> None:
         )
 
 
-def graph_to_dict(graph: BipartiteGraph) -> dict[str, Any]:
-    """Serialise a :class:`BipartiteGraph` (bipartition witness included)."""
-    return {
-        "format": FORMAT_VERSION,
-        "kind": "graph",
-        "n": graph.n,
-        "side": list(graph.side),
-        "edges": [[u, v] for u, v in graph.edges()],
-    }
+def graph_to_dict(graph: ConflictGraph) -> dict[str, Any]:
+    """Serialise a conflict graph.
 
-
-def graph_from_dict(data: dict[str, Any]) -> BipartiteGraph:
-    """Inverse of :func:`graph_to_dict` (validates the witness)."""
-    _check_header(data, "graph")
-    return BipartiteGraph(
-        int(data["n"]),
-        [(int(u), int(v)) for u, v in data["edges"]],
-        side=data.get("side"),
+    Bipartite graphs emit the byte-identical v1 payload (witness
+    included); other representations emit a v2 payload tagged with
+    ``graph_kind``.
+    """
+    if isinstance(graph, BipartiteGraph):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "graph",
+            "n": graph.n,
+            "side": list(graph.side),
+            "edges": [[u, v] for u, v in graph.edges()],
+        }
+    if isinstance(graph, CompleteMultipartiteGraph):
+        return {
+            "format": FORMAT_VERSION_V2,
+            "kind": "graph",
+            "graph_kind": "complete_multipartite",
+            "n": graph.n,
+            "parts": [list(part) for part in graph.parts()],
+        }
+    if isinstance(graph, BlockGraph):
+        return {
+            "format": FORMAT_VERSION_V2,
+            "kind": "graph",
+            "graph_kind": "block",
+            "n": graph.n,
+            "blocks": [list(blk) for blk in graph.blocks()],
+        }
+    raise InvalidInstanceError(
+        f"cannot serialise conflict-graph type {type(graph).__name__}"
     )
 
 
+def graph_from_dict(data: dict[str, Any]) -> ConflictGraph:
+    """Inverse of :func:`graph_to_dict`.
+
+    A missing ``graph_kind`` means bipartite, so every pre-v2 payload
+    loads unchanged.  Malformed payloads raise
+    :exc:`~repro.exceptions.InvalidInstanceError`, never a bare
+    ``KeyError``/``TypeError``.
+    """
+    _check_header(data, "graph")
+    graph_kind = data.get("graph_kind", "bipartite")
+    try:
+        if graph_kind == "bipartite":
+            return BipartiteGraph(
+                int(data["n"]),
+                [(int(u), int(v)) for u, v in data["edges"]],
+                side=data.get("side"),
+            )
+        if graph_kind == "complete_multipartite":
+            return CompleteMultipartiteGraph(
+                int(data["n"]),
+                [[int(v) for v in part] for part in data["parts"]],
+            )
+        if graph_kind == "block":
+            return BlockGraph(
+                int(data["n"]),
+                [[int(v) for v in blk] for blk in data["blocks"]],
+            )
+    except InvalidInstanceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidInstanceError(
+            f"malformed {graph_kind!r} graph payload: {exc!r}"
+        ) from exc
+    known = "bipartite, complete_multipartite, block"
+    raise InvalidInstanceError(
+        f"unknown graph_kind {graph_kind!r}; known: {known}"
+    )
+
+
+def _eligible_to_lists(
+    instance: UniformInstance,
+) -> list[list[int] | None]:
+    assert instance.eligible is not None
+    return [
+        None if mask is None else sorted(mask) for mask in instance.eligible
+    ]
+
+
 def instance_to_dict(instance: SchedulingInstance) -> dict[str, Any]:
-    """Serialise a uniform or unrelated instance."""
+    """Serialise a uniform or unrelated instance.
+
+    Instances expressible in v1 vocabulary (bipartite graph, no
+    eligibility masks) serialise byte-identically to pre-v2 builds;
+    anything else is tagged ``repro/v2``.
+    """
     if isinstance(instance, UniformInstance):
-        return {
-            "format": FORMAT_VERSION,
+        graph_payload = graph_to_dict(instance.graph)
+        v2 = (
+            graph_payload["format"] == FORMAT_VERSION_V2
+            or instance.has_eligibility
+        )
+        payload: dict[str, Any] = {
+            "format": FORMAT_VERSION_V2 if v2 else FORMAT_VERSION,
             "kind": "uniform_instance",
-            "graph": graph_to_dict(instance.graph),
+            "graph": graph_payload,
             "p": list(instance.p),
             "speeds": [_frac_str(s) for s in instance.speeds],
         }
+        if instance.has_eligibility:
+            payload["eligible"] = _eligible_to_lists(instance)
+        return payload
     if isinstance(instance, UnrelatedInstance):
+        graph_payload = graph_to_dict(instance.graph)
         return {
-            "format": FORMAT_VERSION,
+            "format": graph_payload["format"],
             "kind": "unrelated_instance",
-            "graph": graph_to_dict(instance.graph),
+            "graph": graph_payload,
             "times": [
                 [None if t is None else _frac_str(t) for t in row]
                 for row in instance.times
@@ -124,36 +222,73 @@ def instance_to_dict(instance: SchedulingInstance) -> dict[str, Any]:
     )
 
 
+def _parse_eligible(
+    raw: Any,
+) -> list[list[int] | None] | None:
+    if raw is None:
+        return None
+    if not isinstance(raw, list):
+        raise InvalidInstanceError(
+            "'eligible' must be a list (one entry per job: machine-index "
+            "list or null)"
+        )
+    out: list[list[int] | None] = []
+    for entry in raw:
+        if entry is None:
+            out.append(None)
+        else:
+            out.append([int(i) for i in entry])
+    return out
+
+
 def instance_from_dict(data: dict[str, Any]) -> SchedulingInstance:
-    """Inverse of :func:`instance_to_dict` (accepts either instance kind)."""
+    """Inverse of :func:`instance_to_dict` (accepts either instance kind).
+
+    Malformed or unknown-kind payloads raise
+    :exc:`~repro.exceptions.InvalidInstanceError`, never a bare
+    ``KeyError``/``TypeError``.
+    """
     if not isinstance(data, dict):
         raise InvalidInstanceError("expected a JSON object for an instance")
     kind = data.get("kind")
-    if kind == "uniform_instance":
-        _check_header(data, "uniform_instance")
-        return UniformInstance(
-            graph_from_dict(data["graph"]),
-            [int(x) for x in data["p"]],
-            [Fraction(s) for s in data["speeds"]],
-        )
-    if kind == "unrelated_instance":
-        _check_header(data, "unrelated_instance")
-        return UnrelatedInstance(
-            graph_from_dict(data["graph"]),
-            [
-                [None if t is None else Fraction(t) for t in row]
-                for row in data["times"]
-            ],
-        )
+    try:
+        if kind == "uniform_instance":
+            _check_header(data, "uniform_instance")
+            return UniformInstance(
+                graph_from_dict(data["graph"]),
+                [int(x) for x in data["p"]],
+                [Fraction(s) for s in data["speeds"]],
+                eligible=_parse_eligible(data.get("eligible")),
+            )
+        if kind == "unrelated_instance":
+            _check_header(data, "unrelated_instance")
+            return UnrelatedInstance(
+                graph_from_dict(data["graph"]),
+                [
+                    [None if t is None else Fraction(t) for t in row]
+                    for row in data["times"]
+                ],
+            )
+    except InvalidInstanceError:
+        raise
+    except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
+        raise InvalidInstanceError(
+            f"malformed {kind!r} instance payload: {exc!r}"
+        ) from exc
     raise InvalidInstanceError(f"unknown instance kind {kind!r}")
 
 
 def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
-    """Serialise a schedule together with its instance."""
+    """Serialise a schedule together with its instance.
+
+    The outer format tag follows the instance payload, so schedules of
+    v1-expressible instances stay byte-identical to pre-v2 builds.
+    """
+    instance_payload = instance_to_dict(schedule.instance)
     return {
-        "format": FORMAT_VERSION,
+        "format": instance_payload["format"],
         "kind": "schedule",
-        "instance": instance_to_dict(schedule.instance),
+        "instance": instance_payload,
         "assignment": list(schedule.assignment),
         "makespan": _frac_str(schedule.makespan),
         "feasible": schedule.is_feasible(),

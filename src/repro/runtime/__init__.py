@@ -25,10 +25,13 @@ from repro.runtime.cache import (
     task_key,
 )
 from repro.runtime.specs import (
+    CONFLICT_FAMILIES,
     GRAPH_FAMILIES,
     SPEC_FORMAT,
     SPEC_FORMAT_V2,
+    SPEC_FORMAT_V3,
     SPEC_FORMATS,
+    build_conflict_graph,
     build_family_graph,
     expand_specs,
     load_spec_file,
@@ -38,8 +41,10 @@ __all__ = [
     "RESULT_FORMAT",
     "SPEC_FORMAT",
     "SPEC_FORMAT_V2",
+    "SPEC_FORMAT_V3",
     "SPEC_FORMATS",
     "GRAPH_FAMILIES",
+    "CONFLICT_FAMILIES",
     "BatchResult",
     "BatchRunner",
     "BatchStats",
@@ -49,6 +54,7 @@ __all__ = [
     "canonical_instance_payload",
     "task_key",
     "build_family_graph",
+    "build_conflict_graph",
     "expand_specs",
     "load_spec_file",
 ]

@@ -40,6 +40,27 @@ on the result records and in the cache)::
 v1 files keep loading unchanged (``machines`` and ``certify`` are
 rejected there).
 
+Format **v3** generalises the conflict graph beyond bipartite.  A new
+``graph`` entry shape describes the graph family declaratively —
+including the non-bipartite families of
+:mod:`repro.workloads.conflict_graphs` — and uniform ``machines``
+blocks may carry an ``eligibility`` sub-block restricting which
+machines each job may run on::
+
+    {"format": "repro/batch-spec/v3",
+     "instances": [
+       {"graph": {"family": "complete_multipartite", "sizes": [2, 2, 3],
+                  "free": 1},
+        "speeds": "3,2,1", "certify": true},
+       {"graph": {"family": "block", "n": 12, "max_block": 4},
+        "count": 5, "seed": 0,
+        "machines": {"kind": "uniform", "profile": "geometric", "m": 4,
+                     "eligibility": {"choices": 3}}}
+     ]}
+
+v1 and v2 files keep loading unchanged (``graph`` entries and
+``eligibility`` are rejected below v3).
+
 ``defaults`` are merged under every entry; the entry *shape* keys
 (``instance`` / ``path`` / ``family``) must stay on the entries
 themselves.  Expansion is eager and deterministic: the same spec always
@@ -57,18 +78,28 @@ from typing import Any
 from repro.exceptions import InvalidInstanceError
 from repro.graphs import generators
 from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import ConflictGraph
 from repro.io import instance_to_dict, load_json
 from repro.random_graphs.gilbert import gnnp
 from repro.runtime.batch import BatchTask
 from repro.scheduling.instance import UniformInstance
 from repro.workloads import build_machines_instance, parse_jobs, parse_speeds
+from repro.workloads.conflict_graphs import (
+    block_chain,
+    complete_multipartite_graph,
+    random_block_graph,
+    random_complete_multipartite,
+)
 
 __all__ = [
     "SPEC_FORMAT",
     "SPEC_FORMAT_V2",
+    "SPEC_FORMAT_V3",
     "SPEC_FORMATS",
     "GRAPH_FAMILIES",
+    "CONFLICT_FAMILIES",
     "build_family_graph",
+    "build_conflict_graph",
     "parse_speeds",
     "parse_jobs",
     "expand_specs",
@@ -77,7 +108,8 @@ __all__ = [
 
 SPEC_FORMAT = "repro/batch-spec/v1"
 SPEC_FORMAT_V2 = "repro/batch-spec/v2"
-SPEC_FORMATS = (SPEC_FORMAT, SPEC_FORMAT_V2)
+SPEC_FORMAT_V3 = "repro/batch-spec/v3"
+SPEC_FORMATS = (SPEC_FORMAT, SPEC_FORMAT_V2, SPEC_FORMAT_V3)
 
 GRAPH_FAMILIES = (
     "gnnp",
@@ -104,12 +136,23 @@ _ENTRY_KEYS = frozenset(
         "family",
         "instance",
         "path",
+        "graph",
         "machines",
         "certify",
     }
 )
 _FAMILY_KEYS = frozenset({"n", "b", "p", "max_degree", "trees", "seed"})
-_SHAPE_KEYS = frozenset({"instance", "path", "family"})
+_SHAPE_KEYS = frozenset({"instance", "path", "family", "graph"})
+
+CONFLICT_FAMILIES = ("complete_multipartite", "block")
+
+# keys a v3 'graph' block may carry, per conflict family
+_GRAPH_BLOCK_KEYS = {
+    "complete_multipartite": frozenset(
+        {"family", "sizes", "free", "n", "parts"}
+    ),
+    "block": frozenset({"family", "chain", "n", "max_block"}),
+}
 
 
 def build_family_graph(
@@ -180,6 +223,100 @@ def build_family_graph(
     raise InvalidInstanceError(f"unknown graph family {family!r}; known: {known}")
 
 
+def build_conflict_graph(
+    spec: dict[str, Any], *, seed: int | None = None
+) -> ConflictGraph:
+    """Build one conflict graph from a v3 ``graph`` block.
+
+    ``spec["family"]`` may be any bipartite family from
+    :data:`GRAPH_FAMILIES` (same parameters as :func:`build_family_graph`)
+    or one of :data:`CONFLICT_FAMILIES`:
+
+    * ``complete_multipartite`` — explicit ``sizes`` (class sizes, plus
+      optional ``free`` isolated vertices), or random via ``n`` + optional
+      ``parts``/``free``;
+    * ``block`` — explicit ``chain`` (clique sizes chained at cut
+      vertices), or random via ``n`` + optional ``max_block``.
+
+    ``seed`` comes from the *entry* (so ``count`` replicas sweep
+    consecutive seeds); a ``seed`` key inside the block is rejected.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        On an unknown family, unknown/missing keys, or malformed values.
+    """
+    if not isinstance(spec, dict):
+        raise InvalidInstanceError("'graph' must be a JSON object")
+    family = spec.get("family")
+    if "seed" in spec:
+        raise InvalidInstanceError(
+            "'graph' block: put 'seed' on the entry, not inside the block "
+            "(count replicas sweep consecutive entry seeds)"
+        )
+    if family in GRAPH_FAMILIES:
+        allowed = frozenset({"family"}) | (_FAMILY_KEYS - {"seed"})
+    else:
+        allowed = _GRAPH_BLOCK_KEYS.get(family)
+    if allowed is None:
+        known = ", ".join(GRAPH_FAMILIES + CONFLICT_FAMILIES)
+        raise InvalidInstanceError(
+            f"unknown graph family {family!r}; known: {known}"
+        )
+    unknown = set(spec) - allowed
+    if unknown:
+        raise InvalidInstanceError(
+            f"'graph' block ({family}): unknown keys {sorted(unknown)}"
+        )
+    try:
+        if family in GRAPH_FAMILIES:
+            return build_family_graph(
+                family,
+                int(spec.get("n", 20)),
+                b=spec.get("b"),
+                p=float(spec.get("p", 0.1)),
+                max_degree=int(spec.get("max_degree", 4)),
+                trees=int(spec.get("trees", 3)),
+                seed=seed,
+            )
+        if family == "complete_multipartite":
+            free = int(spec.get("free", 0))
+            if "sizes" in spec:
+                return complete_multipartite_graph(
+                    [int(x) for x in spec["sizes"]], free=free
+                )
+            if "n" not in spec:
+                raise InvalidInstanceError(
+                    "'complete_multipartite' graph block needs explicit "
+                    "'sizes' or a vertex count 'n'"
+                )
+            return random_complete_multipartite(
+                int(spec["n"]),
+                int(spec.get("parts", 2)),
+                free=free,
+                seed=seed,
+            )
+        # family == "block"
+        if "chain" in spec:
+            return block_chain([int(x) for x in spec["chain"]])
+        if "n" not in spec:
+            raise InvalidInstanceError(
+                "'block' graph block needs explicit 'chain' or a vertex "
+                "count 'n'"
+            )
+        return random_block_graph(
+            int(spec["n"]),
+            max_block=int(spec.get("max_block", 4)),
+            seed=seed,
+        )
+    except InvalidInstanceError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise InvalidInstanceError(
+            f"malformed 'graph' block ({family}): {exc}"
+        ) from exc
+
+
 def _machines_label(machines: dict[str, Any]) -> str:
     """The tag default task names (and per-model aggregation) group on.
 
@@ -213,15 +350,21 @@ def _entry_certify(entry: dict[str, Any], index: int, *, v2: bool) -> bool:
     return certify
 
 
-def _family_tasks(
-    entry: dict[str, Any], index: int, *, v2: bool
+def _generated_tasks(
+    entry: dict[str, Any],
+    index: int,
+    build_graph,
+    base_label,
+    *,
+    v2: bool,
+    v3: bool,
 ) -> list[BatchTask]:
-    family = entry["family"]
-    unknown = set(entry) - _ENTRY_KEYS - _FAMILY_KEYS
-    if unknown:
-        raise InvalidInstanceError(
-            f"spec entry {index}: unknown keys {sorted(unknown)}"
-        )
+    """Shared expansion loop for the generated entry shapes.
+
+    ``build_graph(seed)`` constructs the replica's conflict graph;
+    ``base_label(graph)`` is the default task-name stem (machines blocks
+    prefix their model label onto it).
+    """
     machines = entry.get("machines")
     if machines is not None:
         if not v2:
@@ -237,30 +380,26 @@ def _family_tasks(
                 f"spec entry {index}: with a 'machines' block, put speeds "
                 "inside it ({'kind': 'uniform', 'speeds': ...})"
             )
+        if "eligibility" in machines and not v3:
+            raise InvalidInstanceError(
+                f"spec entry {index}: machine 'eligibility' needs format "
+                f"{SPEC_FORMAT_V3!r}"
+            )
     count = int(entry.get("count", 1))
     if count < 1:
         raise InvalidInstanceError(f"spec entry {index}: count must be >= 1")
     base_seed = int(entry.get("seed", 0))
     algorithm = entry.get("algorithm")
     certify = _entry_certify(entry, index, v2=v2)
-    n = int(entry.get("n", 20))
     tasks: list[BatchTask] = []
     for replica in range(count):
         seed = base_seed + replica
-        graph = build_family_graph(
-            family,
-            n,
-            b=entry.get("b"),
-            p=float(entry.get("p", 0.1)),
-            max_degree=int(entry.get("max_degree", 4)),
-            trees=int(entry.get("trees", 3)),
-            seed=seed,
-        )
+        graph = build_graph(seed)
         if machines is None:
             jobs = parse_jobs(entry.get("jobs", "unit"), graph.n, seed)
             speeds = parse_speeds(entry.get("speeds", "1,1,1"))
             instance = UniformInstance(graph, jobs, speeds)
-            default_base = f"{family}-n{n}"
+            default_base = base_label(graph)
         else:
             # no explicit job vector -> p=None, so unrelated models keep
             # their documented seeded base-requirement draw (uniform kinds
@@ -274,13 +413,65 @@ def _family_tasks(
             instance = build_machines_instance(
                 graph, machines, p=jobs, seed=seed
             )
-            default_base = f"{_machines_label(machines)}/{family}-n{n}"
+            default_base = f"{_machines_label(machines)}/{base_label(graph)}"
         base_name = entry.get("name", default_base)
         name = base_name if count == 1 else f"{base_name}-s{seed}"
         tasks.append(
             BatchTask(name, instance_to_dict(instance), algorithm, certify)
         )
     return tasks
+
+
+def _family_tasks(
+    entry: dict[str, Any], index: int, *, v2: bool, v3: bool
+) -> list[BatchTask]:
+    family = entry["family"]
+    unknown = set(entry) - _ENTRY_KEYS - _FAMILY_KEYS
+    if unknown:
+        raise InvalidInstanceError(
+            f"spec entry {index}: unknown keys {sorted(unknown)}"
+        )
+    n = int(entry.get("n", 20))
+
+    def build(seed):
+        return build_family_graph(
+            family,
+            n,
+            b=entry.get("b"),
+            p=float(entry.get("p", 0.1)),
+            max_degree=int(entry.get("max_degree", 4)),
+            trees=int(entry.get("trees", 3)),
+            seed=seed,
+        )
+
+    return _generated_tasks(
+        entry, index, build, lambda graph: f"{family}-n{n}", v2=v2, v3=v3
+    )
+
+
+def _graph_tasks(
+    entry: dict[str, Any], index: int, *, v2: bool, v3: bool
+) -> list[BatchTask]:
+    if not v3:
+        raise InvalidInstanceError(
+            f"spec entry {index}: 'graph' entries need format "
+            f"{SPEC_FORMAT_V3!r}"
+        )
+    spec = entry["graph"]
+    unknown = set(entry) - _ENTRY_KEYS - {"seed"}
+    if unknown:
+        raise InvalidInstanceError(
+            f"spec entry {index}: unknown keys {sorted(unknown)} "
+            "(graph parameters go inside the 'graph' block)"
+        )
+    family = spec.get("family") if isinstance(spec, dict) else None
+
+    def build(seed):
+        return build_conflict_graph(spec, seed=seed)
+
+    return _generated_tasks(
+        entry, index, build, lambda graph: f"{family}-n{graph.n}", v2=v2, v3=v3
+    )
 
 
 def _dedupe_task_names(
@@ -338,7 +529,8 @@ def expand_specs(
         raise InvalidInstanceError(
             f"unsupported spec format {fmt!r} (this build reads {supported})"
         )
-    v2 = fmt == SPEC_FORMAT_V2
+    v3 = fmt == SPEC_FORMAT_V3
+    v2 = fmt == SPEC_FORMAT_V2 or v3
     entries = data.get("instances")
     if not isinstance(entries, list) or not entries:
         raise InvalidInstanceError("spec needs a non-empty 'instances' list")
@@ -386,11 +578,18 @@ def expand_specs(
             )
         elif "family" in entry:
             indexed.extend(
-                (index, task) for task in _family_tasks(entry, index, v2=v2)
+                (index, task)
+                for task in _family_tasks(entry, index, v2=v2, v3=v3)
+            )
+        elif "graph" in entry:
+            indexed.extend(
+                (index, task)
+                for task in _graph_tasks(entry, index, v2=v2, v3=v3)
             )
         else:
             raise InvalidInstanceError(
-                f"spec entry {index} needs 'instance', 'path', or 'family'"
+                f"spec entry {index} needs 'instance', 'path', 'family', "
+                "or 'graph'"
             )
     return _dedupe_task_names(indexed)
 

@@ -42,6 +42,11 @@ from repro.scheduling.lp_rounding import (
     lst_two_approx,
 )
 from repro.scheduling.local_search import LocalSearchResult, improve_schedule
+from repro.scheduling.conflict_split import (
+    conflict_color_split,
+    greedy_coloring,
+    mcs_order,
+)
 
 __all__ = [
     "SchedulingInstance",
@@ -76,4 +81,7 @@ __all__ = [
     "lst_two_approx",
     "LocalSearchResult",
     "improve_schedule",
+    "conflict_color_split",
+    "greedy_coloring",
+    "mcs_order",
 ]

@@ -1,15 +1,17 @@
 """Scheduling instances for the three machine environments.
 
 The paper's model (Section 1): jobs ``J_1..J_n`` with integer processing
-requirements ``p_j``, machines ``M_1..M_m``, and a bipartite incompatibility
-graph on the jobs.  Instances are immutable; machine speeds are exact
-rationals sorted non-increasingly (the paper's convention
-``s_1 >= ... >= s_m``).
+requirements ``p_j``, machines ``M_1..M_m``, and an incompatibility
+(conflict) graph on the jobs — any :class:`~repro.graphs.conflict.ConflictGraph`
+implementation (bipartite, complete multipartite, block-type, ...).
+Instances are immutable; machine speeds are exact rationals sorted
+non-increasingly (the paper's convention ``s_1 >= ... >= s_m``).
 
 :class:`UniformInstance` covers both ``Q`` (general speeds) and ``P`` (all
-speeds 1); :class:`UnrelatedInstance` covers ``R`` including *forbidden*
-job/machine pairs (processing time ``None``), which Algorithm 5 uses for
-its machine-pinned artificial jobs.
+speeds 1), optionally with per-job *machine-eligibility masks* (the CP
+``alternative`` + eligibility idiom); :class:`UnrelatedInstance` covers
+``R`` including *forbidden* job/machine pairs (processing time ``None``),
+which Algorithm 5 uses for its machine-pinned artificial jobs.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.exceptions import InvalidInstanceError
-from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import ConflictGraph
 from repro.utils.rationals import as_fraction, as_fraction_tuple
 from repro.utils.validation import check_positive_ints
 
@@ -37,7 +39,7 @@ class SchedulingInstance(ABC):
     """Common interface: a job set with an incompatibility graph and a
     machine-dependent processing-time oracle."""
 
-    graph: BipartiteGraph
+    graph: ConflictGraph
 
     @property
     def n(self) -> int:
@@ -63,20 +65,28 @@ class SchedulingInstance(ABC):
 
 
 class UniformInstance(SchedulingInstance):
-    """``Q|G = bipartite|Cmax`` data: integer ``p_j`` and rational speeds.
+    """``Q|G|Cmax`` data: integer ``p_j`` and rational machine speeds.
 
     Speeds must be positive and non-increasing (use
     :func:`make_uniform_instance` to sort arbitrary speed data).  With all
     speeds equal to 1 this is the identical-machine environment ``P``.
+
+    ``eligible`` optionally restricts which machines each job may run on
+    (the CP ``alternative`` + eligibility idiom, mirroring
+    :class:`UnrelatedInstance`'s forbidden pairs): ``eligible[j]`` is an
+    iterable of allowed machine indices, or ``None`` for "any machine".
+    Pass ``eligible=None`` (the default) for the unrestricted paper
+    model — the fast path is unchanged.
     """
 
-    __slots__ = ("graph", "p", "speeds")
+    __slots__ = ("graph", "p", "speeds", "eligible")
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: ConflictGraph,
         p: Sequence[int],
         speeds: Sequence[int | float | str | Fraction],
+        eligible: Sequence[Iterable[int] | None] | None = None,
     ) -> None:
         self.graph = graph
         self.p: tuple[int, ...] = check_positive_ints(p, "p")
@@ -96,6 +106,36 @@ class UniformInstance(SchedulingInstance):
                 "speeds must be non-increasing (s_1 >= ... >= s_m); "
                 "use make_uniform_instance() to sort"
             )
+        self.eligible: tuple[frozenset[int] | None, ...] | None
+        if eligible is None:
+            self.eligible = None
+        else:
+            if len(eligible) != graph.n:
+                raise InvalidInstanceError(
+                    f"{len(eligible)} eligibility masks for {graph.n} jobs"
+                )
+            m = len(self.speeds)
+            masks: list[frozenset[int] | None] = []
+            for j, raw in enumerate(eligible):
+                if raw is None:
+                    masks.append(None)
+                    continue
+                mask = frozenset(int(i) for i in raw)
+                if not mask:
+                    raise InvalidInstanceError(
+                        f"job {j} has an empty eligibility mask "
+                        "(forbidden on every machine)"
+                    )
+                bad = [i for i in mask if not 0 <= i < m]
+                if bad:
+                    raise InvalidInstanceError(
+                        f"job {j} eligibility names machine {bad[0]} "
+                        f"but there are only {m} machines"
+                    )
+                # a full mask is the same as no mask; normalise so
+                # serialization and equality don't depend on spelling
+                masks.append(None if len(mask) == m else mask)
+            self.eligible = None if all(x is None for x in masks) else tuple(masks)
 
     @property
     def m(self) -> int:
@@ -121,10 +161,35 @@ class UniformInstance(SchedulingInstance):
         """Whether every ``p_j = 1`` (the ``p_j = 1`` restriction)."""
         return all(pj == 1 for pj in self.p)
 
-    def processing_time(self, machine: int, job: int) -> Fraction:
+    @property
+    def has_eligibility(self) -> bool:
+        """Whether any job carries a machine-eligibility restriction."""
+        return self.eligible is not None
+
+    def eligible_machines(self, job: int) -> frozenset[int]:
+        """The machines ``job`` may run on (all machines when unmasked)."""
+        if self.eligible is not None:
+            mask = self.eligible[job]
+            if mask is not None:
+                return mask
+        return frozenset(range(self.m))
+
+    def processing_time(self, machine: int, job: int) -> Fraction | None:
+        if self.eligible is not None:
+            mask = self.eligible[job]
+            if mask is not None and machine not in mask:
+                return None
         return Fraction(self.p[job]) / self.speeds[machine]
 
     def machine_completion(self, machine: int, jobs: Iterable[int]) -> Fraction:
+        if self.eligible is not None:
+            jobs = list(jobs)
+            for j in jobs:
+                mask = self.eligible[j]
+                if mask is not None and machine not in mask:
+                    raise InvalidInstanceError(
+                        f"job {j} is not eligible on machine {machine}"
+                    )
         load = sum(self.p[j] for j in jobs)
         return Fraction(load) / self.speeds[machine]
 
@@ -134,11 +199,17 @@ class UniformInstance(SchedulingInstance):
         """Reinterpret as an ``R`` instance, optionally on a machine subset.
 
         Used by Algorithm 1 (step 3 hands machines ``M_1, M_2`` to the R2
-        FPTAS) and by Theorem 4's prepared instances.
+        FPTAS) and by Theorem 4's prepared instances.  Eligibility masks
+        translate to forbidden (``None``) time entries.
         """
         idx = list(range(self.m)) if machines is None else list(machines)
         times = [
-            [Fraction(self.p[j]) / self.speeds[i] for j in range(self.n)]
+            [
+                Fraction(self.p[j]) / self.speeds[i]
+                if self.allows(i, j)
+                else None
+                for j in range(self.n)
+            ]
             for i in idx
         ]
         return UnrelatedInstance(self.graph, times)
@@ -148,7 +219,7 @@ class UniformInstance(SchedulingInstance):
 
 
 class UnrelatedInstance(SchedulingInstance):
-    """``R|G = bipartite|Cmax`` data: an ``m x n`` processing-time matrix.
+    """``R|G|Cmax`` data: an ``m x n`` processing-time matrix.
 
     ``times[i][j]`` is the (rational) time of job ``j`` on machine ``i`` or
     ``None`` when the pair is forbidden (Algorithm 5 pins its two artificial
@@ -159,7 +230,7 @@ class UnrelatedInstance(SchedulingInstance):
 
     def __init__(
         self,
-        graph: BipartiteGraph,
+        graph: ConflictGraph,
         times: Sequence[Sequence[int | float | str | Fraction | None]],
     ) -> None:
         self.graph = graph
@@ -210,20 +281,20 @@ class UnrelatedInstance(SchedulingInstance):
         return f"UnrelatedInstance(n={self.n}, m={self.m})"
 
 
-def identical_instance(graph: BipartiteGraph, p: Sequence[int], m: int) -> UniformInstance:
+def identical_instance(graph: ConflictGraph, p: Sequence[int], m: int) -> UniformInstance:
     """A ``P|G=bipartite|Cmax`` instance on ``m`` unit-speed machines."""
     return UniformInstance(graph, p, [Fraction(1)] * m)
 
 
 def unit_uniform_instance(
-    graph: BipartiteGraph, speeds: Sequence[int | float | str | Fraction]
+    graph: ConflictGraph, speeds: Sequence[int | float | str | Fraction]
 ) -> UniformInstance:
     """A ``Q|G=bipartite, p_j=1|Cmax`` instance (all jobs unit length)."""
     return UniformInstance(graph, [1] * graph.n, speeds)
 
 
 def make_uniform_instance(
-    graph: BipartiteGraph,
+    graph: ConflictGraph,
     p: Sequence[int],
     speeds: Sequence[int | float | str | Fraction],
 ) -> UniformInstance:

@@ -18,17 +18,27 @@ in this module as a 450-line monolith are now the
 Every public name below is re-exported unchanged — ``from repro.solvers
 import solve`` keeps working and is behaviour-identical (the frozen
 dispatch corpus in ``tests/test_engine_dispatch.py`` pins this down).
-New code should import from :mod:`repro.engine` directly.
+New code should import from :mod:`repro.engine` directly; importing
+this module emits a :class:`DeprecationWarning` saying so.
 """
 
 from __future__ import annotations
 
-from repro.engine.dispatch import (
+import warnings
+
+warnings.warn(
+    "repro.solvers is a back-compat shim; import from repro.engine "
+    "instead (same names, same behaviour)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.engine.dispatch import (  # noqa: E402
     auto_choice,
     available_algorithms,
     solve,
 )
-from repro.engine.registry import (
+from repro.engine.registry import (  # noqa: E402
     ALGORITHMS,
     REGISTRY,
     AlgorithmRegistry,

@@ -14,6 +14,10 @@ description into a concrete :class:`~repro.scheduling.instance`:
 * **adversarial models** (:mod:`repro.workloads.adversarial`) —
   ``hardness_q`` / ``hardness_r`` lift the Theorem 8 and Theorem 24
   reductions of :mod:`repro.hardness` into sweepable instances;
+* **conflict-graph families** (:mod:`repro.workloads.conflict_graphs`) —
+  generators for the non-bipartite families (complete multipartite,
+  block graphs) plus seed-deterministic machine-eligibility masks,
+  behind batch-spec v3 ``"graph"`` blocks and ``repro generate``;
 * **builders** (:mod:`repro.workloads.builder`) — the model registry and
   the ``machines`` block dispatcher behind batch-spec v2
   (``{"kind": "uniform" | "unrelated", ...}``);
@@ -34,6 +38,13 @@ from repro.workloads.builder import (
     build_machines_instance,
     build_unrelated_instance,
 )
+from repro.workloads.conflict_graphs import (
+    block_chain,
+    complete_multipartite_graph,
+    random_block_graph,
+    random_complete_multipartite,
+    random_eligibility,
+)
 from repro.workloads.parsing import parse_jobs, parse_speeds
 from repro.workloads.unrelated import (
     correlated,
@@ -53,6 +64,11 @@ __all__ = [
     "hardness_r",
     "build_unrelated_instance",
     "build_machines_instance",
+    "complete_multipartite_graph",
+    "random_complete_multipartite",
+    "block_chain",
+    "random_block_graph",
+    "random_eligibility",
     "parse_speeds",
     "parse_jobs",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import InvalidInstanceError
-from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import ConflictGraph
 from repro.machines import profiles
 from repro.scheduling.instance import (
     SchedulingInstance,
@@ -29,6 +29,7 @@ from repro.scheduling.instance import (
     UnrelatedInstance,
 )
 from repro.workloads.adversarial import hardness_q, hardness_r
+from repro.workloads.conflict_graphs import random_eligibility
 from repro.workloads.parsing import parse_speeds
 from repro.workloads.unrelated import (
     correlated,
@@ -71,7 +72,7 @@ _SEEDED_PROFILES = frozenset({"random_int"})
 
 
 def build_unrelated_instance(
-    graph: BipartiteGraph,
+    graph: ConflictGraph,
     model: str,
     m: int,
     *,
@@ -115,7 +116,9 @@ def _uniform_speeds(machines: dict[str, Any], seed) -> tuple:
         )
     m = int(machines.get("m", 2))
     params = {
-        k: v for k, v in machines.items() if k not in ("kind", "profile", "m")
+        k: v
+        for k, v in machines.items()
+        if k not in ("kind", "profile", "m", "eligibility")
     }
     if profile in _SEEDED_PROFILES:
         params.setdefault("seed", seed)
@@ -127,22 +130,64 @@ def _uniform_speeds(machines: dict[str, Any], seed) -> tuple:
         ) from exc
 
 
+def _uniform_eligibility(
+    raw: Any, n: int, m: int, seed
+) -> list[list[int] | None] | None:
+    """Eligibility masks for a ``kind: uniform`` block.
+
+    Two spellings: a generator config ``{"choices": 2, "seed": 7}``
+    (seed falls back to the entry seed) drawing per-job machine subsets
+    via :func:`~repro.workloads.conflict_graphs.random_eligibility`, or
+    an explicit per-job list of masks (``null`` = any machine).
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, dict):
+        unknown = set(raw) - {"choices", "seed"}
+        if unknown:
+            raise InvalidInstanceError(
+                f"'eligibility' block: unknown keys {sorted(unknown)}"
+            )
+        return random_eligibility(
+            n,
+            m,
+            choices=int(raw.get("choices", 2)),
+            seed=raw.get("seed", seed),
+        )
+    if isinstance(raw, list):
+        return [
+            None if mask is None else [int(i) for i in mask] for mask in raw
+        ]
+    raise InvalidInstanceError(
+        "'eligibility' must be a JSON object (generator config) or a "
+        "per-job list of machine-index lists"
+    )
+
+
 def build_machines_instance(
-    graph: BipartiteGraph,
+    graph: ConflictGraph,
     machines: dict[str, Any],
     *,
     p: Sequence[int] | None = None,
     seed=None,
 ) -> SchedulingInstance:
-    """Instance for one spec-v2 ``machines`` block on ``graph``.
+    """Instance for one spec-v2/v3 ``machines`` block on ``graph``.
 
     ``p`` is the entry's parsed job vector (``None`` means unit jobs for
     uniform kinds; unrelated models that key off a base requirement draw
-    one from the seed instead).
+    one from the seed instead).  A ``kind: uniform`` block may carry an
+    ``eligibility`` sub-block (spec v3) restricting which machines each
+    job may run on.
     """
     if not isinstance(machines, dict):
         raise InvalidInstanceError("'machines' must be a JSON object")
     kind = machines.get("kind")
+    if kind != "uniform" and "eligibility" in machines:
+        raise InvalidInstanceError(
+            "'eligibility' only applies to 'kind': 'uniform' machines "
+            "blocks (unrelated models express restrictions as forbidden "
+            "times)"
+        )
     if kind == "unrelated":
         model = machines.get("model", "uniform_pij")
         m = int(machines.get("m", 2))
@@ -155,6 +200,11 @@ def build_machines_instance(
     if kind == "uniform":
         model = machines.get("model")
         if model == "hardness_q":
+            if "eligibility" in machines:
+                raise InvalidInstanceError(
+                    "'eligibility' cannot combine with the 'hardness_q' "
+                    "model (the reduction fixes its own machine structure)"
+                )
             params = {
                 k: v
                 for k, v in machines.items()
@@ -179,7 +229,10 @@ def build_machines_instance(
             )
         speeds = _uniform_speeds(machines, seed)
         jobs = [1] * graph.n if p is None else list(p)
-        return UniformInstance(graph, jobs, speeds)
+        eligible = _uniform_eligibility(
+            machines.get("eligibility"), graph.n, len(speeds), seed
+        )
+        return UniformInstance(graph, jobs, speeds, eligible=eligible)
     raise InvalidInstanceError(
         f"'machines' kind must be 'uniform' or 'unrelated', got {kind!r}"
     )

@@ -1,0 +1,133 @@
+"""Generators for the non-bipartite conflict-graph families.
+
+Batch-spec v3 ``"graph"`` blocks and the ``repro generate`` CLI build
+their complete-multipartite and block-type instances here.  Everything
+is deterministic per seed (``random.Random(seed)``), mirroring the
+bipartite generators in :mod:`repro.graphs.generators`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.conflict import BlockGraph, CompleteMultipartiteGraph
+
+__all__ = [
+    "complete_multipartite_graph",
+    "random_complete_multipartite",
+    "block_chain",
+    "random_block_graph",
+    "random_eligibility",
+]
+
+
+def complete_multipartite_graph(
+    part_sizes: Sequence[int], free: int = 0
+) -> CompleteMultipartiteGraph:
+    """``K_{n1,n2,...}`` plus ``free`` isolated vertices.
+
+    Classes occupy consecutive vertex ranges; free vertices come last.
+    """
+    return CompleteMultipartiteGraph.from_sizes(part_sizes, free=free)
+
+
+def random_complete_multipartite(
+    n: int,
+    parts: int,
+    *,
+    free: int = 0,
+    seed: int | None = None,
+) -> CompleteMultipartiteGraph:
+    """A random complete multipartite graph on ``n`` classified vertices.
+
+    ``n`` vertices are split into ``parts`` non-empty classes with a
+    seed-deterministic composition (every class gets at least one
+    vertex; the rest are distributed uniformly), plus ``free`` isolated
+    vertices appended after them.
+    """
+    n = int(n)
+    parts = int(parts)
+    if parts < 1:
+        raise InvalidInstanceError("need at least one part")
+    if n < parts:
+        raise InvalidInstanceError(
+            f"cannot split {n} vertices into {parts} non-empty parts"
+        )
+    rng = random.Random(seed)
+    sizes = [1] * parts
+    for _ in range(n - parts):
+        sizes[rng.randrange(parts)] += 1
+    return CompleteMultipartiteGraph.from_sizes(sizes, free=free)
+
+
+def block_chain(block_sizes: Sequence[int]) -> BlockGraph:
+    """Cliques chained at shared cut vertices (deterministic)."""
+    return BlockGraph.chain(block_sizes)
+
+
+def random_block_graph(
+    n: int,
+    *,
+    max_block: int = 4,
+    seed: int | None = None,
+) -> BlockGraph:
+    """A random block graph on ``n`` vertices.
+
+    Grows a clique tree: starting from one vertex, repeatedly attaches a
+    clique of random size (``2..max_block``, truncated to the remaining
+    vertex budget) at a uniformly chosen existing vertex.  Every
+    declared clique is a block, so the result is a valid block graph by
+    construction; single leftover vertices attach as ``K_2`` blocks.
+    """
+    n = int(n)
+    if n < 0:
+        raise InvalidInstanceError("vertex count must be non-negative")
+    max_block = int(max_block)
+    if max_block < 2:
+        raise InvalidInstanceError("max_block must be at least 2")
+    if n == 0:
+        return BlockGraph(0, [])
+    rng = random.Random(seed)
+    blocks: list[list[int]] = []
+    used = 1  # vertex 0 exists even with no blocks
+    while used < n:
+        anchor = rng.randrange(used)
+        budget = n - used
+        size = min(rng.randint(2, max_block), budget + 1)
+        fresh = list(range(used, used + size - 1))
+        blocks.append([anchor] + fresh)
+        used += size - 1
+    return BlockGraph(n, blocks)
+
+
+def random_eligibility(
+    n: int,
+    m: int,
+    *,
+    choices: int = 2,
+    seed: int | None = None,
+) -> list[list[int] | None]:
+    """Seed-deterministic machine-eligibility masks for ``n`` jobs.
+
+    Each job independently draws ``choices`` distinct eligible machines
+    (capped at ``m``; ``choices >= m`` leaves the job unrestricted,
+    encoded ``None``).  Every mask is non-empty, so no job is forbidden
+    everywhere — feasibility then only depends on the conflict graph.
+    """
+    n = int(n)
+    m = int(m)
+    choices = int(choices)
+    if m < 1:
+        raise InvalidInstanceError("need at least one machine")
+    if choices < 1:
+        raise InvalidInstanceError("eligibility needs at least one choice")
+    rng = random.Random(seed)
+    masks: list[list[int] | None] = []
+    for _ in range(n):
+        if choices >= m:
+            masks.append(None)
+        else:
+            masks.append(sorted(rng.sample(range(m), choices)))
+    return masks

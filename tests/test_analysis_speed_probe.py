@@ -11,7 +11,7 @@ from repro.analysis.speed_probe import (
 from repro.core.sqrt_approx import sqrt_approx_schedule
 from repro.exceptions import InvalidInstanceError
 from repro.scheduling.brute_force import brute_force_optimal
-from repro.solvers import solve
+from repro.engine import solve
 
 F = Fraction
 

@@ -10,7 +10,7 @@ from repro.certify import (
 from repro.graphs.generators import matching_graph, path_graph
 from repro.scheduling.instance import UniformInstance
 from repro.scheduling.schedule import Schedule
-from repro.solvers import ALGORITHMS, AlgorithmSpec
+from repro.engine import ALGORITHMS, AlgorithmSpec
 
 F = Fraction
 

@@ -6,7 +6,7 @@ from repro.certify import CertificateReport, certify_schedule, instance_lower_bo
 from repro.graphs.generators import matching_graph, path_graph
 from repro.scheduling.instance import UniformInstance, UnrelatedInstance
 from repro.scheduling.schedule import Schedule
-from repro.solvers import solve
+from repro.engine import solve
 
 F = Fraction
 

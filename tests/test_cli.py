@@ -71,6 +71,63 @@ class TestGenerate:
                 + extra
             ) == 0
 
+    def test_complete_multipartite_family(self, tmp_path):
+        from repro.graphs.conflict import CompleteMultipartiteGraph
+
+        out_path = tmp_path / "cmp.json"
+        assert main(
+            ["generate", "--family", "complete_multipartite",
+             "--parts", "2,2,3", "--free", "1", "--speeds", "3,2,1",
+             "--out", str(out_path)]
+        ) == 0
+        inst = load_instance(out_path)
+        assert isinstance(inst.graph, CompleteMultipartiteGraph)
+        assert inst.n == 8
+        assert [len(p) for p in inst.graph.parts()] == [2, 2, 3]
+
+    def test_block_family_chain_and_random(self, tmp_path):
+        from repro.graphs.conflict import BlockGraph
+
+        chained = tmp_path / "chain.json"
+        assert main(
+            ["generate", "--family", "block", "--blocks", "3,2,4",
+             "--speeds", "2,1,1,1", "--out", str(chained)]
+        ) == 0
+        inst = load_instance(chained)
+        assert isinstance(inst.graph, BlockGraph)
+        assert inst.graph.blocks() == ((0, 1, 2), (2, 3), (3, 4, 5, 6))
+        randomized = tmp_path / "rand.json"
+        assert main(
+            ["generate", "--family", "block", "--n", "10",
+             "--max-block", "3", "--seed", "2", "--speeds", "2,1,1",
+             "--out", str(randomized)]
+        ) == 0
+        inst = load_instance(randomized)
+        assert inst.n == 10
+        assert all(len(b) <= 3 for b in inst.graph.blocks())
+
+    def test_eligibility_flag(self, tmp_path):
+        out_path = tmp_path / "masked.json"
+        assert main(
+            ["generate", "--family", "matching", "--n", "3",
+             "--speeds", "3,2,1,1", "--eligible-choices", "2",
+             "--seed", "0", "--out", str(out_path)]
+        ) == 0
+        inst = load_instance(out_path)
+        assert inst.has_eligibility
+        assert all(
+            mask is None or len(mask) == 2 for mask in inst.eligible
+        )
+
+    def test_eligibility_rejected_for_unrelated(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--family", "matching", "--n", "3",
+             "--kind", "unrelated", "--m", "2", "--eligible-choices", "2",
+             "--out", str(tmp_path / "x.json")]
+        )
+        assert code != 0
+        assert "eligib" in capsys.readouterr().err.lower()
+
     def test_unrelated_kind_with_model(self, tmp_path):
         from repro.scheduling.instance import UnrelatedInstance
 
@@ -274,6 +331,21 @@ class TestCertify:
         assert code == 2
         err = capsys.readouterr().err
         assert "unknown algorithm" in err
+
+    def test_single_instance_audit(self, tmp_path, capsys):
+        """``certify --instance`` audits one saved instance — including
+        the non-bipartite conflict families."""
+        inst_path = tmp_path / "blk.json"
+        assert main(
+            ["generate", "--family", "block", "--blocks", "3,2",
+             "--speeds", "2,1,1", "--out", str(inst_path)]
+        ) == 0
+        code = main(
+            ["certify", "--instance", str(inst_path), "--oracle-max-n", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
 
     def test_writes_audit_jsonl(self, tmp_path, capsys):
         out = tmp_path / "audits.jsonl"

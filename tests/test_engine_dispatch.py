@@ -1,13 +1,17 @@
 """Tests for :mod:`repro.engine.dispatch` — ranked auto selection,
 behaviour-identity with the pre-engine policy, and explain mode."""
 
+import warnings
 from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import solvers
+with warnings.catch_warnings():
+    # this module deliberately exercises the deprecated shim
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro import solvers
 from repro.engine import (
     ALGORITHMS,
     auto_choice,
@@ -125,29 +129,40 @@ FROZEN_CHOICES = {
 }
 
 #: applicable-algorithm sets recorded from the pre-engine registry on a
-#: sample of the corpus (capability parity, not just auto parity)
+#: sample of the corpus (capability parity, not just auto parity).  The
+#: conflict-graph generalization added two registry members that apply on
+#: bipartite instances too — ``complete_multipartite_min_time`` (K_{a,b}
+#: is complete multipartite; unit uniform only) and
+#: ``conflict_color_split`` (any graph, m >= 2) — so those names appear
+#: here; every pre-refactor name is unchanged, and FROZEN_CHOICES above
+#: pins that the *auto policy* is untouched
 FROZEN_APPLICABILITY = {
     "Kab_unit_q3": {
-        "complete_multipartite", "lpt", "sqrt_approx", "random_graph",
-        "random_graph_balanced", "two_machine_split", "greedy", "brute_force",
+        "complete_multipartite", "complete_multipartite_min_time", "lpt",
+        "sqrt_approx", "random_graph", "random_graph_balanced",
+        "two_machine_split", "conflict_color_split", "greedy", "brute_force",
     },
     "empty_unit_q1": {
-        "complete_multipartite", "dual_approx", "lpt", "random_graph",
-        "random_graph_balanced", "greedy", "brute_force",
+        "complete_multipartite", "complete_multipartite_min_time",
+        "dual_approx", "lpt", "random_graph", "random_graph_balanced",
+        "greedy", "brute_force",
     },
     "empty_ident_p3": {
         "dual_approx", "lpt", "sqrt_approx", "bjw", "two_machine_split",
-        "greedy", "brute_force",
+        "conflict_color_split", "greedy", "brute_force",
     },
     "matching_ident_m4": {
-        "lpt", "sqrt_approx", "bjw", "two_machine_split", "greedy",
-        "brute_force",
+        "lpt", "sqrt_approx", "bjw", "two_machine_split",
+        "conflict_color_split", "greedy", "brute_force",
     },
     "edge_r2": {
-        "r2_two_approx", "r2_fptas", "lst", "r_color_split", "greedy",
+        "r2_two_approx", "r2_fptas", "lst", "r_color_split",
+        "conflict_color_split", "greedy", "brute_force",
+    },
+    "empty_r3": {
+        "lst", "r_color_split", "conflict_color_split", "greedy",
         "brute_force",
     },
-    "empty_r3": {"lst", "r_color_split", "greedy", "brute_force"},
 }
 
 

@@ -179,7 +179,11 @@ class TestRegistry:
         )
         register_algorithm(spec)
         try:
-            from repro.solvers import ALGORITHMS as shim_algorithms
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                from repro.solvers import ALGORITHMS as shim_algorithms
 
             assert "toy_round_robin" in shim_algorithms
             inst = unit_uniform_instance(

@@ -1,0 +1,268 @@
+"""Tests for :mod:`repro.graphs.conflict` — the generalized graph model.
+
+Covers the :class:`ConflictGraph` adjacency API, the
+:class:`CompleteMultipartiteGraph` and :class:`BlockGraph`
+representations, biconnected components, and (via Hypothesis) the
+structural classification of :mod:`repro.graphs.structure`:
+each family is recognised from adjacency alone, and the verdict is
+stable under vertex relabeling.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import (
+    BlockGraph,
+    CompleteMultipartiteGraph,
+    ConflictGraph,
+    biconnected_components,
+)
+from repro.graphs.structure import (
+    analyze_structure,
+    classify_conflict_graph,
+    is_bipartite_structure,
+    is_block_structure,
+    multipartite_decomposition,
+)
+
+
+class TestConflictGraphBase:
+    def test_bipartite_is_a_conflict_graph(self):
+        graph = generators.crown(3)
+        assert isinstance(graph, ConflictGraph)
+        assert graph.family == "bipartite"
+
+    def test_generic_adjacency_api(self):
+        g = CompleteMultipartiteGraph.from_sizes([2, 2])
+        assert g.conflicts(0, 2) and g.has_edge(2, 0)
+        assert not g.conflicts(0, 1)  # same class
+        assert g.degree(0) == 2 and g.max_degree() == 2
+        assert g.edge_count == 4
+        assert sorted(g.edges()) == [(0, 2), (0, 3), (1, 2), (1, 3)]
+        assert g.is_independent_set([0, 1])
+        assert not g.is_independent_set([0, 2])
+        assert g.closed_neighborhood([0]) == {0, 2, 3}
+
+    def test_equality_is_adjacency_not_representation(self):
+        """K_{2,2} stored bipartite and multipartite compare equal."""
+        as_bipartite = generators.complete_bipartite(2, 2)
+        as_multipartite = CompleteMultipartiteGraph.from_sizes([2, 2])
+        assert as_bipartite == as_multipartite
+        assert hash(as_bipartite) == hash(as_multipartite)
+        assert as_multipartite != CompleteMultipartiteGraph.from_sizes([2, 2], free=1)
+
+
+class TestCompleteMultipartiteGraph:
+    def test_from_sizes_layout(self):
+        g = CompleteMultipartiteGraph.from_sizes([2, 3], free=1)
+        assert g.n == 6
+        assert g.parts() == ((0, 1), (2, 3, 4))
+        assert g.free_vertices() == [5]
+        assert g.isolated_vertices() == [5]
+        assert g.neighbors(5) == frozenset()
+        assert g.neighbors(0) == frozenset({2, 3, 4})
+
+    def test_explicit_parts_need_not_be_contiguous(self):
+        g = CompleteMultipartiteGraph(4, [[0, 3], [1, 2]])
+        assert g.conflicts(0, 1) and g.conflicts(3, 2)
+        assert not g.conflicts(0, 3) and not g.conflicts(1, 2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            CompleteMultipartiteGraph(3, [[0, 5]])
+        with pytest.raises(InvalidInstanceError, match="empty"):
+            CompleteMultipartiteGraph(3, [[0], []])
+        with pytest.raises(InvalidInstanceError, match="repeats"):
+            CompleteMultipartiteGraph(3, [[0, 0]])
+        with pytest.raises(InvalidInstanceError, match="appears in parts"):
+            CompleteMultipartiteGraph(3, [[0, 1], [1, 2]])
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            CompleteMultipartiteGraph.from_sizes([2, 0])
+
+    def test_relabeled_preserves_adjacency(self):
+        g = CompleteMultipartiteGraph.from_sizes([1, 2], free=1)
+        perm = [3, 0, 2, 1]
+        h = g.relabeled(perm)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert g.conflicts(u, v) == h.conflicts(perm[u], perm[v])
+        with pytest.raises(InvalidInstanceError, match="permutation"):
+            g.relabeled([0, 0, 1, 2])
+
+
+class TestBlockGraph:
+    def test_chain_shares_cut_vertices(self):
+        g = BlockGraph.chain([3, 2, 4])
+        # K_3 on 0..2, edge 2-3, K_4 on 3..6
+        assert g.n == 7
+        assert g.blocks() == ((0, 1, 2), (2, 3), (3, 4, 5, 6))
+        assert g.conflicts(0, 1) and g.conflicts(2, 3) and g.conflicts(4, 6)
+        assert not g.conflicts(0, 3)
+        assert g.edge_count == 3 + 1 + 6
+
+    def test_disjoint_cliques_and_isolated_vertices(self):
+        g = BlockGraph(5, [[0, 1, 2], [3]])
+        assert g.neighbors(3) == frozenset()
+        assert g.isolated_vertices() == [3, 4]
+        assert is_block_structure(g)
+
+    def test_overlapping_cliques_rejected(self):
+        # two triangles sharing an edge form a non-clique diamond block
+        with pytest.raises(InvalidInstanceError, match="cut"):
+            BlockGraph(4, [[0, 1, 2], [1, 2, 3]])
+
+    def test_relabeled_preserves_adjacency(self):
+        g = BlockGraph.chain([3, 3])
+        perm = [4, 2, 0, 1, 3]
+        h = g.relabeled(perm)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert g.conflicts(u, v) == h.conflicts(perm[u], perm[v])
+
+
+class TestBiconnectedComponents:
+    def test_chain_blocks_recovered(self):
+        g = BlockGraph.chain([3, 2, 4])
+        assert biconnected_components(g) == [
+            [0, 1, 2], [2, 3], [3, 4, 5, 6],
+        ]
+
+    def test_isolated_vertices_are_singleton_blocks(self):
+        g = BlockGraph(3, [[0, 1]])
+        assert biconnected_components(g) == [[0, 1], [2]]
+
+    def test_cycle_is_one_block(self):
+        # C_4 as a bipartite graph: one biconnected component, no clique
+        c4 = BipartiteGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert biconnected_components(c4) == [[0, 1, 2, 3]]
+        assert not is_block_structure(c4)
+
+
+class TestClassification:
+    def test_precedence_most_specific_first(self):
+        assert classify_conflict_graph(generators.empty_graph(4)) == "edgeless"
+        assert (
+            classify_conflict_graph(generators.complete_bipartite(2, 3))
+            == "complete_bipartite"
+        )
+        # a triangle is both complete multipartite and a block graph;
+        # multipartite wins
+        triangle = BlockGraph(3, [[0, 1, 2]])
+        assert classify_conflict_graph(triangle) == "complete_multipartite"
+        assert classify_conflict_graph(generators.crown(3)) == "bipartite"
+        assert classify_conflict_graph(BlockGraph.chain([3, 3])) == "block"
+
+    def test_c5_is_general(self):
+        class Cycle(ConflictGraph):
+            @property
+            def n(self):
+                return 5
+
+            def neighbors(self, v):
+                return frozenset({(v - 1) % 5, (v + 1) % 5})
+
+        assert classify_conflict_graph(Cycle()) == "general"
+
+    def test_analyze_structure_carries_conflict_fields(self):
+        g = CompleteMultipartiteGraph.from_sizes([2, 2, 1], free=1)
+        info = analyze_structure(g)
+        assert info.graph_family == "complete_multipartite"
+        assert info.conflict_class == "complete_multipartite"
+        assert info.multipartite == (((0, 1), (2, 3), (4,)), (5,))
+        assert "complete multipartite K_{2,2,1}" in info.describe()
+        assert "+ 1 isolated" in info.describe()
+        blocky = analyze_structure(BlockGraph.chain([3, 2, 3]))
+        assert blocky.block and blocky.conflict_class == "block"
+        assert "block graph" in blocky.describe()
+
+    def test_bipartite_fingerprint_fields_unchanged(self):
+        info = analyze_structure(generators.complete_bipartite(2, 2))
+        assert info.graph_family == "bipartite"
+        assert info.conflict_class == "complete_bipartite"
+        assert info.complete_bipartite == ((0, 1), (2, 3))
+
+
+@st.composite
+def multipartite_shapes(draw):
+    sizes = draw(st.lists(st.integers(1, 4), min_size=1, max_size=4))
+    free = draw(st.integers(0, 3))
+    return sizes, free
+
+
+class TestClassificationProperties:
+    """Hypothesis: recognition is structural and relabeling-stable."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(multipartite_shapes(), st.data())
+    def test_multipartite_family_recognized(self, shape, data):
+        sizes, free = shape
+        g = CompleteMultipartiteGraph.from_sizes(sizes, free=free)
+        expected = (
+            "edgeless"
+            if len(sizes) == 1
+            else "complete_bipartite"
+            if len(sizes) == 2
+            else "complete_multipartite"
+        )
+        assert classify_conflict_graph(g) == expected
+        mp = multipartite_decomposition(g)
+        assert mp is not None
+        classes, free_out = mp
+        if len(sizes) == 1:
+            # a single class has no edges: every vertex decomposes as free
+            assert classes == [] and len(free_out) == sizes[0] + free
+        else:
+            assert sorted(len(c) for c in classes) == sorted(sizes)
+            assert len(free_out) == free
+        perm = data.draw(st.permutations(range(g.n)))
+        assert classify_conflict_graph(g.relabeled(list(perm))) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(3, 5), min_size=2, max_size=4),
+        st.data(),
+    )
+    def test_block_chains_recognized(self, sizes, data):
+        g = BlockGraph.chain(sizes)
+        # >= 2 blocks of >= 3 vertices: triangles rule out bipartite, the
+        # cut vertex rules out complete multipartite
+        assert classify_conflict_graph(g) == "block"
+        assert is_block_structure(g)
+        perm = data.draw(st.permutations(range(g.n)))
+        relabeled = g.relabeled(list(perm))
+        assert classify_conflict_graph(relabeled) == "block"
+        assert is_block_structure(relabeled)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 8),
+        st.floats(0.0, 1.0),
+        st.integers(0, 10_000),
+        st.data(),
+    )
+    def test_bipartite_family_recognized(self, n, p, seed, data):
+        from repro.random_graphs.gilbert import gnnp
+
+        g = gnnp(n, p, seed=seed)
+        assert is_bipartite_structure(g)
+        # bipartite graphs can never classify as k >= 3 multipartite or
+        # non-bipartite block
+        assert classify_conflict_graph(g) in (
+            "edgeless",
+            "complete_bipartite",
+            "bipartite",
+        )
+        perm = list(data.draw(st.permutations(range(g.n))))
+        inverse_side = [0] * g.n
+        for v in range(g.n):
+            inverse_side[perm[v]] = g.side[v]
+        relabeled = BipartiteGraph(
+            g.n,
+            [(perm[u], perm[v]) for u, v in g.edges()],
+            side=inverse_side,
+        )
+        assert classify_conflict_graph(relabeled) == classify_conflict_graph(g)

@@ -26,7 +26,7 @@ from repro.scheduling.instance import (
     identical_instance,
     unit_uniform_instance,
 )
-from repro.solvers import available_algorithms, solve
+from repro.engine import available_algorithms, solve
 
 F = Fraction
 

@@ -22,7 +22,7 @@ from repro.scheduling.instance import (
     identical_instance,
     unit_uniform_instance,
 )
-from repro.solvers import auto_choice, solve
+from repro.engine import auto_choice, solve
 
 
 def small_instances(count=6):

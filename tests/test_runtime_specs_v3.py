@@ -1,0 +1,209 @@
+"""Tests for batch-spec v3: ``graph`` entries and machine eligibility."""
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.runtime import (
+    SPEC_FORMAT,
+    SPEC_FORMAT_V2,
+    SPEC_FORMAT_V3,
+    BatchRunner,
+    build_conflict_graph,
+    expand_specs,
+)
+
+
+def v3_spec(instances, defaults=None):
+    data = {"format": SPEC_FORMAT_V3, "instances": instances}
+    if defaults is not None:
+        data["defaults"] = defaults
+    return data
+
+
+class TestBuildConflictGraph:
+    def test_multipartite_from_sizes(self):
+        g = build_conflict_graph(
+            {"family": "complete_multipartite", "sizes": [2, 2, 3], "free": 1}
+        )
+        assert g.family == "complete_multipartite"
+        assert g.n == 8
+        assert [len(p) for p in g.parts()] == [2, 2, 3]
+
+    def test_multipartite_random_split(self):
+        g = build_conflict_graph(
+            {"family": "complete_multipartite", "n": 9, "parts": 3}, seed=5
+        )
+        assert g.n == 9 and len(g.parts()) == 3
+        again = build_conflict_graph(
+            {"family": "complete_multipartite", "n": 9, "parts": 3}, seed=5
+        )
+        assert g == again  # seeded determinism
+
+    def test_block_chain_and_random(self):
+        g = build_conflict_graph({"family": "block", "chain": [3, 2, 4]})
+        assert g.family == "block" and g.n == 7
+        r = build_conflict_graph(
+            {"family": "block", "n": 12, "max_block": 3}, seed=0
+        )
+        assert r.n == 12
+        assert all(len(b) <= 3 for b in r.blocks())
+
+    def test_bipartite_families_still_available(self):
+        g = build_conflict_graph({"family": "crown", "n": 4})
+        assert g.family == "bipartite" and g.n == 8
+
+    def test_errors_are_diagnostics(self):
+        with pytest.raises(InvalidInstanceError, match="unknown graph family"):
+            build_conflict_graph({"family": "hypercube"})
+        with pytest.raises(InvalidInstanceError, match="sizes"):
+            build_conflict_graph({"family": "complete_multipartite"})
+        with pytest.raises(InvalidInstanceError, match="seed"):
+            build_conflict_graph({"family": "block", "n": 8, "seed": 3})
+        with pytest.raises(InvalidInstanceError, match="malformed"):
+            build_conflict_graph(
+                {"family": "complete_multipartite", "sizes": "two"}
+            )
+
+
+class TestGraphEntries:
+    def test_graph_entry_expands(self):
+        tasks = expand_specs(
+            v3_spec(
+                [
+                    {"graph": {"family": "complete_multipartite",
+                               "sizes": [2, 2, 3], "free": 1},
+                     "speeds": "3,2,1"},
+                    {"graph": {"family": "block", "n": 12, "max_block": 4},
+                     "count": 2, "seed": 5, "speeds": "2,1,1,1"},
+                ]
+            )
+        )
+        assert [t.name for t in tasks] == [
+            "complete_multipartite-n8", "block-n12-s5", "block-n12-s6"
+        ]
+        assert tasks[0].payload["graph"]["graph_kind"] == "complete_multipartite"
+        assert tasks[1].payload["graph"]["graph_kind"] == "block"
+
+    def test_graph_entry_with_machines_block(self):
+        (task,) = expand_specs(
+            v3_spec(
+                [{"graph": {"family": "block", "chain": [3, 2]},
+                  "machines": {"kind": "uniform", "profile": "geometric",
+                               "m": 4}}]
+            )
+        )
+        assert task.name == "geometric/block-n4"
+        assert task.payload["kind"] == "uniform_instance"
+        assert len(task.payload["speeds"]) == 4
+
+    def test_graph_entries_gated_to_v3(self):
+        for fmt in (SPEC_FORMAT, SPEC_FORMAT_V2):
+            with pytest.raises(InvalidInstanceError, match="v3"):
+                expand_specs(
+                    {"format": fmt,
+                     "instances": [{"graph": {"family": "block",
+                                              "chain": [2, 2]}}]}
+                )
+
+    def test_unknown_entry_keys_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            expand_specs(
+                v3_spec([{"graph": {"family": "block", "chain": [2]},
+                          "flavor": "spicy"}])
+            )
+
+    def test_v2_features_still_work_in_v3(self):
+        (task,) = expand_specs(
+            v3_spec(
+                [{"family": "crown", "n": 3,
+                  "machines": {"kind": "unrelated", "model": "correlated",
+                               "m": 2}}]
+            )
+        )
+        assert task.name == "correlated/crown-n3"
+        assert task.payload["kind"] == "unrelated_instance"
+
+
+class TestEligibility:
+    def test_random_masks_from_choices(self):
+        (task,) = expand_specs(
+            v3_spec(
+                [{"family": "matching", "n": 3,
+                  "machines": {"kind": "uniform", "profile": "geometric",
+                               "m": 4,
+                               "eligibility": {"choices": 2, "seed": 9}}}]
+            )
+        )
+        eligible = task.payload["eligible"]
+        assert len(eligible) == 6
+        assert all(mask is None or len(mask) == 2 for mask in eligible)
+
+    def test_explicit_masks(self):
+        (task,) = expand_specs(
+            v3_spec(
+                [{"family": "matching", "n": 1,
+                  "machines": {"kind": "uniform", "speeds": "2,1",
+                               "eligibility": [[0], None]}}]
+            )
+        )
+        assert task.payload["eligible"] == [[0], None]
+
+    def test_eligibility_gated_to_v3(self):
+        with pytest.raises(InvalidInstanceError, match="v3"):
+            expand_specs(
+                {"format": SPEC_FORMAT_V2,
+                 "instances": [
+                     {"family": "matching", "n": 2,
+                      "machines": {"kind": "uniform", "speeds": "2,1",
+                                   "eligibility": [[0], None, None, [1]]}}
+                 ]}
+            )
+
+    def test_eligibility_rejected_for_unrelated(self):
+        with pytest.raises(InvalidInstanceError, match="forbidden times"):
+            expand_specs(
+                v3_spec(
+                    [{"family": "matching", "n": 2,
+                      "machines": {"kind": "unrelated", "m": 2,
+                                   "eligibility": {"choices": 1}}}]
+                )
+            )
+
+    def test_malformed_eligibility_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            expand_specs(
+                v3_spec(
+                    [{"family": "matching", "n": 2,
+                      "machines": {"kind": "uniform", "speeds": "2,1",
+                                   "eligibility": "everyone"}}]
+                )
+            )
+
+
+class TestV3EndToEnd:
+    def test_batch_runs_conflict_families(self):
+        tasks = expand_specs(
+            v3_spec(
+                [
+                    {"graph": {"family": "complete_multipartite",
+                               "sizes": [2, 2, 1], "free": 1},
+                     "speeds": "3,2,1"},
+                    {"graph": {"family": "block", "chain": [3, 2]},
+                     "speeds": "2,1,1"},
+                    {"family": "matching", "n": 2,
+                     "machines": {"kind": "uniform", "speeds": "2,1,1",
+                                  "eligibility": {"choices": 2, "seed": 0}}},
+                ]
+            )
+        )
+        results = BatchRunner().run_to_list(tasks)
+        assert len(results) == 3
+        for r in results:
+            assert r.error is None, (r.name, r.error)
+            assert r.feasible, r.name
+        by_name = {r.name: r for r in results}
+        # three classes: only the k-class exact unary algorithm applies
+        assert by_name["complete_multipartite-n6"].chosen == (
+            "complete_multipartite_min_time"
+        )
+        assert by_name["block-n4"].chosen == "conflict_color_split"

@@ -1,0 +1,151 @@
+"""Tests for :mod:`repro.scheduling.conflict_split` — MCS coloring split."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+from repro.graphs import generators
+from repro.graphs.conflict import BlockGraph, CompleteMultipartiteGraph
+from repro.scheduling.brute_force import brute_force_makespan
+from repro.scheduling.conflict_split import (
+    conflict_color_split,
+    greedy_coloring,
+    mcs_order,
+)
+from repro.scheduling.instance import (
+    UniformInstance,
+    UnrelatedInstance,
+    unit_uniform_instance,
+)
+
+F = Fraction
+
+
+def _is_proper(graph, color):
+    return all(color[u] != color[v] for u, v in graph.edges())
+
+
+class TestColoring:
+    def test_mcs_order_is_a_permutation(self):
+        g = BlockGraph.chain([3, 4, 2])
+        assert sorted(mcs_order(g)) == list(range(g.n))
+
+    def test_greedy_coloring_is_proper(self):
+        for g in (
+            BlockGraph.chain([3, 2, 4]),
+            CompleteMultipartiteGraph.from_sizes([3, 2, 1], free=2),
+            generators.crown(4),
+        ):
+            color = greedy_coloring(g)
+            assert _is_proper(g, color)
+
+    def test_optimal_on_block_graphs(self):
+        # chromatic number of a block graph = size of its largest clique
+        g = BlockGraph.chain([3, 2, 5, 4])
+        assert max(greedy_coloring(g)) + 1 == 5
+
+    def test_optimal_on_complete_multipartite(self):
+        # chi(K_{a,b,c}) = number of classes, free vertices take color 0
+        g = CompleteMultipartiteGraph.from_sizes([2, 2, 2], free=3)
+        assert max(greedy_coloring(g)) + 1 == 3
+
+    def test_explicit_order_respected(self):
+        g = generators.matching_graph(2)
+        color = greedy_coloring(g, order=[3, 2, 1, 0])
+        assert _is_proper(g, color)
+
+
+class TestConflictColorSplit:
+    def test_block_uniform_is_feasible(self):
+        g = BlockGraph.chain([3, 2, 3])
+        inst = UniformInstance(g, [4, 1, 2, 5, 3, 1], [F(2), F(1), F(1)])
+        schedule = conflict_color_split(inst)
+        assert schedule.is_feasible()
+
+    def test_infeasibility_is_exact_on_block_graphs(self):
+        # K_4 inside: needs 4 machines, 3 is a proof of infeasibility
+        g = BlockGraph.chain([4, 2])
+        inst = unit_uniform_instance(g, [F(1)] * 3)
+        with pytest.raises(InfeasibleInstanceError, match="4 machines"):
+            conflict_color_split(inst)
+
+    def test_spare_machines_get_used(self):
+        # 2 color classes on 4 machines: rebalancing may offload jobs
+        g = CompleteMultipartiteGraph.from_sizes([3, 3])
+        inst = UniformInstance(g, [9, 1, 1, 9, 1, 1], [F(1)] * 4)
+        schedule = conflict_color_split(inst)
+        assert schedule.is_feasible()
+        assert schedule.makespan <= 11
+
+    def test_matches_optimum_on_small_cases(self):
+        g = CompleteMultipartiteGraph.from_sizes([2, 2])
+        inst = unit_uniform_instance(g, [F(1), F(1)])
+        schedule = conflict_color_split(inst)
+        assert schedule.is_feasible()
+        assert schedule.makespan == brute_force_makespan(inst)
+
+    def test_eligibility_masks_honoured(self):
+        g = CompleteMultipartiteGraph.from_sizes([2, 2])
+        inst = UniformInstance(
+            g,
+            [1, 1, 1, 1],
+            [F(1)] * 3,
+            eligible=[[0], [0, 1], [1, 2], None],
+        )
+        schedule = conflict_color_split(inst)
+        assert schedule.is_feasible()
+        for j, machine in enumerate(schedule.assignment):
+            assert machine in inst.eligible_machines(j)
+
+    def test_eligibility_can_make_instance_infeasible(self):
+        # both jobs conflict and both may only use machine 0
+        g = CompleteMultipartiteGraph.from_sizes([1, 1])
+        inst = UniformInstance(
+            g, [1, 1], [F(1), F(1)], eligible=[[0], [0]]
+        )
+        with pytest.raises(InfeasibleInstanceError, match="no machine"):
+            conflict_color_split(inst)
+
+    def test_unrelated_with_forbidden_pairs(self):
+        g = BlockGraph(4, [[0, 1], [2, 3]])
+        inst = UnrelatedInstance(
+            g,
+            [
+                [2, None, 3, 4],
+                [5, 1, None, 2],
+            ],
+        )
+        schedule = conflict_color_split(inst)
+        assert schedule.is_feasible()
+        assert schedule.assignment[1] == 1  # forbidden on machine 0
+
+    def test_registry_exposure(self):
+        """The engine registers the split as the rank-500 fallback with
+        eligibility support."""
+        from repro.engine import ALGORITHMS
+
+        spec = ALGORITHMS["conflict_color_split"]
+        assert spec.capability.supports_eligibility
+        assert spec.capability.min_machines == 2
+        g = BlockGraph.chain([3, 3])
+        inst = unit_uniform_instance(g, [F(1)] * 3)
+        assert spec.applies(inst)
+        masked = UniformInstance(
+            generators.matching_graph(2),
+            [1, 1, 1, 1],
+            [F(1), F(1)],
+            eligible=[[0], None, None, [1]],
+        )
+        assert spec.applies(masked)
+        ok, reasons = ALGORITHMS["sqrt_approx"].matches(masked)
+        assert not ok
+        assert any("eligibility" in r for r in reasons)
+
+    def test_one_machine_rejected_via_registry(self):
+        from repro.engine import solve
+
+        g = BlockGraph(2, [[0, 1]])
+        inst = unit_uniform_instance(g, [F(1)])
+        with pytest.raises((InfeasibleInstanceError, InvalidInstanceError)):
+            solve(inst, algorithm="conflict_color_split")

@@ -1,5 +1,7 @@
 """Tests for :mod:`repro.solvers` — registry and auto dispatch."""
 
+import sys
+import warnings
 from fractions import Fraction
 
 import pytest
@@ -14,9 +16,25 @@ from repro.scheduling.instance import (
     identical_instance,
     unit_uniform_instance,
 )
-from repro.solvers import ALGORITHMS, available_algorithms, solve
+from repro.engine import ALGORITHMS, available_algorithms, solve
 
 F = Fraction
+
+
+class TestDeprecatedShim:
+    def test_import_emits_deprecation_warning(self):
+        sys.modules.pop("repro.solvers", None)
+        with pytest.warns(DeprecationWarning, match="repro.engine"):
+            import repro.solvers  # noqa: F401
+
+    def test_shim_names_are_the_engine_names(self):
+        sys.modules.pop("repro.solvers", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.solvers as shim
+        assert shim.solve is solve
+        assert shim.ALGORITHMS is ALGORITHMS
+        assert shim._auto_choice is shim.auto_choice
 
 
 class TestRegistry:

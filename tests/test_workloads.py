@@ -8,7 +8,7 @@ from repro.exceptions import InvalidInstanceError
 from repro.graphs import generators
 from repro.machines.profiles import geometric_speeds
 from repro.scheduling.instance import UniformInstance, UnrelatedInstance
-from repro.solvers import solve
+from repro.engine import solve
 from repro.workloads import (
     UNRELATED_MODELS,
     build_machines_instance,
@@ -196,6 +196,88 @@ class TestParsing:
             parse_jobs("mystery", 3, None)
         with pytest.raises(InvalidInstanceError):
             parse_jobs(["x"], 1, None)
+
+
+class TestConflictGraphGenerators:
+    def test_complete_multipartite_from_sizes(self):
+        from repro.workloads import complete_multipartite_graph
+
+        g = complete_multipartite_graph([2, 3], free=1)
+        assert g.n == 6 and len(g.parts()) == 2
+        assert g.free_vertices() == [5]
+
+    def test_random_complete_multipartite_deterministic(self):
+        from repro.workloads import random_complete_multipartite
+
+        a = random_complete_multipartite(10, 3, free=2, seed=4)
+        b = random_complete_multipartite(10, 3, free=2, seed=4)
+        assert a == b
+        # n counts the classified vertices; free vertices are appended
+        assert a.n == 12 and len(a.parts()) == 3
+        assert sum(len(p) for p in a.parts()) == 10
+        assert len(a.free_vertices()) == 2
+        assert a != random_complete_multipartite(10, 3, free=2, seed=5)
+
+    def test_block_chain(self):
+        from repro.workloads import block_chain
+
+        g = block_chain([3, 2, 4])
+        assert g.n == 7 and len(g.blocks()) == 3
+
+    def test_random_block_graph_deterministic_and_valid(self):
+        from repro.graphs.structure import is_block_structure
+        from repro.workloads import random_block_graph
+
+        a = random_block_graph(14, max_block=4, seed=9)
+        assert a.n == 14
+        assert all(len(b) <= 4 for b in a.blocks())
+        assert is_block_structure(a)
+        assert a == random_block_graph(14, max_block=4, seed=9)
+
+    def test_random_eligibility_shapes(self):
+        from repro.workloads import random_eligibility
+
+        masks = random_eligibility(6, 4, choices=2, seed=0)
+        assert len(masks) == 6
+        assert all(len(m) == 2 and m == sorted(m) for m in masks)
+        assert all(0 <= i < 4 for m in masks for i in m)
+        # choices >= m leaves every job unrestricted (None entries)
+        assert random_eligibility(6, 2, choices=2, seed=0) == [None] * 6
+
+    def test_machines_block_eligibility(self):
+        inst = build_machines_instance(
+            GRAPH,
+            {"kind": "uniform", "profile": "geometric", "m": 4,
+             "eligibility": {"choices": 2}},
+            seed=3,
+        )
+        assert isinstance(inst, UniformInstance)
+        assert inst.has_eligibility
+
+    def test_eligibility_rejected_off_uniform(self):
+        with pytest.raises(InvalidInstanceError, match="eligibility"):
+            build_machines_instance(
+                GRAPH,
+                {"kind": "unrelated", "m": 3,
+                 "eligibility": {"choices": 2}},
+                seed=0,
+            )
+        with pytest.raises(InvalidInstanceError, match="eligibility"):
+            build_machines_instance(
+                GRAPH,
+                {"kind": "uniform", "model": "hardness_q", "k": 1,
+                 "eligibility": {"choices": 2}},
+                seed=0,
+            )
+
+    def test_malformed_eligibility_block(self):
+        with pytest.raises(InvalidInstanceError):
+            build_machines_instance(
+                GRAPH,
+                {"kind": "uniform", "speeds": "2,1",
+                 "eligibility": {"flavor": 2}},
+                seed=0,
+            )
 
 
 class TestSuiteIntegration:
