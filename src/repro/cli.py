@@ -351,6 +351,45 @@ def build_parser() -> argparse.ArgumentParser:
     rep = sub.add_parser("report", help="aggregate benchmarks/out into one document")
     rep.add_argument("--out", type=str, default=None, help="write markdown here (default: stdout)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant linter (repro.staticcheck)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rules",
+        type=str,
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the repro/lint/v1 schema)",
+    )
+    lint.add_argument(
+        "--fix-hints",
+        action="store_true",
+        help="append each rule's remedy to text findings",
+    )
+    lint.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also write the report here (e.g. the CI artifact)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     return parser
 
 
@@ -803,6 +842,44 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.staticcheck import get_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in get_rules():
+            info = rule.describe()
+            print(f"{info['id']}  {info['title']}")
+            print(f"    scope:     {', '.join(info['scope'])}")
+            print(f"    rationale: {info['rationale']}")
+            print(f"    anchor:    {info['anchor']}")
+            print(f"    fix:       {info['fix_hint']}")
+        return 0
+
+    try:
+        ids = (
+            tuple(p.strip() for p in args.rules.split(",") if p.strip())
+            if args.rules
+            else None
+        )
+        rules = get_rules(ids)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths, rules=rules)
+    if args.format == "json":
+        rendered = render_json(report)
+    else:
+        rendered = render_text(report, fix_hints=args.fix_hints)
+    print(rendered)
+    if args.out:
+        # the artifact is always the machine-readable schema
+        Path(args.out).write_text(render_json(report) + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -828,6 +905,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_experiment(args.experiment_id)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -126,6 +126,7 @@ def _two_part_groups(caps: list[int], n1: int, n2: int) -> list[int | None] | No
             s -= c
         # else machine i stays in group 1 and s is unchanged (s must have
         # been reachable without machine i: prefix[i] >> s & 1)
+    # repro: allow[RS004] reason=subset-sum reconstruction invariant: prefix masks certified s reachable, so the walk must consume it
     assert s == 0, "subset-sum reconstruction failed"
     return groups
 
@@ -268,6 +269,7 @@ def complete_multipartite_min_time(
     left, right = 0, len(times) - 1
     best_t = times[right]
     best_groups = groups_at(best_t)
+    # repro: allow[RS004] reason=binary-search invariant: times[right] is the proven-feasible upper bound
     assert best_groups is not None, "upper bound must be feasible"
     while left <= right:
         mid = (left + right) // 2
@@ -288,6 +290,7 @@ def complete_multipartite_min_time(
             take = min(caps[i], remaining[t])
             part_counts[i] = take
             remaining[t] -= take
+    # repro: allow[RS004] reason=feasibility test already certified the grouping covers every part's demand
     assert all(r == 0 for r in remaining), "groups failed to cover demands"
     free_counts = [0] * m
     left_free = free_jobs
@@ -296,6 +299,7 @@ def complete_multipartite_min_time(
         take = min(spare, left_free)
         free_counts[i] = take
         left_free -= take
+    # repro: allow[RS004] reason=feasibility test already certified total capacity covers part plus free demand
     assert left_free == 0, "total capacity failed to cover free jobs"
     return MultipartiteSolution(
         best_t, tuple(best_groups), tuple(part_counts), tuple(free_counts)
@@ -336,6 +340,7 @@ def schedule_complete_bipartite_unit(instance: UniformInstance) -> Schedule:
     for i in range(instance.m):
         for _ in range(solution.free_counts[i]):
             assignment[free_pool.pop()] = i
+    # repro: allow[RS004] reason=counts invariant: part_counts/free_counts sum to the pool sizes by construction
     assert not pools[0] and not pools[1] and not free_pool
     return Schedule(instance, assignment)
 
@@ -384,5 +389,6 @@ def schedule_complete_multipartite_unit(instance: UniformInstance) -> Schedule:
     for i in range(instance.m):
         for _ in range(solution.free_counts[i]):
             assignment[free_pool.pop()] = i
+    # repro: allow[RS004] reason=counts invariant: the solution's counts sum to the pool sizes by construction
     assert not any(pools) and not free_pool
     return Schedule(instance, assignment)

@@ -129,5 +129,6 @@ def q2_unit_exact(
             target -= b
         for v in comps[idx]:
             assignment[v] = 0 if coloring[v] == side_to_m1 else 1
+    # repro: allow[RS004] reason=subset-sum DP certified target reachable; reconstruction consuming it exactly is the DP invariant
     assert target == 0, "reconstruction must consume the whole target"
     return Schedule(instance, assignment)

@@ -195,6 +195,7 @@ def sqrt_approx_schedule(
         group_ind = [0] + list(range(k, m))             # M_1, M_{k+1} .. M_m
         # when J'_2 is non-empty, capacities of M_2..M_k strictly exceed
         # w(J'_1) (they cover all of J \ I), so k' < k and the group exists
+        # repro: allow[RS004] reason=Theorem 11 invariant: capacities of M_2..M_k exceed w(J'_1), so k' < k whenever J'_2 is non-empty
         assert not class2 or group_class2, "k' = k with a non-empty J'_2"
         s2 = schedule_job_classes(
             instance,

@@ -30,6 +30,8 @@ from repro.scheduling.instance import SchedulingInstance
 from repro.scheduling.schedule import Schedule
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    import multiprocessing.pool
+
     from repro.runtime.batch import BatchRunner
 
 __all__ = [
@@ -345,7 +347,7 @@ def _race_task(
 def _race_pool(
     instance: SchedulingInstance,
     candidates: list[str],
-    pool,
+    pool: multiprocessing.pool.Pool,
     lower: Fraction | None,
     early_cutoff: bool,
 ) -> tuple[list[PortfolioEntry], str | None, Schedule | None, bool]:

@@ -177,7 +177,11 @@ def graph_from_dict(data: dict[str, Any]) -> ConflictGraph:
 def _eligible_to_lists(
     instance: UniformInstance,
 ) -> list[list[int] | None]:
-    assert instance.eligible is not None
+    if instance.eligible is None:
+        raise InvalidInstanceError(
+            "eligibility serialisation requested for an instance with no "
+            "eligibility restriction"
+        )
     return [
         None if mask is None else sorted(mask) for mask in instance.eligible
     ]

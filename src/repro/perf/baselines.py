@@ -142,7 +142,7 @@ def assign_group_greedy_baseline(
             if best_done is None or done < best_done:
                 best_done = done
                 best_i = i
-        assert best_i is not None
+        assert best_i is not None  # repro: allow[RS004] reason=m >= 1 is validated upstream, so the argmin loop always picks a machine
         loads[best_i] += instance.p[j]
         result[j] = best_i
     return result

@@ -73,7 +73,7 @@ from __future__ import annotations
 
 from collections import Counter
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.exceptions import InvalidInstanceError
 from repro.graphs import generators
@@ -353,8 +353,8 @@ def _entry_certify(entry: dict[str, Any], index: int, *, v2: bool) -> bool:
 def _generated_tasks(
     entry: dict[str, Any],
     index: int,
-    build_graph,
-    base_label,
+    build_graph: Callable[[int], ConflictGraph],
+    base_label: Callable[[ConflictGraph], str],
     *,
     v2: bool,
     v3: bool,
@@ -433,7 +433,7 @@ def _family_tasks(
         )
     n = int(entry.get("n", 20))
 
-    def build(seed):
+    def build(seed: int) -> ConflictGraph:
         return build_family_graph(
             family,
             n,
@@ -466,7 +466,7 @@ def _graph_tasks(
         )
     family = spec.get("family") if isinstance(spec, dict) else None
 
-    def build(seed):
+    def build(seed: int) -> ConflictGraph:
         return build_conflict_graph(spec, seed=seed)
 
     return _generated_tasks(

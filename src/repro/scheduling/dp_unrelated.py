@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence
 
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
 from repro.utils.rationals import as_fraction, floor_fraction, rescale_to_integers
 
 __all__ = ["solve_r2_dp", "DPResult"]
@@ -139,7 +139,13 @@ def solve_r2_dp(
                         choice.append(1)
                         new_layer[bucket] = len(l1s) - 1
         layer = new_layer
-        assert layer, "state space cannot empty out while every job has a machine"
+        if not layer:
+            # the min-time branch keeps l1 + l2 <= ub <= prune, so an
+            # empty layer means the prune bound itself is broken
+            raise InfeasibleInstanceError(
+                f"R2 DP state space emptied at job {j}: no assignment "
+                f"survives the prune bound {prune}"
+            )
 
     best_idx = min(layer.values(), key=lambda s: max(l1s[s], l2s[s]))
 

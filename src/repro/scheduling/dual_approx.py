@@ -131,7 +131,8 @@ def _pack_big_jobs(
             sub = best(rest)
             if best_bins is None or sub + 1 < best_bins:
                 best_bins, best_cfg = sub + 1, cfg
-        assert best_bins is not None  # some config always exists
+        # repro: allow[RS004] reason=maximal_configs yields at least one config for any non-empty state
+        assert best_bins is not None
         memo[state] = (best_bins, best_cfg)
         return best_bins
 
@@ -141,6 +142,7 @@ def _pack_big_jobs(
     state = counts
     while any(state):
         _, cfg = memo[state]
+        # repro: allow[RS004] reason=memo invariant: every non-terminal state stores the config it chose
         assert cfg is not None
         bin_items: list[int] = []
         for i, take in enumerate(cfg):
@@ -232,6 +234,7 @@ def dual_approx_identical(
     )
     upper = unconstrained_lpt(instance).makespan  # feasible: graph is edgeless
     best = dual_feasibility_test(instance, upper, inner)
+    # repro: allow[RS004] reason=solver-bug tripwire kept as assert: PR 3's speed-unit bug surfaced here as a crash, which the auditor must keep classifying as one
     assert best is not None, "the LPT deadline must pass the dual test"
     tests = 1
     lo, hi = lower, upper

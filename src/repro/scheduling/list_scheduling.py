@@ -92,7 +92,10 @@ def assign_group_greedy(
                 better = lhs < rhs or (lhs == rhs and rank < best_rank)
             if better:
                 best_a, best_b, best_rank, best_heap = a, num, rank, heap
-        assert best_heap is not None
+        if best_heap is None:
+            raise InvalidInstanceError(
+                "cannot list-schedule onto zero machine groups"
+            )
         load, rank, i = heapq.heappop(best_heap)
         heapq.heappush(best_heap, (load + p_j, rank, i))
         result[j] = i

@@ -154,6 +154,7 @@ def improve_schedule(
         rounds += 1
 
     improved = Schedule(inst, assignment)
+    # repro: allow[RS004] reason=monotonicity invariant of the accept-only-improving loop; a regression is a solver bug, not bad input
     assert improved.makespan <= initial, "local search must never regress"
     return LocalSearchResult(
         schedule=improved,

@@ -1,0 +1,72 @@
+"""AST-based invariant linter: the codebase's own contracts, machine-checked.
+
+The reproduction's correctness story rests on invariants that ordinary
+linters cannot see: exact-rational arithmetic in the certification path
+(PR 3), honest :class:`~repro.engine.registry.Capability` declarations
+in the engine registry (PR 5), a never-block event loop in the serving
+tier (PR 6), the typed-exception policy for input validation (PR 3),
+and import-guard discipline for optional heavy backends (ROADMAP's
+CP/ILP item).  ``repro lint`` enforces all of them on every PR.
+
+Architecture
+------------
+* :mod:`~repro.staticcheck.model` — :class:`Finding` and
+  :class:`FileContext`, the data every rule consumes and produces;
+* :mod:`~repro.staticcheck.waivers` — ``# repro: allow[RS001]
+  reason=...`` waiver comments, with unused-waiver and missing-reason
+  detection;
+* :mod:`~repro.staticcheck.rules` — the rule registry; each rule is an
+  :class:`~repro.staticcheck.rules.base.Rule` subclass with a scope, a
+  rationale anchored to the PR that established the contract, and a fix
+  hint;
+* :mod:`~repro.staticcheck.driver` — the per-file ``ast`` visitor
+  driver (:func:`lint_paths` / :func:`lint_file` / :func:`lint_source`);
+* :mod:`~repro.staticcheck.reporters` — human-readable and JSON
+  (``repro/lint/v1``) output.
+
+Adding a rule is one subclass plus one :func:`register_rule` call; see
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.driver import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_path_for,
+)
+from repro.staticcheck.model import FileContext, Finding
+from repro.staticcheck.reporters import (
+    LINT_FORMAT,
+    render_json,
+    render_text,
+)
+from repro.staticcheck.rules import (
+    ALL_RULES,
+    get_rules,
+    register_rule,
+)
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.waivers import WAIVER_PATTERN, Waiver, parse_waivers
+
+__all__ = [
+    "ALL_RULES",
+    "LINT_FORMAT",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Waiver",
+    "WAIVER_PATTERN",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_path_for",
+    "parse_waivers",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

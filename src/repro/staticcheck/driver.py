@@ -1,0 +1,241 @@
+"""The per-file lint driver: parse once, run every applicable rule.
+
+Waiver semantics live here, not in rules, so every rule gets identical
+treatment: a finding whose line is covered by a ``# repro:
+allow[<rule>] reason=...`` waiver is kept in the report (marked
+``waived``) but does not fail the run.  The driver also emits
+``RS000`` *lint-integrity* findings for problems with the lint run
+itself: unparsable files, waivers with no ``reason=``, waivers naming
+unknown rule ids, and waivers that suppressed nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.staticcheck.model import FileContext, Finding
+from repro.staticcheck.rules import ALL_RULES, LINT_INTEGRITY, get_rules
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.waivers import Waiver, parse_waivers
+
+__all__ = [
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_path_for",
+]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced.
+
+    ``findings`` keeps waived findings too (auditable waiver usage);
+    :meth:`active` filters to the ones that fail the gate.  Reports
+    merge with ``+=`` so the multi-file driver can accumulate per-file
+    results.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    waivers: list[Waiver] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: tuple[str, ...] = ()
+
+    def active(self) -> list[Finding]:
+        """Findings that fail the run (not waived)."""
+        return [f for f in self.findings if not f.waived]
+
+    def waived(self) -> list[Finding]:
+        """Findings suppressed by a waiver (kept for auditability)."""
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes: zero active findings."""
+        return not self.active()
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge another (per-file) report into this one."""
+        self.findings.extend(other.findings)
+        self.waivers.extend(other.waivers)
+        self.files_scanned += other.files_scanned
+
+
+def module_path_for(path: Path) -> str:
+    """Package-relative posix path for ``path``.
+
+    Walks the ``__init__.py`` chain upward: the module path starts at
+    the outermost ancestor directory that is still a package.  For
+    ``<anything>/src/repro/certify/auditor.py`` that yields
+    ``"repro/certify/auditor.py"`` no matter where the lint run was
+    rooted, which is what rule scopes match against.  Files outside any
+    package (scripts, tests run standalone) fall back to their bare
+    file name.
+    """
+    path = path.resolve()
+    top = path.parent
+    while (top.parent / "__init__.py").is_file():
+        top = top.parent
+    if not (top / "__init__.py").is_file():
+        return path.name
+    return path.relative_to(top.parent).as_posix()
+
+
+def _integrity(
+    path: Path, module: str, line: int, col: int, message: str
+) -> Finding:
+    return Finding(
+        rule_id=LINT_INTEGRITY,
+        path=str(path),
+        module=module,
+        line=line,
+        col=col,
+        message=message,
+    )
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    path: Path | str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint one in-memory source blob as if it lived at ``module``.
+
+    The workhorse behind :func:`lint_file` and the unit-test surface:
+    fixtures pass a synthetic ``module`` (e.g.
+    ``"repro/certify/fake.py"``) to land inside any rule's scope.
+    """
+    rule_objs = list(rules) if rules is not None else get_rules()
+    selected_ids = {r.rule_id for r in rule_objs} | {LINT_INTEGRITY}
+    fpath = Path(path) if path is not None else Path(module)
+    report = LintReport(
+        files_scanned=1, rules=tuple(sorted(selected_ids))
+    )
+
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 0
+        report.findings.append(
+            _integrity(
+                fpath, module, line, col, f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}"
+            )
+        )
+        return report
+
+    ctx = FileContext(path=fpath, module=module, source=source, tree=tree)
+    waivers = parse_waivers(source)
+    report.waivers.extend(waivers)
+
+    # waiver hygiene first: missing reasons and unknown rule ids are
+    # findings in their own right (and such waivers never suppress)
+    known_ids = set(ALL_RULES) | {LINT_INTEGRITY}
+    for waiver in waivers:
+        if waiver.reason is None:
+            report.findings.append(
+                _integrity(
+                    fpath,
+                    module,
+                    waiver.comment_line,
+                    0,
+                    "waiver without reason=...; every waiver must state why "
+                    "the contract does not apply here",
+                )
+            )
+        for rule_id in waiver.rule_ids:
+            if rule_id not in known_ids:
+                report.findings.append(
+                    _integrity(
+                        fpath,
+                        module,
+                        waiver.comment_line,
+                        0,
+                        f"waiver names unknown rule id {rule_id!r}",
+                    )
+                )
+
+    for rule in rule_objs:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            for waiver in waivers:
+                if waiver.covers(finding.rule_id, finding.line):
+                    waiver.used = True
+                    waiver.used_by.append(
+                        f"{finding.rule_id}@{finding.line}"
+                    )
+                    finding = dataclasses.replace(finding, waived=True)
+                    break
+            report.findings.append(finding)
+
+    # unused waivers: only for waivers naming currently-selected rules,
+    # so `--rules RS001` does not flag every RS004 waiver as stale
+    for waiver in waivers:
+        if waiver.used or waiver.reason is None:
+            continue
+        if not any(rid in selected_ids for rid in waiver.rule_ids):
+            continue
+        report.findings.append(
+            _integrity(
+                fpath,
+                module,
+                waiver.comment_line,
+                0,
+                "unused waiver for "
+                f"{','.join(waiver.rule_ids)}: no finding on line "
+                f"{waiver.target_line} — fix succeeded, remove the waiver",
+            )
+        )
+
+    return report
+
+
+def lint_file(
+    path: Path | str, *, rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint one file on disk (module path derived from its package)."""
+    fpath = Path(path)
+    try:
+        source = fpath.read_text(encoding="utf-8")
+    except OSError as exc:
+        report = LintReport(files_scanned=1)
+        report.findings.append(
+            _integrity(fpath, fpath.name, 1, 0, f"unreadable file: {exc}")
+        )
+        return report
+    return lint_source(
+        source, module=module_path_for(fpath), path=fpath, rules=rules
+    )
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint files and/or directory trees (``*.py``, sorted, deduped)."""
+    rule_objs = list(rules) if rules is not None else get_rules()
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in candidates:
+            r = f.resolve()
+            if r not in seen:
+                seen.add(r)
+                files.append(f)
+    report = LintReport(
+        rules=tuple(sorted({r.rule_id for r in rule_objs} | {LINT_INTEGRITY}))
+    )
+    for f in files:
+        report.extend(lint_file(f, rules=rule_objs))
+    return report

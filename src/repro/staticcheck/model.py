@@ -1,0 +1,82 @@
+"""The data model every lint rule consumes and produces."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["FileContext", "Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``module`` is the package-relative posix path
+    (``"repro/certify/auditor.py"``) rule scopes match against —
+    stable across checkouts, unlike ``path``.  ``waived`` findings are
+    kept in reports (so waiver usage is auditable) but do not fail the
+    lint run.
+    """
+
+    rule_id: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable form."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe record (the ``repro/lint/v1`` report streams these)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "waived": self.waived,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, handed to every applicable rule.
+
+    The tree is parsed once per file; rules never re-parse.  ``module``
+    is derived by walking the ``__init__.py`` package chain upward from
+    the file (:func:`repro.staticcheck.driver.module_path_for`), so the
+    same rule scopes work no matter which directory the lint run was
+    rooted at — and tests can inject a synthetic module path to place a
+    fixture snippet inside any rule's scope.
+    """
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def finding(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            rule_id=rule_id,
+            path=str(self.path),
+            module=self.module,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -1,0 +1,78 @@
+"""Render a :class:`~repro.staticcheck.driver.LintReport`.
+
+Two formats: human-readable text (grouped by file, one
+``path:line:col RSxxx message`` row per finding, waived findings shown
+dimly-by-prefix) and the ``repro/lint/v1`` JSON schema consumed by the
+CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.staticcheck.driver import LintReport
+from repro.staticcheck.rules import get_rules
+
+__all__ = ["LINT_FORMAT", "render_json", "render_text"]
+
+#: schema tag in every JSON report, bumped on breaking changes
+LINT_FORMAT = "repro/lint/v1"
+
+
+def render_json(report: LintReport) -> str:
+    """The ``repro/lint/v1`` report: verdict, findings, waiver audit."""
+    payload: dict[str, Any] = {
+        "format": LINT_FORMAT,
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "rules": list(report.rules),
+        "counts": {
+            "active": len(report.active()),
+            "waived": len(report.waived()),
+        },
+        "findings": [f.to_dict() for f in report.findings],
+        "waivers": [w.to_dict() for w in report.waivers],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_text(report: LintReport, *, fix_hints: bool = False) -> str:
+    """Human-readable report; ``fix_hints`` appends each rule's remedy."""
+    lines: list[str] = []
+    active = report.active()
+    hints: dict[str, str] = {}
+    if fix_hints:
+        hints = {r.rule_id: r.fix_hint for r in get_rules()}
+
+    by_path: dict[str, list[Any]] = {}
+    for finding in report.findings:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    for path in sorted(by_path):
+        shown = [
+            f for f in sorted(by_path[path], key=lambda f: (f.line, f.col))
+        ]
+        if not shown:
+            continue
+        lines.append(path)
+        for f in shown:
+            marker = "waived " if f.waived else ""
+            lines.append(
+                f"  {f.line}:{f.col} {marker}{f.rule_id} {f.message}"
+            )
+            hint = hints.get(f.rule_id)
+            if hint and not f.waived:
+                lines.append(f"        hint: {hint}")
+        lines.append("")
+
+    waived = report.waived()
+    summary = (
+        f"{len(active)} finding(s) in {report.files_scanned} file(s)"
+        + (f", {len(waived)} waived" if waived else "")
+    )
+    if report.ok:
+        lines.append(f"lint clean: {summary}")
+    else:
+        lines.append(f"lint FAILED: {summary}")
+    return "\n".join(lines)

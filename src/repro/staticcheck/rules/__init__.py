@@ -1,0 +1,77 @@
+"""Rule registry for :mod:`repro.staticcheck`.
+
+Rules are ordered by id.  Third-party/in-repo extension rules register
+with :func:`register_rule`; the driver asks for instances via
+:func:`get_rules`.
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.rules.async_safety import AsyncSafetyRule
+from repro.staticcheck.rules.base import Rule
+from repro.staticcheck.rules.exact_purity import ExactPurityRule
+from repro.staticcheck.rules.exception_policy import ExceptionPolicyRule
+from repro.staticcheck.rules.import_guards import ImportGuardsRule
+from repro.staticcheck.rules.registry_contract import RegistryContractRule
+
+__all__ = [
+    "ALL_RULES",
+    "LINT_INTEGRITY",
+    "Rule",
+    "get_rules",
+    "register_rule",
+]
+
+#: pseudo rule id carried by findings *about the lint run itself*:
+#: syntax errors, waivers without a reason, waivers naming unknown rule
+#: ids, and waivers that matched nothing.  Not a Rule subclass — it has
+#: no check() — but it is a valid id in ``--rules`` and in waivers.
+LINT_INTEGRITY = "RS000"
+
+#: ordered registry: rule id -> Rule subclass
+ALL_RULES: dict[str, type[Rule]] = {
+    ExactPurityRule.rule_id: ExactPurityRule,
+    RegistryContractRule.rule_id: RegistryContractRule,
+    AsyncSafetyRule.rule_id: AsyncSafetyRule,
+    ExceptionPolicyRule.rule_id: ExceptionPolicyRule,
+    ImportGuardsRule.rule_id: ImportGuardsRule,
+}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Register an extension rule (usable as a class decorator).
+
+    Raises ``ValueError`` on id collisions so an extension cannot
+    silently shadow a production rule.
+    """
+    rule_id = rule_cls.rule_id
+    if not rule_id or rule_id == LINT_INTEGRITY:
+        raise ValueError(f"invalid rule id {rule_id!r}")
+    existing = ALL_RULES.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"rule id {rule_id!r} already registered by {existing.__name__}"
+        )
+    ALL_RULES[rule_id] = rule_cls
+    return rule_cls
+
+
+def get_rules(ids: tuple[str, ...] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all of them when ``ids`` is None).
+
+    ``RS000`` is accepted and skipped — the driver always emits
+    lint-integrity findings.  Unknown ids raise ``ValueError`` listing
+    what *is* available, so a typo in ``--rules`` fails loudly.
+    """
+    if ids is None:
+        return [cls() for cls in ALL_RULES.values()]
+    selected: list[Rule] = []
+    for rule_id in ids:
+        if rule_id == LINT_INTEGRITY:
+            continue
+        cls = ALL_RULES.get(rule_id)
+        if cls is None:
+            known = ", ".join([LINT_INTEGRITY, *ALL_RULES])
+            raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
+        selected.append(cls())
+    return selected

@@ -1,0 +1,66 @@
+"""The ``Rule`` contract every invariant check implements."""
+
+from __future__ import annotations
+
+import abc
+from fnmatch import fnmatch
+from typing import ClassVar, Iterator
+
+from repro.staticcheck.model import FileContext, Finding
+
+__all__ = ["Rule"]
+
+
+class Rule(abc.ABC):
+    """One machine-checked repo contract.
+
+    Subclasses declare *what* they enforce (``rule_id``, ``title``),
+    *why* it is a contract of this codebase (``rationale``, ``anchor``
+    — the PR that established it), *where* it applies (``scope``), and
+    *how to comply* (``fix_hint``, surfaced by ``repro lint
+    --fix-hints``).  :meth:`check` yields findings; it never applies
+    waivers itself — the driver owns waiver semantics so every rule
+    gets them identically.
+
+    ``scope`` entries match against :attr:`FileContext.module` (the
+    package-relative posix path): an entry ending in ``/`` is a prefix
+    (a whole package), anything else is an exact path or an
+    ``fnmatch`` glob.  An empty scope means every linted file.
+    """
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    rationale: ClassVar[str]
+    anchor: ClassVar[str]
+    fix_hint: ClassVar[str]
+    scope: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (scope matching)."""
+        if not self.scope:
+            return True
+        return any(
+            ctx.module.startswith(entry)
+            if entry.endswith("/")
+            else (ctx.module == entry or fnmatch(ctx.module, entry))
+            for entry in self.scope
+        )
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in one parsed file."""
+
+    def finding(self, ctx: FileContext, node: object, message: str) -> Finding:
+        """Shorthand for a finding of this rule at ``node``."""
+        return ctx.finding(self.rule_id, node, message)  # type: ignore[arg-type]
+
+    def describe(self) -> dict[str, object]:
+        """JSON-safe rule-catalog entry (``repro lint --list-rules``)."""
+        return {
+            "id": self.rule_id,
+            "title": self.title,
+            "rationale": self.rationale,
+            "anchor": self.anchor,
+            "fix_hint": self.fix_hint,
+            "scope": list(self.scope) or ["(every linted file)"],
+        }

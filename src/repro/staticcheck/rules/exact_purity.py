@@ -1,0 +1,97 @@
+"""RS001 — exact-rational purity of the certification path."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import FileContext, Finding
+from repro.staticcheck.rules.base import Rule
+
+__all__ = ["ExactPurityRule"]
+
+#: ``math`` functions that are exact on int/Fraction inputs and therefore
+#: allowed even inside the exact-arithmetic scope
+_EXACT_MATH = frozenset(
+    {
+        "gcd",
+        "lcm",
+        "isqrt",
+        "comb",
+        "perm",
+        "factorial",
+        "floor",
+        "ceil",
+        "trunc",
+    }
+)
+
+
+class ExactPurityRule(Rule):
+    """No float arithmetic where the repo promises exact rationals.
+
+    The certification subsystem's entire value is that ratios, bounds,
+    and makespans are *proven* over :class:`fractions.Fraction` — a
+    single float creeping in (PR 3's auditor caught a real solver bug
+    born of exactly such a unit/float mixup) silently converts a proof
+    into an approximation.  Inside the scoped files this rule flags
+    float literals, ``float(...)`` conversions, and float-domain
+    ``math.*`` operations (integer-exact helpers like ``math.gcd`` /
+    ``math.isqrt`` stay allowed).
+    """
+
+    rule_id = "RS001"
+    title = "exact-purity"
+    rationale = (
+        "certificates, bounds, and exact solvers must compute over "
+        "Fraction only; a float in this path turns a proof into an "
+        "approximation"
+    )
+    anchor = "PR 3 (repro.certify; the dual-approx speed-unit bug)"
+    fix_hint = (
+        "compute with fractions.Fraction (utils.rationals.as_fraction); "
+        "if a float is genuinely reporting-only (never compared or "
+        "certified), waive the line with a reason saying so"
+    )
+    scope = (
+        "repro/certify/",
+        "repro/scheduling/bounds.py",
+        "repro/scheduling/brute_force.py",
+        "repro/scheduling/dp_unrelated.py",
+        "repro/core/q2_unit_exact.py",
+        "repro/core/complete_multipartite.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, (float, complex)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float literal {node.value!r} in the exact-arithmetic "
+                    "path (use Fraction)",
+                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "float":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "float(...) conversion in the exact-arithmetic path "
+                        "(keep the Fraction, or waive a reporting-only use)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "math"
+                    and node.attr not in _EXACT_MATH
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"math.{node.attr} is float-domain arithmetic; the "
+                        "certification path must stay exact (squared/rational "
+                        "forms instead of radicals and logs)",
+                    )

@@ -1,0 +1,55 @@
+"""RS004 — typed exceptions, not bare ``assert``, for input validation."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import FileContext, Finding
+from repro.staticcheck.rules.base import Rule
+
+__all__ = ["ExceptionPolicyRule"]
+
+
+class ExceptionPolicyRule(Rule):
+    """Every ``assert`` in ``src/`` must be justified.
+
+    PR 3's policy: malformed *input* raises a typed
+    :mod:`repro.exceptions` error (``InvalidInstanceError`` /
+    ``InfeasibleInstanceError``) that callers, the batch engine, and
+    the auditor can classify — a bare ``assert`` instead vanishes under
+    ``python -O`` and surfaces as an undifferentiated ``crash`` row.
+    The rule cannot mechanically tell validation from invariant, so it
+    flags every ``assert`` statement; genuine *internal* invariants
+    (states unreachable from any input when the implementation is
+    correct) stay as asserts with a waiver naming the invariant —
+    deliberately kept ``AssertionError`` so the certification auditor
+    still classifies a tripped one as ``crash``, never as a declared
+    failure mode.
+    """
+
+    rule_id = "RS004"
+    title = "exception-policy"
+    rationale = (
+        "input validation must raise typed repro.exceptions errors "
+        "(asserts vanish under -O and audit as undiagnosed crashes); "
+        "internal invariants keep asserts, waivered with the invariant"
+    )
+    anchor = "PR 3 (exception policy; unrelated_lower_bound conversion)"
+    fix_hint = (
+        "raise InvalidInstanceError/InfeasibleInstanceError for "
+        "conditions reachable from caller data; for true internal "
+        "invariants add `# repro: allow[RS004] reason=<the invariant>`"
+    )
+    scope = ()  # the policy covers all of src/
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare assert: raise a typed repro.exceptions error for "
+                    "input validation, or waive an internal invariant with "
+                    "a reason",
+                )

@@ -1,0 +1,117 @@
+"""RS005 — optional heavy backends import behind ``try/except ImportError``."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.model import FileContext, Finding
+from repro.staticcheck.rules.base import Rule
+
+__all__ = ["ImportGuardsRule", "OPTIONAL_HEAVY_DEPS"]
+
+#: top-level packages that are *optional* backends: the core package
+#: must import and run without them (``numpy`` is the one hard dep and
+#: is exempt).  ``ortools``/``pulp`` back the ROADMAP's CP/ILP engine
+#: plugin; ``cython``/``mypyc`` back the planned compiled kernels.
+OPTIONAL_HEAVY_DEPS = frozenset({"ortools", "pulp", "cython", "mypyc"})
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    """Whether one ``except`` clause catches ImportError (or a subclass)."""
+    t = handler.type
+    if t is None:
+        return True  # bare except catches everything, ImportError included
+    names: list[ast.expr] = list(t.elts) if isinstance(t, ast.Tuple) else [t]
+    for name in names:
+        ident = name.id if isinstance(name, ast.Name) else (
+            name.attr if isinstance(name, ast.Attribute) else None
+        )
+        if ident in ("ImportError", "ModuleNotFoundError", "Exception"):
+            return True
+    return False
+
+
+class ImportGuardsRule(Rule):
+    """Heavy optional dependencies never break a bare install.
+
+    The ROADMAP's CP/ILP backend (OR-Tools CP-SAT / PuLP, cf. the
+    ``UnrelatedParallelMachines`` snippet) and the planned
+    Cython/mypyc kernels are *optional*: the core must import, solve,
+    and certify on a machine that has only numpy.  Every import of one
+    of these packages must therefore sit inside ``try/except
+    ImportError`` (setting a capability flag such as ``HAS_ORTOOLS``),
+    so absence degrades to an unregistered backend instead of an
+    ``ImportError`` at package import time.
+    """
+
+    rule_id = "RS005"
+    title = "import-guards"
+    rationale = (
+        "optional backends (ortools, pulp, cython kernels) must degrade "
+        "to 'not registered' when absent; an unguarded import breaks "
+        "every bare install at import time"
+    )
+    anchor = "ROADMAP (CP/ILP backend item) / SNIPPETS.md CP-SAT model"
+    fix_hint = (
+        "wrap the import: `try: import ortools...` / "
+        "`except ImportError: HAS_ORTOOLS = False` and gate the "
+        "backend's register_algorithm on the flag"
+    )
+    scope = ()  # a backend module can live anywhere under repro/
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._walk(ctx, ctx.tree, guarded=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, guarded: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Try):
+                inner = guarded or any(
+                    _catches_import_error(h) for h in child.handlers
+                )
+                for stmt in child.body:
+                    yield from self._walk_stmt(ctx, stmt, inner)
+                for other in (
+                    *child.handlers,
+                    *child.orelse,
+                    *child.finalbody,
+                ):
+                    yield from self._walk(ctx, other, guarded)
+            else:
+                yield from self._walk_stmt(ctx, child, guarded)
+
+    def _walk_stmt(
+        self, ctx: FileContext, stmt: ast.AST, guarded: bool
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield from self._check_import(ctx, stmt, guarded)
+        else:
+            yield from self._walk(ctx, stmt, guarded)
+
+    def _check_import(
+        self,
+        ctx: FileContext,
+        node: ast.Import | ast.ImportFrom,
+        guarded: bool,
+    ) -> Iterator[Finding]:
+        if guarded:
+            return
+        if isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0].lower()
+            heavy = [top] if top in OPTIONAL_HEAVY_DEPS else []
+        else:
+            heavy = [
+                alias.name.split(".")[0].lower()
+                for alias in node.names
+                if alias.name.split(".")[0].lower() in OPTIONAL_HEAVY_DEPS
+            ]
+        for name in heavy:
+            yield self.finding(
+                ctx,
+                node,
+                f"optional heavy dependency {name!r} imported without a "
+                "try/except ImportError guard and capability flag (numpy "
+                "is the only hard dependency)",
+            )

@@ -1,0 +1,112 @@
+"""Waiver comments: ``# repro: allow[RS001] reason=...``.
+
+A waiver suppresses findings of the named rule(s) on one line:
+
+* trailing form — the waiver sits on the offending line itself::
+
+      assert cfg is not None  # repro: allow[RS004] reason=DP memo invariant
+
+* own-line form — a comment-only line waives the **next** line (for
+  statements too long to carry a trailing comment)::
+
+      # repro: allow[RS001] reason=reporting-only ratio, never certified
+      ratio = float(makespan / optimal)
+
+Several rules may share one waiver (``allow[RS001,RS004]``).  The
+``reason=`` clause is mandatory: a waiver without one never suppresses
+anything and is itself reported (the lint gate requires every waiver to
+carry a reason).  Waivers that suppress nothing are reported as unused,
+so stale waivers cannot silently accumulate after the underlying code
+is fixed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["WAIVER_PATTERN", "Waiver", "parse_waivers"]
+
+#: the waiver comment grammar; ``reason=`` runs to the end of the comment
+WAIVER_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s+reason=(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment.
+
+    ``target_line`` is the line whose findings it suppresses (the
+    comment's own line for trailing waivers, the following line for
+    own-line waivers).  ``used`` flips when a finding is suppressed;
+    unused waivers are reported by the driver.
+    """
+
+    rule_ids: tuple[str, ...]
+    reason: str | None
+    comment_line: int
+    target_line: int
+    used: bool = False
+    used_by: list[str] = field(default_factory=list)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """Whether this waiver suppresses ``rule_id`` findings at ``line``."""
+        return (
+            self.reason is not None
+            and rule_id in self.rule_ids
+            and line == self.target_line
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe record for the lint report."""
+        return {
+            "rules": list(self.rule_ids),
+            "reason": self.reason,
+            "comment_line": self.comment_line,
+            "target_line": self.target_line,
+            "used": self.used,
+            "used_by": list(self.used_by),
+        }
+
+
+def parse_waivers(source: str) -> list[Waiver]:
+    """Extract every waiver comment from ``source``.
+
+    Tokenises rather than regex-scanning raw lines so a ``# repro:``
+    sequence inside a string literal is never mistaken for a waiver.
+    Sources that fail to tokenise yield no waivers — the driver reports
+    the parse failure separately, and an unparsable file has no findings
+    to waive anyway.
+    """
+    waivers: list[Waiver] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = WAIVER_PATTERN.search(tok.string)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        reason = match.group("reason")
+        line = tok.start[0]
+        # own-line comments (nothing but whitespace before the hash)
+        # waive the next line; trailing comments waive their own line
+        own_line = tok.line[: tok.start[1]].strip() == ""
+        waivers.append(
+            Waiver(
+                rule_ids=ids,
+                reason=reason,
+                comment_line=line,
+                target_line=line + 1 if own_line else line,
+            )
+        )
+    return waivers

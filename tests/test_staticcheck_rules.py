@@ -1,0 +1,319 @@
+"""Per-rule fixtures for :mod:`repro.staticcheck`.
+
+Every production rule gets at least one passing and one failing
+snippet, linted via :func:`lint_source` with a synthetic module path so
+the fixture lands inside (or outside) the rule's scope.  Waiver
+semantics — honoured, missing-reason, unknown-id, unused — are covered
+at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.staticcheck import get_rules, lint_source
+
+IN_EXACT_SCOPE = "repro/certify/fixture.py"
+OUT_OF_SCOPE = "repro/analysis/fixture.py"
+
+
+def rule_ids(report, *, waived=False):
+    return sorted(
+        {f.rule_id for f in report.findings if f.waived == waived}
+    )
+
+
+def lint(source, module=OUT_OF_SCOPE, rules=None):
+    selected = get_rules(tuple(rules)) if rules is not None else None
+    return lint_source(source, module=module, rules=selected)
+
+
+# ---------------------------------------------------------------- RS001
+
+
+class TestExactPurity:
+    def test_fraction_arithmetic_passes(self):
+        src = (
+            "from fractions import Fraction\n"
+            "import math\n"
+            "def bound(a, b):\n"
+            "    g = math.gcd(a, b)\n"
+            "    return Fraction(a, b) + Fraction(g)\n"
+        )
+        assert lint(src, module=IN_EXACT_SCOPE).ok
+
+    def test_float_literal_fails(self):
+        report = lint("RATIO = 1.5\n", module=IN_EXACT_SCOPE)
+        assert rule_ids(report) == ["RS001"]
+
+    def test_float_conversion_fails(self):
+        report = lint(
+            "def f(x):\n    return float(x)\n", module=IN_EXACT_SCOPE
+        )
+        assert rule_ids(report) == ["RS001"]
+
+    def test_float_domain_math_fails(self):
+        report = lint(
+            "import math\n"
+            "def f(x):\n"
+            "    return math.sqrt(x)\n",
+            module=IN_EXACT_SCOPE,
+        )
+        assert rule_ids(report) == ["RS001"]
+
+    def test_out_of_scope_floats_allowed(self):
+        report = lint("RATIO = 1.5\n", module=OUT_OF_SCOPE)
+        assert "RS001" not in rule_ids(report)
+
+
+# ---------------------------------------------------------------- RS002
+
+
+class TestRegistryContract:
+    GOOD = (
+        "spec = AlgorithmSpec(\n"
+        "    name='alg2',\n"
+        "    capability=Capability(machine_kind='uniform'),\n"
+        "    auto_rank=10,\n"
+        ")\n"
+        "other = AlgorithmSpec(\n"
+        "    name='alg5',\n"
+        "    capability=Capability(machine_kind='unrelated'),\n"
+        "    auto_rank=20,\n"
+        ")\n"
+    )
+
+    def test_full_capability_unique_ranks_pass(self):
+        assert lint(self.GOOD).ok
+
+    def test_missing_capability_fails(self):
+        report = lint("spec = AlgorithmSpec(name='alg2', auto_rank=10)\n")
+        assert rule_ids(report) == ["RS002"]
+
+    def test_capability_none_fails(self):
+        report = lint(
+            "spec = AlgorithmSpec(name='alg2', capability=None, auto_rank=1)\n"
+        )
+        assert rule_ids(report) == ["RS002"]
+
+    def test_duplicate_auto_rank_fails(self):
+        src = self.GOOD.replace("auto_rank=20", "auto_rank=10")
+        report = lint(src)
+        assert rule_ids(report) == ["RS002"]
+        (finding,) = report.active()
+        assert "duplicate auto_rank 10" in finding.message
+
+    def test_non_literal_rank_fails(self):
+        report = lint(
+            "spec = AlgorithmSpec(\n"
+            "    name='x', capability=Capability(), auto_rank=compute()\n"
+            ")\n"
+        )
+        assert rule_ids(report) == ["RS002"]
+
+
+# ---------------------------------------------------------------- RS003
+
+
+class TestAsyncSafety:
+    def test_asyncio_sleep_passes(self):
+        src = (
+            "import asyncio\n"
+            "async def tick():\n"
+            "    await asyncio.sleep(0.1)\n"
+        )
+        assert lint(src).ok
+
+    def test_time_sleep_fails(self):
+        src = (
+            "import time\n"
+            "async def tick():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert rule_ids(lint(src)) == ["RS003"]
+
+    def test_from_import_sleep_alias_fails(self):
+        src = (
+            "from time import sleep as snooze\n"
+            "async def tick():\n"
+            "    snooze(1)\n"
+        )
+        assert rule_ids(lint(src)) == ["RS003"]
+
+    def test_open_in_coroutine_fails(self):
+        src = (
+            "async def load(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert rule_ids(lint(src)) == ["RS003"]
+
+    def test_runner_run_fails(self):
+        src = (
+            "async def solve_all(runner, tasks):\n"
+            "    return runner.run(tasks)\n"
+        )
+        assert rule_ids(lint(src)) == ["RS003"]
+
+    def test_nested_sync_def_exempt(self):
+        # executor targets / call_soon_threadsafe callbacks run off-loop
+        src = (
+            "import time\n"
+            "async def dispatch(loop):\n"
+            "    def worker():\n"
+            "        time.sleep(1)\n"
+            "        with open('x') as fh:\n"
+            "            return fh.read()\n"
+            "    return await loop.run_in_executor(None, worker)\n"
+        )
+        assert lint(src).ok
+
+    def test_sync_code_not_flagged(self):
+        src = "import time\ndef tick():\n    time.sleep(0.1)\n"
+        assert lint(src).ok
+
+
+# ---------------------------------------------------------------- RS004
+
+
+class TestExceptionPolicy:
+    def test_typed_raise_passes(self):
+        src = (
+            "from repro.exceptions import InvalidInstanceError\n"
+            "def check(n):\n"
+            "    if n < 0:\n"
+            "        raise InvalidInstanceError('negative n')\n"
+        )
+        assert lint(src).ok
+
+    def test_bare_assert_fails(self):
+        report = lint("def check(n):\n    assert n >= 0\n")
+        assert rule_ids(report) == ["RS004"]
+
+    def test_waivered_invariant_passes(self):
+        src = (
+            "def reconstruct(state):\n"
+            "    assert state == 0  "
+            "# repro: allow[RS004] reason=DP invariant\n"
+        )
+        report = lint(src)
+        assert report.ok
+        assert rule_ids(report, waived=True) == ["RS004"]
+
+
+# ---------------------------------------------------------------- RS005
+
+
+class TestImportGuards:
+    def test_guarded_import_passes(self):
+        src = (
+            "try:\n"
+            "    from ortools.sat.python import cp_model\n"
+            "    HAS_ORTOOLS = True\n"
+            "except ImportError:\n"
+            "    HAS_ORTOOLS = False\n"
+        )
+        assert lint(src).ok
+
+    def test_unguarded_import_fails(self):
+        report = lint("import ortools\n")
+        assert rule_ids(report) == ["RS005"]
+
+    def test_unguarded_from_import_fails(self):
+        report = lint("from pulp import LpProblem\n")
+        assert rule_ids(report) == ["RS005"]
+
+    def test_guard_must_catch_import_error(self):
+        src = (
+            "try:\n"
+            "    import ortools\n"
+            "except ValueError:\n"
+            "    pass\n"
+        )
+        assert rule_ids(lint(src)) == ["RS005"]
+
+    def test_function_level_guarded_import_passes(self):
+        src = (
+            "def backend():\n"
+            "    try:\n"
+            "        import pulp\n"
+            "    except ModuleNotFoundError:\n"
+            "        return None\n"
+            "    return pulp\n"
+        )
+        assert lint(src).ok
+
+    def test_numpy_is_exempt(self):
+        assert lint("import numpy as np\n").ok
+
+
+# ------------------------------------------------------------ waivers
+
+
+class TestWaiverSemantics:
+    def test_own_line_waiver_covers_next_line(self):
+        src = (
+            "# repro: allow[RS001] reason=reporting-only\n"
+            "RATIO = 1.5\n"
+        )
+        report = lint(src, module=IN_EXACT_SCOPE)
+        assert report.ok
+        assert rule_ids(report, waived=True) == ["RS001"]
+
+    def test_waiver_without_reason_does_not_suppress(self):
+        src = "RATIO = 1.5  # repro: allow[RS001]\n"
+        report = lint(src, module=IN_EXACT_SCOPE)
+        assert not report.ok
+        ids = rule_ids(report)
+        assert "RS001" in ids  # still fails
+        assert "RS000" in ids  # and the waiver itself is reported
+
+    def test_unused_waiver_reported(self):
+        src = (
+            "# repro: allow[RS001] reason=left behind after a fix\n"
+            "RATIO = 2\n"
+        )
+        report = lint(src, module=IN_EXACT_SCOPE)
+        assert not report.ok
+        (finding,) = report.active()
+        assert finding.rule_id == "RS000"
+        assert "unused waiver" in finding.message
+
+    def test_unused_waiver_not_reported_for_unselected_rules(self):
+        src = (
+            "# repro: allow[RS004] reason=invariant kept\n"
+            "x = 1\n"
+        )
+        report = lint(src, module=IN_EXACT_SCOPE, rules=("RS001",))
+        assert report.ok
+
+    def test_unknown_rule_id_in_waiver_reported(self):
+        src = "x = 1  # repro: allow[RS999] reason=typo\n"
+        report = lint(src)
+        (finding,) = report.active()
+        assert finding.rule_id == "RS000"
+        assert "RS999" in finding.message
+
+    def test_multi_rule_waiver(self):
+        src = (
+            "# repro: allow[RS001,RS004] reason=fixture exercising both\n"
+            "assert float(1) > 0.5\n"
+        )
+        report = lint(src, module=IN_EXACT_SCOPE)
+        assert report.ok
+        assert rule_ids(report, waived=True) == ["RS001", "RS004"]
+
+    def test_waiver_inside_string_ignored(self):
+        src = 's = "# repro: allow[RS001] reason=not a comment"\nRATIO = 1.5\n'
+        report = lint(src, module=IN_EXACT_SCOPE)
+        assert not report.ok
+
+    def test_syntax_error_reported_as_rs000(self):
+        report = lint("def broken(:\n")
+        (finding,) = report.active()
+        assert finding.rule_id == "RS000"
+        assert "does not parse" in finding.message
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ValueError, match="RS999"):
+            get_rules(("RS999",))
