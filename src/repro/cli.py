@@ -344,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every BENCH_*.json (and BENCH_trajectory.jsonl) in "
         "DIR against the schema and exit; non-zero on any violation",
     )
+    perf.add_argument(
+        "--allow-dirty", action="store_true",
+        help="with --check: accept records measured on a dirty working "
+        "tree (git_rev ending in -dirty); rejected by default because "
+        "such numbers are not reproducible from any commit",
+    )
 
     exp = sub.add_parser("experiment", help="re-run one experiment (E1, E2, ...)")
     exp.add_argument("experiment_id", type=str, help="experiment id, e.g. E3")
@@ -712,12 +718,23 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
-def _cmd_perf_check(directory: str) -> int:
+def _cmd_perf_check(directory: str, allow_dirty: bool = False) -> int:
     from pathlib import Path
 
     from repro.exceptions import BenchSchemaError
     from repro.io import load_json
     from repro.perf import validate_bench_record
+
+    def dirty_rev(data: object) -> str | None:
+        # records measured on a modified tree carry a "-dirty" git_rev
+        # suffix (see repro.perf.record.git_revision) and are not
+        # reproducible from any commit — reject unless --allow-dirty
+        if allow_dirty or not isinstance(data, dict):
+            return None
+        rev = data.get("git_rev")
+        if isinstance(rev, str) and rev.endswith("-dirty"):
+            return rev
+        return None
 
     root = Path(directory)
     checked = 0
@@ -725,9 +742,16 @@ def _cmd_perf_check(directory: str) -> int:
     for path in sorted(root.glob("BENCH_*.json")):
         checked += 1
         try:
-            validate_bench_record(load_json(path))
+            data = load_json(path)
+            validate_bench_record(data)
         except (BenchSchemaError, ValueError) as exc:
             failures.append(f"{path.name}: {exc}")
+            continue
+        if (rev := dirty_rev(data)) is not None:
+            failures.append(
+                f"{path.name}: dirty-tree git_rev {rev!r} "
+                "(re-measure on a clean tree or pass --allow-dirty)"
+            )
     trajectory = root / "BENCH_trajectory.jsonl"
     if trajectory.exists():
         # parse line-by-line: one truncated append (a killed CI run) must
@@ -741,9 +765,16 @@ def _cmd_perf_check(directory: str) -> int:
                 continue
             checked += 1
             try:
-                validate_bench_record(json.loads(line))
+                data = json.loads(line)
+                validate_bench_record(data)
             except (BenchSchemaError, json.JSONDecodeError) as exc:
                 failures.append(f"{trajectory.name}:{i}: {exc}")
+                continue
+            if (rev := dirty_rev(data)) is not None:
+                failures.append(
+                    f"{trajectory.name}:{i}: dirty-tree git_rev {rev!r} "
+                    "(re-measure on a clean tree or pass --allow-dirty)"
+                )
     for failure in failures:
         print(f"SCHEMA VIOLATION {failure}", file=sys.stderr)
     print(
@@ -763,7 +794,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.scenarios import SCENARIO_NAMES, run_scenario
 
     if args.check is not None:
-        return _cmd_perf_check(args.check)
+        return _cmd_perf_check(args.check, allow_dirty=args.allow_dirty)
     targets = SCENARIO_NAMES if args.target == "all" else (args.target,)
     out_dir = (
         Path(args.out_dir)

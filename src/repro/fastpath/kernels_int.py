@@ -1,0 +1,324 @@
+"""Pure-Python integer kernels for the three hot loops.
+
+Each kernel is an independent re-implementation of a public hot path on
+machine integers (arbitrary-precision Python ints — exactness is never
+traded away).  They are *not* refactors of the reference code: the
+differential suite (``tests/differential/``) runs reference and kernel
+on the same instances and asserts byte-identical results, so the two
+implementations deliberately share no code.
+
+Tie-break policy (pinned; the differential tests assert it):
+
+* ``hopcroft_karp``: the mate array is a deterministic function of the
+  adjacency iteration order — greedy seeding scans left vertices in
+  index order, BFS levels are order-independent (a vertex's level is
+  its true distance), and the augmenting DFS consumes each adjacency
+  list left to right.
+* ``assign_group_greedy``: jobs in LPT order (ties by job id); each job
+  goes to the machine minimising the exact completion time, ties to the
+  earliest position in the ``machines`` argument.
+* ``min_cover_time`` / ``min_cover_time_with_loads``: single-valued
+  (the least feasible jump point); no ties exist.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from fractions import Fraction
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exceptions import InvalidInstanceError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.graphs.bipartite import BipartiteGraph
+
+__all__ = [
+    "hopcroft_karp_int",
+    "assign_group_greedy_int",
+    "lpt_order_int",
+    "min_cover_time_int",
+    "min_cover_time_with_loads_int",
+]
+
+
+# --------------------------------------------------------------------- #
+# Hopcroft–Karp on int levels
+# --------------------------------------------------------------------- #
+
+
+def hopcroft_karp_int(graph: "BipartiteGraph") -> list[int]:
+    """Maximum-matching mate array, all-integer BFS levels.
+
+    Same structure as :func:`repro.graphs.matching.hopcroft_karp` but
+    with an integer ``UNREACHED`` sentinel instead of ``float("inf")``
+    — level comparisons and resets stay in int space, which is what the
+    adjacency-walk inner loops spend their time on.
+    """
+    n = graph.n
+    unreached = n + 1  # larger than any real BFS level
+    left = graph.vertices_on_side(0)
+    adj: list[list[int]] = [[] for _ in range(n)]
+    mate = [-1] * n
+    for u in left:
+        nbrs = list(graph.neighbors(u))
+        adj[u] = nbrs
+        for v in nbrs:
+            if mate[v] == -1:
+                mate[u] = v
+                mate[v] = u
+                break
+    dist = [unreached] * n
+
+    path_u: list[int] = []
+    path_v: list[int] = []
+    iters: list = []
+    while True:
+        q: deque[int] = deque()
+        for u in left:
+            if mate[u] == -1:
+                dist[u] = 0
+                q.append(u)
+            else:
+                dist[u] = unreached
+        found = False
+        while q:
+            u = q.popleft()
+            du1 = dist[u] + 1
+            for v in adj[u]:
+                w = mate[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == unreached:
+                    dist[w] = du1
+                    q.append(w)
+        if not found:
+            return mate
+        for root in left:
+            if mate[root] != -1:
+                continue
+            path_u.append(root)
+            iters.append(iter(adj[root]))
+            while path_u:
+                u = path_u[-1]
+                du1 = dist[u] + 1
+                for v in iters[-1]:
+                    w = mate[v]
+                    if w == -1:
+                        path_v.append(v)
+                        for k in range(len(path_u)):
+                            pu = path_u[k]
+                            pv = path_v[k]
+                            mate[pu] = pv
+                            mate[pv] = pu
+                        path_u.clear()
+                        path_v.clear()
+                        iters.clear()
+                        break
+                    if dist[w] == du1:
+                        path_v.append(v)
+                        path_u.append(w)
+                        iters.append(iter(adj[w]))
+                        break
+                else:
+                    dist[u] = unreached
+                    path_u.pop()
+                    iters.pop()
+                    if path_v:
+                        path_v.pop()
+
+
+# --------------------------------------------------------------------- #
+# greedy list scheduling on scaled integer speeds
+# --------------------------------------------------------------------- #
+
+
+def lpt_order_int(p: Sequence[int], jobs: Sequence[int]) -> list[int]:
+    """Jobs by non-increasing size, ties by id (the pinned LPT order)."""
+    return sorted(jobs, key=lambda j: (-p[j], j))
+
+
+def assign_group_greedy_int(
+    p: Sequence[int],
+    speeds_scaled: Sequence[int],
+    jobs: Sequence[int],
+    machines: Sequence[int],
+) -> dict[int, int]:
+    """Greedy list scheduling over an :class:`~repro.fastpath.normalize.IntView`.
+
+    ``speeds_scaled`` are the normalized integer speeds; the common
+    ``scale`` cancels out of every completion-time comparison, so it is
+    not even a parameter.  Machines are grouped by (integer) speed with
+    one load-min-heap per group — two rational speeds are equal iff
+    their scaled integers are, so the grouping matches the reference's
+    ``Fraction``-keyed grouping exactly, including insertion order.
+    """
+    if not machines and jobs:
+        raise InvalidInstanceError("cannot schedule jobs on an empty machine group")
+    by_speed: dict[int, list[tuple[int, int, int]]] = {}
+    for rank, i in enumerate(machines):
+        by_speed.setdefault(speeds_scaled[i], []).append((0, rank, i))
+    result: dict[int, int] = {}
+    if len(by_speed) == 1:
+        # single speed: the best machine is always the heap top, no
+        # cross-group comparison at all
+        ((_, heap),) = by_speed.items()
+        heapq.heapify(heap)
+        for j in lpt_order_int(p, jobs):
+            load, rank, i = heap[0]
+            heapq.heapreplace(heap, (load + p[j], rank, i))
+            result[j] = i
+        return result
+    groups: list[tuple[int, list[tuple[int, int, int]]]] = []
+    for speed, heap in by_speed.items():
+        heapq.heapify(heap)
+        groups.append((speed, heap))
+    for j in lpt_order_int(p, jobs):
+        p_j = p[j]
+        # completion of a group = (load + p_j) / S; compare the running
+        # best a/S_best against a'/S' by integer cross-multiplication
+        best_heap: list[tuple[int, int, int]] | None = None
+        best_a = best_s = 0
+        best_rank = -1
+        for s, heap in groups:
+            load, rank, _ = heap[0]
+            a = load + p_j
+            if best_heap is None:
+                better = True
+            else:
+                lhs = a * best_s
+                rhs = best_a * s
+                better = lhs < rhs or (lhs == rhs and rank < best_rank)
+            if better:
+                best_a, best_s, best_rank, best_heap = a, s, rank, heap
+        if best_heap is None:
+            raise InvalidInstanceError("cannot list-schedule onto zero machine groups")
+        load, rank, i = heapq.heappop(best_heap)
+        heapq.heappush(best_heap, (load + p_j, rank, i))
+        result[j] = i
+    return result
+
+
+# --------------------------------------------------------------------- #
+# capacity cover times on scaled integer speeds
+# --------------------------------------------------------------------- #
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -((-a) // b)
+
+
+def min_cover_time_int(
+    speeds_scaled: Sequence[int], scale: int, demand: int
+) -> Fraction:
+    """Least ``T >= 0`` with ``sum_i floor(s_i * T) >= demand``, int-only.
+
+    With ``s_i = S_i / scale`` the count function jumps only at times
+    ``c * scale / S_i``; at such a time the capacity is
+    ``sum_k (S_k * c) // S_i`` — pure integer arithmetic.  The answer
+    lives in ``[demand / sum(s), (demand + m) / sum(s)]`` exactly as in
+    the rational reference; the returned :class:`Fraction` is equal
+    (hence canonically identical) to the reference's.
+    """
+    if demand <= 0:
+        return Fraction(0)
+    if not speeds_scaled:
+        raise InvalidInstanceError("positive demand but no machines")
+    m = len(speeds_scaled)
+    total = sum(speeds_scaled)  # sum(s_i) * scale
+    # window in "c per machine" space: s_i * lo = S_i * demand / total
+    hi_num, hi_den = (demand + m) * scale, total  # hi as a fraction
+    candidates: set[Fraction] = {Fraction(hi_num, hi_den)}
+    for s in speeds_scaled:
+        c_lo = max(1, _ceil_div(s * demand, total))
+        c_hi = (s * (demand + m)) // total
+        for c in range(c_lo, c_hi + 1):
+            candidates.add(Fraction(c * scale, s))
+    lo = Fraction(demand * scale, total)
+    hi = Fraction(hi_num, hi_den)
+    feasible = sorted(t for t in candidates if lo <= t <= hi)
+    left, right = 0, len(feasible) - 1
+    answer = feasible[right]
+    while left <= right:
+        mid = (left + right) // 2
+        t = feasible[mid]
+        num, den = t.numerator, t.denominator
+        d = den * scale
+        covered = 0
+        for s in speeds_scaled:
+            covered += (s * num) // d
+            if covered >= demand:
+                break
+        if covered >= demand:
+            answer = t
+            right = mid - 1
+        else:
+            left = mid + 1
+    return answer
+
+
+def min_cover_time_with_loads_int(
+    speeds_scaled: Sequence[int],
+    scale: int,
+    loads: Sequence[int],
+    demand: int,
+) -> Fraction:
+    """Pre-loaded variant of :func:`min_cover_time_int`, int-only.
+
+    The answer is the least ``T`` with ``T >= max_i loads[i] / s_i``
+    and ``sum_i max(0, floor(s_i * T) - loads[i]) >= demand``; all
+    comparisons run on the scaled integers.
+    """
+    if len(speeds_scaled) != len(loads):
+        raise InvalidInstanceError(
+            f"{len(loads)} loads for {len(speeds_scaled)} machines"
+        )
+    if not speeds_scaled:
+        if demand > 0:
+            raise InvalidInstanceError("positive demand but no machines")
+        return Fraction(0)
+    # frontier = max_i loads[i] * scale / S_i by integer cross-mult
+    f_num, f_den = 0, 1
+    for load, s in zip(loads, speeds_scaled):
+        if load * f_den > f_num * s:  # load/s > f_num/(f_den*scale) scaled out
+            f_num, f_den = load, s
+    frontier = Fraction(f_num * scale, f_den)
+    if demand <= 0:
+        return frontier
+    m = len(speeds_scaled)
+    total = sum(speeds_scaled)
+    total_units = sum(loads) + demand
+    lo = max(frontier, Fraction(total_units * scale, total))
+    hi = max(frontier, Fraction((total_units + m) * scale, total))
+    candidates: set[Fraction] = {hi}
+    for s in speeds_scaled:
+        # c_lo/c_hi bracket s * lo .. s * hi; lo/hi already include the
+        # frontier so the same window arithmetic as the reference holds
+        c_lo = max(1, _ceil_div(s * lo.numerator, lo.denominator * scale))
+        c_hi = (s * hi.numerator) // (hi.denominator * scale)
+        for c in range(c_lo, c_hi + 1):
+            candidates.add(Fraction(c * scale, s))
+    feasible = sorted(t for t in candidates if lo <= t <= hi)
+
+    def _covers(t: Fraction) -> bool:
+        num, den = t.numerator, t.denominator
+        d = den * scale
+        residual = 0
+        for s, load in zip(speeds_scaled, loads):
+            extra = (s * num) // d - load
+            if extra > 0:
+                residual += extra
+                if residual >= demand:
+                    return True
+        return False
+
+    left, right = 0, len(feasible) - 1
+    answer = feasible[right]
+    while left <= right:
+        mid = (left + right) // 2
+        if _covers(feasible[mid]):
+            answer = feasible[mid]
+            right = mid - 1
+        else:
+            left = mid + 1
+    return answer

@@ -1,0 +1,126 @@
+"""Per-instance integer normalization: the :class:`IntView` certificate.
+
+Every fast-path kernel in :mod:`repro.fastpath` runs on machine
+integers, not :class:`~fractions.Fraction` objects.  The bridge is a
+one-time *normalization*: multiply all machine speeds by the least
+common multiple ``scale`` of their denominators, so that
+
+* ``speeds_scaled[i] = speeds[i] * scale`` is an exact integer,
+* a machine carrying integer load ``L`` completes at the exact rational
+  time ``L * scale / speeds_scaled[i]``, and
+* comparing completion times across machines reduces to integer
+  cross-multiplication — ``scale`` cancels, so the kernels never touch
+  it inside their hot loops.
+
+The :class:`IntView` carries the **scaling certificate**: the scale and
+the scaled integers, with :meth:`IntView.verify` re-deriving the
+original rationals and checking minimality of the scale.  The
+differential suite (``tests/differential/``) property-tests this
+round-trip for random rational speed vectors, including big-int scales
+beyond ``2**63`` — Python integers are arbitrary precision, so nothing
+silently truncates (the numpy kernels must *check* their operands fit
+``int64`` and fall back; see :mod:`repro.fastpath.kernels_numpy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import TYPE_CHECKING, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rationals import lcm_of_denominators
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.scheduling.instance import UniformInstance
+
+__all__ = ["IntView", "int_view", "scaled_speeds"]
+
+
+@dataclass(frozen=True)
+class IntView:
+    """Integer view of a uniform instance's numeric data.
+
+    Parameters
+    ----------
+    speeds_scaled:
+        ``speeds[i] * scale`` for every machine, exact integers.
+    scale:
+        The least common multiple of the speed denominators (the
+        smallest positive integer making every scaled speed integral).
+    speeds:
+        The original exact rational speeds (the certificate's other
+        half: ``Fraction(speeds_scaled[i], scale) == speeds[i]``).
+    p:
+        Integer job sizes (already integral in the paper's model;
+        carried so kernels take one object, empty for speed-only views).
+    """
+
+    speeds_scaled: tuple[int, ...]
+    scale: int
+    speeds: tuple[Fraction, ...]
+    p: tuple[int, ...] = ()
+
+    def verify(self) -> bool:
+        """Check the scaling certificate.
+
+        Returns ``True`` iff every scaled speed divides back exactly to
+        the original rational *and* ``scale`` is minimal (the true LCM
+        of the denominators) — a coarser common multiple would still
+        round-trip, so minimality is asserted separately.
+        """
+        if self.scale <= 0 or len(self.speeds_scaled) != len(self.speeds):
+            return False
+        for scaled, speed in zip(self.speeds_scaled, self.speeds):
+            if Fraction(scaled, self.scale) != speed:
+                return False
+        return self.scale == lcm_of_denominators(self.speeds)
+
+    def completion(self, machine: int, load: int) -> Fraction:
+        """Exact completion time of ``machine`` carrying ``load`` units."""
+        return Fraction(load * self.scale, self.speeds_scaled[machine])
+
+
+@lru_cache(maxsize=256)
+def scaled_speeds(speeds: tuple[Fraction, ...]) -> tuple[tuple[int, ...], int]:
+    """``(speeds_scaled, scale)`` for a speed tuple, certificate-checked.
+
+    Cached: the exact oracle calls the capacity bound with the same
+    speed tuple at every search node, and the LCM/verification pass
+    must not be paid per node.  The cache key is the (hashable,
+    immutable) speed tuple itself.
+    """
+    scale = lcm_of_denominators(speeds)
+    scaled: list[int] = []
+    for s in speeds:
+        num = s.numerator * (scale // s.denominator)
+        if Fraction(num, scale) != s:
+            raise InvalidInstanceError(
+                f"integer normalization failed for speed {s} at scale {scale}"
+            )
+        scaled.append(num)
+    return tuple(scaled), scale
+
+
+def int_view(instance: "UniformInstance") -> IntView:
+    """Build the :class:`IntView` of a uniform instance.
+
+    Raises
+    ------
+    repro.exceptions.InvalidInstanceError
+        If the certificate fails to verify (cannot happen for a valid
+        instance; the check is the fast path's safety net).
+    """
+    scaled, scale = scaled_speeds(tuple(instance.speeds))
+    view = IntView(
+        speeds_scaled=scaled,
+        scale=scale,
+        speeds=tuple(instance.speeds),
+        p=tuple(instance.p),
+    )
+    if not view.verify():
+        raise InvalidInstanceError(
+            "integer normalization certificate failed verification"
+        )
+    return view

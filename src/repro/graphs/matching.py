@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import fastpath
 from repro.graphs.bipartite import BipartiteGraph
 
 __all__ = ["hopcroft_karp", "maximum_matching_size", "is_matching"]
@@ -38,7 +39,13 @@ def hopcroft_karp(graph: BipartiteGraph) -> list[int]:
     Returns ``mate`` with ``mate[v]`` the partner of ``v`` or ``-1`` when
     ``v`` is exposed.  The declared bipartition witness provides the two
     sides; left = side 0.
+
+    Routed through :mod:`repro.fastpath` (integer/numpy kernels,
+    differentially tested byte-identical) unless ``REPRO_FASTPATH=0``,
+    in which case the rational-era reference below runs.
     """
+    if fastpath.enabled():
+        return fastpath.hopcroft_karp_fast(graph)
     n = graph.n
     left = graph.vertices_on_side(0)
     adj: list[list[int]] = [[] for _ in range(n)]

@@ -61,7 +61,8 @@ class PrExtDecision:
     """Outcome of deciding 1-PrExt through a scheduling reduction.
 
     ``answer`` is ``True`` (YES certified), ``False`` (NO certified —
-    only possible with ``certified_below_gap=True``) or ``None``
+    only possible with ``certified_below_gap=True`` on a reduction whose
+    bounds actually separate, ``yes_bound < no_bound``) or ``None``
     (inconclusive: the schedule landed at or above the NO bound without
     a certificate that a better one was findable).
     """
@@ -82,13 +83,22 @@ def decide_reduction(
     scheduler: Scheduler,
     certified_below_gap: bool = False,
 ) -> PrExtDecision:
-    """Apply the proofs' decision rule to a built reduction instance."""
+    """Apply the proofs' decision rule to a built reduction instance.
+
+    A ``False`` (NO) certification additionally requires the reduction's
+    bounds to separate (``yes_bound < no_bound``): the theorems only
+    guarantee a YES instance admits a schedule below the NO bound when
+    the gap parameters are large enough (Theorem 8 needs ``kn > n + 2``,
+    i.e. ``k >= 2``), so on a degenerate instantiation even a
+    gap-certified scheduler can only say YES or abstain.
+    """
     schedule = scheduler(hard.instance)
     schedule.assert_feasible()
     cmax = schedule.makespan
+    separated = hard.yes_makespan_bound < hard.no_makespan_lower_bound
     if cmax < hard.no_makespan_lower_bound:
         answer: bool | None = True
-    elif certified_below_gap:
+    elif certified_below_gap and separated:
         answer = False
     else:
         answer = None

@@ -14,7 +14,10 @@ equivalence tests' expectations instead, consciously.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.certify.oracle import OracleResult
 
 from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
 from repro.graphs.bipartite import BipartiteGraph
@@ -148,7 +151,7 @@ def assign_group_greedy_baseline(
     return result
 
 
-def certified_optimal_baseline(instance: SchedulingInstance):
+def certified_optimal_baseline(instance: SchedulingInstance) -> OracleResult:
     """The pre-optimization exact oracle inner loop (reference only).
 
     Identical search strategy to

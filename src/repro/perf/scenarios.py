@@ -283,11 +283,135 @@ def _scenario_batch_fanout(repeat: int, warmup: int, smoke: bool) -> ScenarioOut
     )
 
 
+def _scenario_fastpath(repeat: int, warmup: int, smoke: bool) -> ScenarioOutcome:
+    """Integer/numpy fast-path kernels vs the rational reference tier.
+
+    Unlike the other scenarios this one has no frozen baseline module:
+    the "before" side *is* the reference tier, reached by pinning
+    ``REPRO_FASTPATH=0`` around the call, and the "after" side is auto
+    mode on the very same public function.  Equivalence is asserted on
+    every case — the same byte-identical contract the differential
+    suite (``tests/differential/``) proves property-wise.
+    """
+    import os
+    import random
+    from fractions import Fraction
+
+    from repro.graphs.generators import empty_graph
+    from repro.scheduling.bounds import min_cover_time, min_cover_time_with_loads
+    from repro.scheduling.instance import UniformInstance
+    from repro.scheduling.list_scheduling import assign_group_greedy
+
+    def in_mode(mode: str | None, fn: Callable[..., Any]) -> Callable[..., Any]:
+        # pin REPRO_FASTPATH for the duration of each timed call (None
+        # unsets it, i.e. auto) and restore whatever the caller had
+        def run(*args: Any) -> Any:
+            prior = os.environ.get("REPRO_FASTPATH")
+            if mode is None:
+                os.environ.pop("REPRO_FASTPATH", None)
+            else:
+                os.environ["REPRO_FASTPATH"] = mode
+            try:
+                return fn(*args)
+            finally:
+                if prior is None:
+                    os.environ.pop("REPRO_FASTPATH", None)
+                else:
+                    os.environ["REPRO_FASTPATH"] = prior
+
+        return run
+
+    rng = random.Random(11)
+    rows: list[list[Any]] = []
+    phases: list[BenchPhase] = []
+
+    def add_case(
+        case: str,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        size: dict[str, Any],
+        canonical: Callable[[Any], Any] = lambda v: v,
+    ) -> None:
+        before = measure(in_mode("0", fn), *args, repeat=repeat, warmup=warmup)
+        after = measure(in_mode(None, fn), *args, repeat=repeat, warmup=warmup)
+        if canonical(before.value) != canonical(after.value):
+            raise InvalidInstanceError(f"fastpath equivalence broke on {case}")
+        row, case_phases = _speedup_row(case, before, after, size)
+        rows.append(row)
+        phases.extend(case_phases)
+
+    # greedy list scheduling, unit jobs on identical machines: the
+    # closed-form round-robin numpy path
+    n, m = (2000, 8) if smoke else (50000, 32)
+    unit_inst = UniformInstance(empty_graph(n), [1] * n, [Fraction(1)] * m)
+    unit_args = (unit_inst, list(range(n)), list(range(m)))
+    add_case(
+        f"greedy unit n={n} m={m}",
+        assign_group_greedy,
+        unit_args,
+        {"n": n, "m": m},
+        canonical=lambda d: list(d.items()),  # insertion order is part of the contract
+    )
+
+    if not smoke:
+        # mixed job sizes across few speed groups: the int heap kernel
+        n2, m2 = 20000, 64
+        p2 = [rng.randint(1, 20) for _ in range(n2)]
+        speeds2 = sorted(
+            [Fraction(a, b) for a, b in ((3, 2), (1, 1), (2, 3), (1, 2)) for _ in range(16)],
+            reverse=True,
+        )
+        add_case(
+            f"greedy mixed n={n2} m={m2} (4 speed groups)",
+            assign_group_greedy,
+            (UniformInstance(empty_graph(n2), p2, speeds2), list(range(n2)), list(range(m2))),
+            {"n": n2, "m": m2},
+            canonical=lambda d: list(d.items()),
+        )
+
+    # cover-time bounds: vectorized jump-point search; denominators kept
+    # small so the int64 pre-check admits the numpy kernel
+    mc, demand = (512, 2500) if smoke else (10000, 50000)
+    speeds = sorted(
+        (Fraction(rng.randint(1, 8), rng.randint(1, 6)) for _ in range(mc)),
+        reverse=True,
+    )
+    add_case(
+        f"min_cover_time m={mc} demand={demand}",
+        min_cover_time,
+        (speeds, demand),
+        {"m": mc, "demand": demand},
+    )
+    loads = [rng.randint(0, 5) for _ in range(mc)]
+    add_case(
+        f"min_cover_time_with_loads m={mc} demand={demand}",
+        min_cover_time_with_loads,
+        (speeds, loads, demand),
+        {"m": mc, "demand": demand},
+    )
+
+    profile_args = unit_args
+    return ScenarioOutcome(
+        record=BenchRecord.build(
+            "PERF_fastpath",
+            _COLUMNS,
+            rows,
+            phases=phases,
+            notes="integer-normalized / numpy fast-path kernels (auto mode) vs "
+            "the rational reference tier (REPRO_FASTPATH=0) on the same public "
+            "APIs; byte-identical results asserted per case; medians of "
+            f"repeat={repeat} after warmup={warmup}",
+        ),
+        profile_fn=lambda: in_mode(None, assign_group_greedy)(*profile_args),
+    )
+
+
 SCENARIOS: dict[str, Callable[[int, int, bool], ScenarioOutcome]] = {
     "hopcroft_karp": _scenario_hopcroft_karp,
     "list_scheduling": _scenario_list_scheduling,
     "oracle": _scenario_oracle,
     "batch_fanout": _scenario_batch_fanout,
+    "fastpath": _scenario_fastpath,
 }
 
 #: scenario names in the order ``repro perf --target all`` runs them

@@ -19,6 +19,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Sequence
 
+from repro import fastpath
 from repro.exceptions import InvalidInstanceError
 from repro.scheduling.instance import UniformInstance, UnrelatedInstance
 from repro.utils.rationals import ceil_fraction, floor_fraction
@@ -43,7 +44,14 @@ def min_cover_time(speeds: Sequence[Fraction], demand: int) -> Fraction:
 
     Raises :exc:`InvalidInstanceError` when no machines are given but
     demand is positive.
+
+    Routed through :mod:`repro.fastpath` (scaled-integer/numpy jump-point
+    search, differentially tested to return the canonically identical
+    Fraction) unless ``REPRO_FASTPATH=0``, in which case the rational
+    reference below runs.
     """
+    if fastpath.enabled():
+        return fastpath.min_cover_time_fast(speeds, demand)
     if demand <= 0:
         return Fraction(0)
     if not speeds:
@@ -89,7 +97,12 @@ def min_cover_time_with_loads(
 
     With ``demand <= 0`` this is just the current completion frontier
     ``max_i loads[i] / s_i``.
+
+    Routed through :mod:`repro.fastpath` unless ``REPRO_FASTPATH=0``
+    (see :func:`min_cover_time`).
     """
+    if fastpath.enabled():
+        return fastpath.min_cover_time_with_loads_fast(speeds, loads, demand)
     if len(speeds) != len(loads):
         raise InvalidInstanceError(
             f"{len(loads)} loads for {len(speeds)} machines"

@@ -18,6 +18,7 @@ import heapq
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from repro import fastpath
 from repro.exceptions import InvalidInstanceError
 from repro.scheduling.instance import SchedulingInstance, UniformInstance
 from repro.scheduling.schedule import Schedule
@@ -60,7 +61,14 @@ def assign_group_greedy(
     the ``job -> machine`` mapping is identical to the reference: the
     machine minimising completion time, ties to the earliest position
     in ``machines``.
+
+    Routed through :mod:`repro.fastpath` (scaled-integer/numpy kernels
+    over the :class:`~repro.fastpath.normalize.IntView`, differentially
+    tested byte-identical) unless ``REPRO_FASTPATH=0``, in which case
+    the Fraction-keyed implementation below runs.
     """
+    if fastpath.enabled():
+        return fastpath.assign_group_greedy_fast(instance, jobs, machines)
     if not machines and jobs:
         raise InvalidInstanceError("cannot schedule jobs on an empty machine group")
     # speed -> heap of (integer load, position in `machines`, machine id);

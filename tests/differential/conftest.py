@@ -1,0 +1,55 @@
+"""Differential-testing harness configuration.
+
+Two Hypothesis profiles are registered here:
+
+* ``differential`` — the default for local / tier-1 runs: a moderate
+  example budget so the equivalence gate travels with every PR without
+  dominating suite runtime.
+* ``ci`` — the reduced budget used by the CI ``differential-smoke``
+  step (``pytest tests/differential --hypothesis-profile=ci``), which
+  leans on the frozen corpus under ``tests/fixtures/differential/`` for
+  breadth and on Hypothesis only for fresh randomization.
+
+Profiles deliberately carry ``deadline=None``: the reference tier runs
+pure-``Fraction`` arithmetic and is legitimately slow on the occasional
+large draw; wall-clock variance must not fail an equivalence proof.
+
+The profile is applied per-test (autouse fixture) rather than globally
+in ``pytest_configure`` so that a full-suite run keeps Hypothesis's
+default budget for every *other* property test in the repo.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "differential",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(autouse=True)
+def _differential_profile(request):
+    # an explicit --hypothesis-profile (loaded by the hypothesis plugin
+    # at configure time) governs the whole run; otherwise pin this
+    # directory to "differential" and restore the prior profile after
+    # each test so the rest of the suite keeps its own budget
+    if request.config.getoption("--hypothesis-profile", default=None):
+        yield
+        return
+    prior = getattr(settings, "_current_profile", None) or "default"
+    settings.load_profile("differential")
+    try:
+        yield
+    finally:
+        settings.load_profile(prior)

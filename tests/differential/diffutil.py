@@ -1,0 +1,156 @@
+"""Shared strategies and helpers for the differential-testing harness.
+
+The strategies span the v3 instance vocabulary: every conflict-graph
+kind (bipartite / complete multipartite / block), every machine kind
+(identical / integer-speed / rational-speed uniform), unit and mixed
+job sizes, and optional per-job eligibility masks.  Each differential
+test draws from these and runs the rational reference, the integer
+kernel, and the numpy kernel on the *same* instance, asserting
+byte-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from fractions import Fraction
+from typing import Iterator
+
+from hypothesis import strategies as st
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.conflict import BlockGraph, CompleteMultipartiteGraph
+from repro.scheduling.instance import UniformInstance
+
+
+@contextmanager
+def fastpath_mode(value: str | None) -> Iterator[None]:
+    """Temporarily pin ``REPRO_FASTPATH`` (``None`` = unset = auto)."""
+    old = os.environ.get("REPRO_FASTPATH")
+    if value is None:
+        os.environ.pop("REPRO_FASTPATH", None)
+    else:
+        os.environ["REPRO_FASTPATH"] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_FASTPATH", None)
+        else:
+            os.environ["REPRO_FASTPATH"] = old
+
+
+@st.composite
+def bipartite_graphs(draw: st.DrawFn, max_side: int = 8) -> BipartiteGraph:
+    """Random two-sided graphs, including empty sides and no edges."""
+    a = draw(st.integers(0, max_side))
+    b = draw(st.integers(0, max_side))
+    pairs = [(u, a + v) for u in range(a) for v in range(b)]
+    edges = (
+        draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+        if pairs
+        else []
+    )
+    return BipartiteGraph(a + b, edges, side=[0] * a + [1] * b)
+
+
+@st.composite
+def _partitioned(draw: st.DrawFn, max_n: int, max_parts: int) -> tuple[int, list[list[int]]]:
+    n = draw(st.integers(1, max_n))
+    k = draw(st.integers(1, min(max_parts, n)))
+    labels = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    groups: list[list[int]] = [[] for _ in range(k)]
+    for v, lab in enumerate(labels):
+        groups[lab].append(v)
+    return n, [g for g in groups if g]
+
+
+@st.composite
+def complete_multipartite_graphs(
+    draw: st.DrawFn, max_n: int = 12, max_parts: int = 4
+) -> CompleteMultipartiteGraph:
+    n, parts = draw(_partitioned(max_n, max_parts))
+    return CompleteMultipartiteGraph(n, parts)
+
+
+@st.composite
+def block_graphs(draw: st.DrawFn, max_n: int = 12, max_blocks: int = 4) -> BlockGraph:
+    n, blocks = draw(_partitioned(max_n, max_blocks))
+    return BlockGraph(n, blocks)
+
+
+def conflict_graphs(max_n: int = 12) -> st.SearchStrategy:
+    """All v3 conflict-graph kinds under one strategy."""
+    return st.one_of(
+        bipartite_graphs(max_side=max_n // 2),
+        complete_multipartite_graphs(max_n=max_n),
+        block_graphs(max_n=max_n),
+    )
+
+
+@st.composite
+def speed_tuples(
+    draw: st.DrawFn, m: int | None = None, max_m: int = 5
+) -> tuple[Fraction, ...]:
+    """Non-increasing positive speeds across the machine kinds."""
+    if m is None:
+        m = draw(st.integers(1, max_m))
+    kind = draw(st.sampled_from(["identical", "integer", "rational"]))
+    if kind == "identical":
+        s = Fraction(draw(st.integers(1, 4)))
+        return (s,) * m
+    if kind == "integer":
+        vals = [Fraction(draw(st.integers(1, 9))) for _ in range(m)]
+    else:
+        vals = [
+            Fraction(draw(st.integers(1, 9)), draw(st.integers(1, 9)))
+            for _ in range(m)
+        ]
+    return tuple(sorted(vals, reverse=True))
+
+
+@st.composite
+def uniform_instances(
+    draw: st.DrawFn,
+    max_n: int = 12,
+    max_m: int = 5,
+    with_eligibility: bool = False,
+) -> UniformInstance:
+    """A uniform instance over any graph kind and machine kind."""
+    graph = draw(conflict_graphs(max_n=max_n))
+    n = graph.n
+    if draw(st.booleans()):
+        p = [1] * n  # the paper's p_j = 1 restriction
+    else:
+        p = draw(st.lists(st.integers(1, 8), min_size=n, max_size=n))
+    speeds = draw(speed_tuples(max_m=max_m))
+    eligible = None
+    if with_eligibility and n and draw(st.booleans()):
+        m = len(speeds)
+        eligible = [
+            None
+            if draw(st.booleans())
+            else sorted(
+                draw(
+                    st.sets(
+                        st.integers(0, m - 1), min_size=1, max_size=m
+                    )
+                )
+            )
+            for _ in range(n)
+        ]
+    return UniformInstance(graph, p, speeds, eligible=eligible)
+
+
+@st.composite
+def greedy_cases(
+    draw: st.DrawFn,
+) -> tuple[UniformInstance, list[int], list[int]]:
+    """(instance, job subset, non-empty machine subset) for list scheduling."""
+    inst = draw(uniform_instances())
+    n, m = inst.n, inst.m
+    jobs = draw(st.lists(st.integers(0, n - 1), unique=True)) if n else []
+    machines = draw(
+        st.lists(st.integers(0, m - 1), unique=True, min_size=1, max_size=m)
+    )
+    return inst, jobs, machines

@@ -1,0 +1,117 @@
+"""Differential proof: cover-time tiers return the identical Fraction.
+
+``min_cover_time`` / ``min_cover_time_with_loads`` have a single-valued
+answer (the least feasible jump point), so there is no tie-break policy
+to pin — the assertion is simply that all tiers return the *same*
+:class:`~fractions.Fraction`, which in canonical form means the same
+numerator and denominator bytes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from diffutil import fastpath_mode, speed_tuples
+from repro import fastpath
+from repro.fastpath import kernels_int, kernels_numpy
+from repro.scheduling import bounds
+
+
+@given(
+    speeds=speed_tuples(),
+    demand=st.integers(0, 60),
+)
+def test_min_cover_time_tiers_identical(speeds, demand):
+    with fastpath_mode("0"):
+        ref = bounds.min_cover_time(speeds, demand)
+
+    scaled, scale = fastpath.scaled_speeds(speeds)
+    ki = kernels_int.min_cover_time_int(scaled, scale, demand)
+    assert (ki.numerator, ki.denominator) == (ref.numerator, ref.denominator)
+
+    if kernels_numpy.numpy_available() and demand > 0:
+        kn = kernels_numpy.min_cover_time_numpy(scaled, scale, demand)
+        assert (kn.numerator, kn.denominator) == (ref.numerator, ref.denominator)
+
+    for mode in ("int", None):
+        with fastpath_mode(mode):
+            assert bounds.min_cover_time(speeds, demand) == ref
+
+
+@given(
+    speeds=speed_tuples(),
+    demand=st.integers(0, 40),
+    data=st.data(),
+)
+def test_min_cover_time_with_loads_tiers_identical(speeds, demand, data):
+    m = len(speeds)
+    loads = data.draw(
+        st.lists(st.integers(0, 20), min_size=m, max_size=m), label="loads"
+    )
+    with fastpath_mode("0"):
+        ref = bounds.min_cover_time_with_loads(speeds, loads, demand)
+
+    scaled, scale = fastpath.scaled_speeds(speeds)
+    ki = kernels_int.min_cover_time_with_loads_int(scaled, scale, loads, demand)
+    assert (ki.numerator, ki.denominator) == (ref.numerator, ref.denominator)
+
+    if kernels_numpy.numpy_available():
+        kn = kernels_numpy.min_cover_time_with_loads_numpy(
+            scaled, scale, loads, demand
+        )
+        assert (kn.numerator, kn.denominator) == (ref.numerator, ref.denominator)
+
+    for mode in ("int", None):
+        with fastpath_mode(mode):
+            assert bounds.min_cover_time_with_loads(speeds, loads, demand) == ref
+
+
+@given(k=st.integers(1, 5), n=st.integers(1, 12), demand=st.integers(1, 40))
+def test_hardness_style_speeds(k, n, demand):
+    """The Theorem 8 speed geometry (s_i = 1/(k n)) — tiny rationals with
+    a shared denominator, the shape the hardness pipeline feeds in."""
+    speeds = (Fraction(49 * k * k), Fraction(5 * k), Fraction(1)) + tuple(
+        Fraction(1, k * n) for _ in range(3)
+    )
+    with fastpath_mode("0"):
+        ref = bounds.min_cover_time(speeds, demand)
+    with fastpath_mode(None):
+        assert bounds.min_cover_time(speeds, demand) == ref
+
+
+def test_bigint_speeds_fall_back_not_truncate():
+    """Scales beyond 2^63 must be exact: the numpy tier declines
+    (FastpathUnavailable), the int tier answers exactly."""
+    primes = [2305843009213693951, 2305843009213693967, 2305843009213693973]
+    speeds = tuple(Fraction(1, p) for p in primes)
+    scaled, scale = fastpath.scaled_speeds(speeds)
+    assert scale > 2**63
+
+    with fastpath_mode("0"):
+        ref = bounds.min_cover_time(speeds, 3)
+    ki = kernels_int.min_cover_time_int(scaled, scale, 3)
+    assert ki == ref
+
+    if kernels_numpy.numpy_available():
+        with pytest.raises(kernels_numpy.FastpathUnavailable):
+            kernels_numpy.min_cover_time_numpy(scaled, scale, 3)
+    # the public API silently falls back to the exact int tier
+    with fastpath_mode(None):
+        assert bounds.min_cover_time(speeds, 3) == ref
+
+
+def test_error_paths_match_reference():
+    from repro.exceptions import InvalidInstanceError
+
+    for mode in ("0", "int", None):
+        with fastpath_mode(mode):
+            with pytest.raises(InvalidInstanceError):
+                bounds.min_cover_time([], 1)
+            with pytest.raises(InvalidInstanceError):
+                bounds.min_cover_time_with_loads([Fraction(1)], [0, 0], 1)
+            assert bounds.min_cover_time([], 0) == 0
+            assert bounds.min_cover_time_with_loads([], [], 0) == 0

@@ -1,0 +1,102 @@
+"""Differential proof: greedy list-scheduling tiers are byte-identical.
+
+Tie-break policy (pinned in :mod:`repro.fastpath.kernels_int`): jobs in
+LPT order with ties by job id; each job goes to the machine minimising
+the exact completion time, ties to the earliest position in the
+``machines`` argument.  Assignments are compared as ordered item lists,
+so even insertion order (= placement order) must coincide.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from diffutil import fastpath_mode, greedy_cases
+from repro import fastpath
+from repro.exceptions import InvalidInstanceError
+from repro.fastpath import kernels_int, kernels_numpy
+from repro.scheduling import list_scheduling
+
+
+@given(case=greedy_cases())
+def test_greedy_tiers_byte_identical(case):
+    inst, jobs, machines = case
+    with fastpath_mode("0"):
+        ref = list_scheduling.assign_group_greedy(inst, jobs, machines)
+
+    view = fastpath.int_view(inst)
+    ki = kernels_int.assign_group_greedy_int(
+        view.p, view.speeds_scaled, jobs, machines
+    )
+    assert list(ki.items()) == list(ref.items())
+
+    if kernels_numpy.numpy_available():
+        kn = kernels_numpy.assign_group_greedy_numpy(
+            view.p, view.speeds_scaled, jobs, machines
+        )
+        assert list(kn.items()) == list(ref.items())
+
+    with fastpath_mode("int"):
+        assert list(
+            list_scheduling.assign_group_greedy(inst, jobs, machines).items()
+        ) == list(ref.items())
+    with fastpath_mode(None):
+        assert list(
+            list_scheduling.assign_group_greedy(inst, jobs, machines).items()
+        ) == list(ref.items())
+
+
+@given(case=greedy_cases())
+def test_greedy_load_vectors_match(case):
+    """Same per-machine loads across tiers (redundant with byte equality,
+    but failure output localises which machine diverged)."""
+    inst, jobs, machines = case
+    with fastpath_mode("0"):
+        ref = list_scheduling.assign_group_greedy(inst, jobs, machines)
+    with fastpath_mode(None):
+        fast = list_scheduling.assign_group_greedy(inst, jobs, machines)
+    for i in machines:
+        ref_load = sum(inst.p[j] for j, mi in ref.items() if mi == i)
+        fast_load = sum(inst.p[j] for j, mi in fast.items() if mi == i)
+        assert ref_load == fast_load, f"machine {i} load diverged"
+
+
+def test_empty_machine_group_error_matches_reference():
+    """All tiers raise the same typed error on jobs with no machines."""
+    from repro.graphs.bipartite import BipartiteGraph
+    from repro.scheduling.instance import UniformInstance
+
+    inst = UniformInstance(BipartiteGraph(2, [(0, 1)]), [1, 1], [1])
+    for mode in ("0", "int", None):
+        with fastpath_mode(mode):
+            with pytest.raises(InvalidInstanceError):
+                list_scheduling.assign_group_greedy(inst, [0, 1], [])
+            assert list_scheduling.assign_group_greedy(inst, [], []) == {}
+
+
+def test_numpy_round_robin_closed_form_matches():
+    """The single-speed unit-job closed form (the paper's p_j = 1 case)
+    must equal the heap path exactly, including machine order."""
+    if not kernels_numpy.numpy_available():
+        pytest.skip("numpy not importable")
+    from repro.graphs.bipartite import BipartiteGraph
+    from repro.scheduling.instance import UniformInstance
+
+    n, m = 4 * fastpath.GREEDY_NUMPY_MIN_JOBS, 7
+    g = BipartiteGraph(n, [], side=[0] * n)
+    inst = UniformInstance(g, [1] * n, [2] * m)
+    jobs = list(range(n))
+    machines = [3, 0, 5, 1, 6, 2, 4]  # deliberately shuffled positions
+    view = fastpath.int_view(inst)
+    ref = kernels_int.assign_group_greedy_int(
+        view.p, view.speeds_scaled, jobs, machines
+    )
+    kn = kernels_numpy.assign_group_greedy_numpy(
+        view.p, view.speeds_scaled, jobs, machines
+    )
+    assert list(kn.items()) == list(ref.items())
+    with fastpath_mode(None):
+        assert list(
+            list_scheduling.assign_group_greedy(inst, jobs, machines).items()
+        ) == list(ref.items())

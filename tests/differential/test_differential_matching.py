@@ -1,0 +1,65 @@
+"""Differential proof: Hopcroft–Karp tiers produce byte-identical mates.
+
+The tie-break policy (pinned in :mod:`repro.fastpath.kernels_int`): the
+mate array is a deterministic function of the adjacency iteration
+order, because greedy seeding scans left vertices in index order, BFS
+levels are true distances (order-independent), and the augmenting DFS
+consumes each adjacency list left to right.  All three tiers follow
+it, so equality is asserted element-wise — not just matching size.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from diffutil import bipartite_graphs, fastpath_mode
+from repro.fastpath import kernels_int, kernels_numpy
+from repro.graphs import matching
+
+
+@given(g=bipartite_graphs())
+def test_matching_tiers_byte_identical(g):
+    with fastpath_mode("0"):
+        ref = matching.hopcroft_karp(g)
+
+    assert kernels_int.hopcroft_karp_int(g) == ref
+
+    if kernels_numpy.numpy_available():
+        assert kernels_numpy.hopcroft_karp_numpy(g) == ref
+
+    with fastpath_mode("int"):
+        assert matching.hopcroft_karp(g) == ref
+    with fastpath_mode(None):  # auto
+        assert matching.hopcroft_karp(g) == ref
+
+    # and the result is an actual matching of maximum size
+    assert matching.is_matching(g, ref)
+
+
+@given(g=bipartite_graphs(max_side=6))
+def test_matching_size_invariant_across_tiers(g):
+    with fastpath_mode("0"):
+        size_ref = matching.maximum_matching_size(g)
+    with fastpath_mode(None):
+        assert matching.maximum_matching_size(g) == size_ref
+
+
+def test_numpy_tier_exercised_above_cutoff():
+    """Above the size cutoff, auto mode really takes the numpy kernel
+    (guards the dispatcher against silently always falling back)."""
+    if not kernels_numpy.numpy_available():
+        pytest.skip("numpy not importable")
+    from repro import fastpath
+
+    a = fastpath.MATCHING_NUMPY_MIN_N // 2 + 1
+    g_pairs = [(u, a + (u * 7 + k) % a) for u in range(a) for k in range(5)]
+    from repro.graphs.bipartite import BipartiteGraph
+
+    g = BipartiteGraph(2 * a, g_pairs, side=[0] * a + [1] * a)
+    assert g.n >= fastpath.MATCHING_NUMPY_MIN_N
+    assert 2 * g.edge_count >= fastpath.MATCHING_NUMPY_MIN_AVG_DEGREE * g.n
+    ref = kernels_int.hopcroft_karp_int(g)
+    assert kernels_numpy.hopcroft_karp_numpy(g) == ref
+    with fastpath_mode(None):
+        assert matching.hopcroft_karp(g) == ref

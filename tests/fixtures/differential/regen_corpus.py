@@ -1,0 +1,168 @@
+"""Regenerate the frozen differential corpus (``corpus.jsonl``).
+
+Run from the repo root::
+
+    REPRO_FASTPATH=0 PYTHONPATH=src python tests/fixtures/differential/regen_corpus.py
+
+Deterministic: a fixed seed drives every draw, so reruns reproduce the
+same ~50 instances byte-for-byte.  Expected makespans are computed with
+``REPRO_FASTPATH=0`` (the rational reference tier) through the engine's
+ranked dispatch — the corpus therefore freezes both the *instances* and
+the *reference behaviour*, and ``test_differential_corpus.py`` replays
+every fast-path tier against it without any Hypothesis shrinking in the
+loop.
+
+The mix spans the v3 vocabulary: bipartite / complete-multipartite /
+block conflict graphs (general structure is realised by >= 3-part
+multipartite and multi-block graphs — there is no concrete "general"
+class), identical / integer / rational uniform speeds, unit and mixed
+job sizes, with and without eligibility masks, plus unrelated (R)
+instances.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[3] / "src"))
+os.environ["REPRO_FASTPATH"] = "0"  # freeze against the reference tier
+
+from repro.engine import solve  # noqa: E402
+from repro.graphs.bipartite import BipartiteGraph  # noqa: E402
+from repro.graphs.conflict import (  # noqa: E402
+    BlockGraph,
+    CompleteMultipartiteGraph,
+)
+from repro.io.serialization import frac_str, instance_to_dict  # noqa: E402
+from repro.scheduling.instance import (  # noqa: E402
+    UniformInstance,
+    UnrelatedInstance,
+)
+
+SEED = 20260808
+OUT = Path(__file__).resolve().parent / "corpus.jsonl"
+
+
+def _bipartite(rng: random.Random, a: int, b: int, prob: float) -> BipartiteGraph:
+    edges = [
+        (u, a + v) for u in range(a) for v in range(b) if rng.random() < prob
+    ]
+    return BipartiteGraph(a + b, edges, side=[0] * a + [1] * b)
+
+
+def _partition(rng: random.Random, n: int, k: int) -> list[list[int]]:
+    labels = [rng.randrange(k) for _ in range(n)]
+    for i in range(min(k, n)):  # keep all k parts non-empty
+        labels[i] = i
+    groups: list[list[int]] = [[] for _ in range(k)]
+    for v, lab in enumerate(labels):
+        groups[lab].append(v)
+    return [g for g in groups if g]
+
+
+def _speeds(rng: random.Random, m: int, kind: str) -> list[Fraction]:
+    if kind == "identical":
+        return [Fraction(rng.randint(1, 3))] * m
+    if kind == "integer":
+        vals = [Fraction(rng.randint(1, 8)) for _ in range(m)]
+    else:
+        vals = [
+            Fraction(rng.randint(1, 8), rng.randint(1, 8)) for _ in range(m)
+        ]
+    return sorted(vals, reverse=True)
+
+
+def _p(rng: random.Random, n: int, unit: bool) -> list[int]:
+    return [1] * n if unit else [rng.randint(1, 8) for _ in range(n)]
+
+
+def _graph(rng: random.Random, kind: str, n_target: int):
+    """Return ``(graph, k_min)`` — ``k_min`` colors always suffice."""
+    if kind == "bipartite":
+        a = max(1, n_target // 2)
+        return _bipartite(rng, a, n_target - a, rng.uniform(0.15, 0.5)), 2
+    parts = _partition(rng, n_target, rng.randint(2, 4))
+    if kind == "complete_multipartite":
+        return CompleteMultipartiteGraph(n_target, parts), len(parts)
+    g = BlockGraph(n_target, parts)
+    return g, max(len(blk) for blk in parts)
+
+
+def build_candidates(rng: random.Random):
+    """Yield (tag, instance) candidates across the v3 vocabulary."""
+    graph_kinds = ["bipartite", "complete_multipartite", "block"]
+    speed_kinds = ["identical", "integer", "rational"]
+    # 36 uniform instances: all graph-kind x speed-kind x {unit, mixed} x 2 sizes
+    idx = 0
+    for gk in graph_kinds:
+        for sk in speed_kinds:
+            for unit in (True, False):
+                for n_target in (8, 14):
+                    g, k_min = _graph(rng, gk, n_target)
+                    m = rng.randint(max(2, k_min), max(2, k_min) + 2)
+                    inst = UniformInstance(
+                        g, _p(rng, g.n, unit), _speeds(rng, m, sk)
+                    )
+                    yield f"uniform-{gk}-{sk}-{'unit' if unit else 'mixed'}-{idx}", inst
+                    idx += 1
+    # 8 with eligibility masks
+    for i in range(8):
+        gk = graph_kinds[i % 3]
+        g, k_min = _graph(rng, gk, 10)
+        m = max(3, k_min + 1)
+        eligible = [
+            None
+            if rng.random() < 0.5
+            else sorted(rng.sample(range(m), rng.randint(2, m)))
+            for _ in range(g.n)
+        ]
+        inst = UniformInstance(
+            g,
+            _p(rng, g.n, i % 2 == 0),
+            _speeds(rng, m, speed_kinds[i % 3]),
+            eligible=eligible,
+        )
+        yield f"eligible-{gk}-{i}", inst
+    # 8 unrelated instances (m = 2, 3 and above the coloring need);
+    # dispatch has no solver for forbidden pairs yet, so times stay finite
+    for i in range(8):
+        gk = graph_kinds[i % 3]
+        g, k_min = _graph(rng, gk, 8)
+        m = max(2 + (i % 2), k_min)
+        times: list[list[Fraction | None]] = []
+        for _ in range(m):
+            times.append([Fraction(rng.randint(1, 12)) for _ in range(g.n)])
+        inst = UnrelatedInstance(g, times)
+        yield f"unrelated-{gk}-m{m}-{i}", inst
+
+
+def main() -> None:
+    rng = random.Random(SEED)
+    records = []
+    for tag, inst in build_candidates(rng):
+        try:
+            schedule = solve(inst)
+        except Exception as exc:  # infeasible / no eligible algorithm
+            print(f"skip {tag}: {type(exc).__name__}: {exc}")
+            continue
+        records.append(
+            {
+                "id": tag,
+                "instance": instance_to_dict(inst),
+                "expected_makespan": frac_str(schedule.makespan),
+                "feasible": schedule.is_feasible(),
+            }
+        )
+    with OUT.open("w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    print(f"wrote {len(records)} instances to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

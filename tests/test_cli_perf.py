@@ -45,6 +45,7 @@ class TestPerfScenarios:
         names = sorted(p.name for p in tmp_path.glob("BENCH_PERF_*.json"))
         assert names == [
             "BENCH_PERF_batch_fanout.json",
+            "BENCH_PERF_fastpath.json",
             "BENCH_PERF_hopcroft_karp.json",
             "BENCH_PERF_list_scheduling.json",
             "BENCH_PERF_oracle.json",
@@ -115,3 +116,38 @@ class TestPerfCheck:
     def test_empty_directory_is_an_error(self, tmp_path, capsys):
         assert main(["perf", "--check", str(tmp_path)]) == 2
         assert "no BENCH_" in capsys.readouterr().err
+
+    def _dirty_record(self) -> dict:
+        return BenchRecord.build(
+            "E1_x", ["a"], [[1]], git_rev="abc1234-dirty", timestamp="t"
+        ).to_dict()
+
+    def test_dirty_rev_rejected_by_default(self, tmp_path, capsys):
+        save_json(self._dirty_record(), tmp_path / "BENCH_E1_x.json")
+        assert main(["perf", "--check", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "dirty-tree git_rev" in err
+        assert "--allow-dirty" in err
+
+    def test_dirty_rev_in_trajectory_rejected(self, tmp_path, capsys):
+        save_json(self._valid_record(), tmp_path / "BENCH_E1_x.json")
+        (tmp_path / "BENCH_trajectory.jsonl").write_text(
+            json.dumps(self._dirty_record()) + "\n"
+        )
+        assert main(["perf", "--check", str(tmp_path)]) == 1
+        assert "BENCH_trajectory.jsonl:0: dirty-tree" in capsys.readouterr().err
+
+    def test_allow_dirty_accepts_dirty_revs(self, tmp_path, capsys):
+        save_json(self._dirty_record(), tmp_path / "BENCH_E1_x.json")
+        (tmp_path / "BENCH_trajectory.jsonl").write_text(
+            json.dumps(self._dirty_record()) + "\n"
+        )
+        assert main(["perf", "--check", str(tmp_path), "--allow-dirty"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_allow_dirty_still_enforces_schema(self, tmp_path, capsys):
+        bad = self._dirty_record()
+        bad["rows"] = [["too", "wide"]]
+        save_json(bad, tmp_path / "BENCH_E1_x.json")
+        assert main(["perf", "--check", str(tmp_path), "--allow-dirty"]) == 1
+        assert "SCHEMA VIOLATION" in capsys.readouterr().err

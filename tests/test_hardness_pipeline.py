@@ -143,7 +143,9 @@ def test_property_pipelines_match_direct_solver(n, seed):
     the direct 1-PrExt backtracking solver on random planted instances."""
     prext = planted_yes_instance(n, seed=seed)
     truth = solve_prext(prext) is not None
-    hard = theorem8_reduction(prext, k=1)
+    # k=2 is the least k whose Theorem 8 bounds separate (kn > n + 2);
+    # at k=1 the reduction cannot certify NO and the decider abstains
+    hard = theorem8_reduction(prext, k=2)
     q = decide_reduction(hard, _oracle_scheduler(hard), certified_below_gap=True)
     r = decide_prext_via_r(prext, brute_force_optimal, d=6, certified_below_gap=True)
     assert q.answer is truth

@@ -162,7 +162,7 @@ class TestTypingGate:
         import ast
 
         missing: list[str] = []
-        for pkg in ("engine", "certify", "runtime", "staticcheck"):
+        for pkg in ("engine", "certify", "runtime", "staticcheck", "perf", "fastpath"):
             for path in sorted((REPO_SRC / "repro" / pkg).rglob("*.py")):
                 tree = ast.parse(path.read_text(encoding="utf-8"))
                 for node in ast.walk(tree):
