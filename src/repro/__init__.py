@@ -89,7 +89,7 @@ from repro.random_graphs import gnnp
 # the release test pins the two together.  The source tree is detected
 # first so a *different* version pip-installed elsewhere on the machine
 # can never misreport the code actually being executed.
-_FALLBACK_VERSION = "1.8.0"
+_FALLBACK_VERSION = "1.9.0"
 
 
 def _resolve_version() -> str:  # pragma: no cover — per-install-mode

@@ -108,6 +108,7 @@ def audit_instance(
     specs: Mapping[str, Any] | None = None,
     algorithms: Iterable[str] | None = None,
     oracle_max_n: int = DEFAULT_ORACLE_MAX_N,
+    oracle_workers: int = 1,
 ) -> list[AuditRow]:
     """Audit every applicable registered algorithm on one instance.
 
@@ -131,6 +132,10 @@ def audit_instance(
         (the brute-force oracle itself) are skipped above the same
         cut-off — they *are* exhaustive searches and would hang the
         sweep.
+    oracle_workers:
+        Search processes for the exact oracle's parallel branch and
+        bound (``repro certify --workers``); the certified optimum is
+        identical for any value, only the proof closes faster.
 
     Returns
     -------
@@ -160,7 +165,7 @@ def audit_instance(
     optimal: Fraction | None = None
     if instance.n <= oracle_max_n:
         try:
-            optimal = certified_optimal(instance).makespan
+            optimal = certified_optimal(instance, workers=oracle_workers).makespan
         except ReproError:
             optimal = None  # infeasible or oracle-inapplicable: skip OPT
         except Exception:  # noqa: BLE001 — a crashing seed heuristic
@@ -189,7 +194,7 @@ def _audit_one(
         lower_bound=lower,
     )
     try:
-        schedule = spec.run(instance)
+        schedule = spec.execute(instance)
     except InvalidScheduleError as exc:
         # the solver *built* an infeasible schedule and Schedule's own
         # eager validation caught it — that is an infeasible output
@@ -396,6 +401,7 @@ def audit_guarantees(
     specs: Mapping[str, Any] | None = None,
     algorithms: Iterable[str] | None = None,
     oracle_max_n: int = DEFAULT_ORACLE_MAX_N,
+    oracle_workers: int = 1,
 ) -> list[AuditRow]:
     """Audit a named instance sweep; rows in suite x registry order.
 
@@ -404,7 +410,7 @@ def audit_guarantees(
     suite:
         ``(name, instance)`` pairs, e.g. from
         :func:`repro.analysis.suites.certification_suite`.
-    specs, algorithms, oracle_max_n:
+    specs, algorithms, oracle_max_n, oracle_workers:
         Forwarded to :func:`audit_instance` per suite entry.
 
     Returns
@@ -422,6 +428,7 @@ def audit_guarantees(
                 specs=specs,
                 algorithms=algorithms,
                 oracle_max_n=oracle_max_n,
+                oracle_workers=oracle_workers,
             )
         )
     return rows

@@ -256,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest n ground truth is computed for (exact oracle)",
     )
     cert.add_argument(
+        "--workers", type=int, default=1,
+        help="search processes for the exact oracle's parallel branch "
+        "and bound (the certified optimum is identical for any value)",
+    )
+    cert.add_argument(
         "--algorithms", type=str, default=None,
         help="comma-separated algorithm subset (default: every applicable)",
     )
@@ -698,13 +703,17 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             instance,
             algorithms=algorithms,
             oracle_max_n=args.oracle_max_n,
+            oracle_workers=args.workers,
         )
     else:
         suite = certification_suite(
             n=args.n, m=args.m, seeds=args.seeds, seed=args.seed
         )
         rows = audit_guarantees(
-            suite, algorithms=algorithms, oracle_max_n=args.oracle_max_n
+            suite,
+            algorithms=algorithms,
+            oracle_max_n=args.oracle_max_n,
+            oracle_workers=args.workers,
         )
     if args.out:
         write_jsonl((row.to_dict() for row in rows), args.out)
@@ -758,6 +767,13 @@ def _cmd_perf_check(directory: str, allow_dirty: bool = False) -> int:
         # report as a violation, not crash the gate and swallow the rest
         import json
 
+        # the trajectory is append-only: timestamps must never go
+        # backwards (an out-of-order line means a hand edit or a merge
+        # gone wrong) and a (experiment_id, git_rev) pair must appear at
+        # most once (a duplicate means the same measurement was appended
+        # twice instead of re-measured on a new revision)
+        prev_stamp: tuple[str, int] | None = None
+        seen_pairs: dict[tuple[str, str], int] = {}
         for i, line in enumerate(
             trajectory.read_text(encoding="utf-8").splitlines()
         ):
@@ -775,6 +791,25 @@ def _cmd_perf_check(directory: str, allow_dirty: bool = False) -> int:
                     f"{trajectory.name}:{i}: dirty-tree git_rev {rev!r} "
                     "(re-measure on a clean tree or pass --allow-dirty)"
                 )
+            stamp = data.get("timestamp")
+            if isinstance(stamp, str):
+                # ISO-8601 UTC strings order lexicographically
+                if prev_stamp is not None and stamp < prev_stamp[0]:
+                    failures.append(
+                        f"{trajectory.name}:{i}: timestamp {stamp!r} is "
+                        f"before line {prev_stamp[1]}'s {prev_stamp[0]!r} "
+                        "(the trajectory is append-only)"
+                    )
+                prev_stamp = (stamp, i)
+            pair = (str(data.get("experiment_id")), str(data.get("git_rev")))
+            if pair in seen_pairs:
+                failures.append(
+                    f"{trajectory.name}:{i}: duplicate (experiment_id, "
+                    f"git_rev) {pair!r} (first at line {seen_pairs[pair]}; "
+                    "re-measure on a new revision instead of re-appending)"
+                )
+            else:
+                seen_pairs[pair] = i
     for failure in failures:
         print(f"SCHEMA VIOLATION {failure}", file=sys.stderr)
     print(

@@ -340,4 +340,4 @@ def solve(
             f"algorithm {name!r} does not apply to this instance "
             f"({spec.guarantee}; {spec.anchor})"
         )
-    return spec.run(instance)
+    return spec.execute(instance)

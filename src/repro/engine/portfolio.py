@@ -250,7 +250,7 @@ def _race_sequential(
         spec = registry[name]
         t0 = perf_counter()
         try:
-            schedule = spec.run(instance)
+            schedule = spec.execute(instance)
         except ReproError as exc:
             entries.append(
                 PortfolioEntry(
@@ -319,7 +319,7 @@ def _race_task(
     instance = instance_from_dict(payload)
     start = perf_counter()
     try:
-        schedule = spec.run(instance)
+        schedule = spec.execute(instance)
     except ReproError as exc:
         return name, None, None, False, str(exc), perf_counter() - start
     except Exception as exc:  # noqa: BLE001 — mirror the sequential

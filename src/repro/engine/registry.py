@@ -45,8 +45,10 @@ from repro.core.random_graph_scheduler import (
 )
 from repro.core.sqrt_approx import sqrt_approx_schedule
 from repro.exceptions import InvalidInstanceError
+from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.structure import (
     analyze_structure,
+    as_bipartite_graph,
     is_bipartite_structure,
     is_block_structure,
     multipartite_decomposition,
@@ -349,6 +351,38 @@ class AlgorithmSpec:
         if self.applies(instance):
             return True, ()
         return False, ("rejected by the applies predicate",)
+
+    def execute(self, instance: SchedulingInstance) -> Schedule:
+        """Run the algorithm, coercing the graph representation if needed.
+
+        Bipartite-capability algorithms are gated *structurally*
+        (:func:`~repro.graphs.structure.is_bipartite_structure` accepts
+        any 2-colorable graph), but several implementations —
+        Hopcroft–Karp matching, König vertex covers — need the concrete
+        :class:`~repro.graphs.bipartite.BipartiteGraph` with its side
+        witness.  When the instance stores its graph in another
+        representation (a forest-shaped
+        :class:`~repro.graphs.conflict.BlockGraph`, say), run on a
+        converted copy and re-home the schedule on the original
+        instance.  All engine entry points (dispatch, portfolio,
+        auditor) go through here rather than calling ``run`` directly.
+        """
+        run = self.run
+        if run is None:  # pragma: no cover - __post_init__ guarantees
+            raise InvalidInstanceError(
+                f"algorithm {self.name!r} has no run callable"
+            )
+        cap = self.capability
+        if (
+            cap is not None
+            and cap.graph in ("bipartite", "complete_bipartite")
+            and not isinstance(instance.graph, BipartiteGraph)
+            and is_bipartite_structure(instance.graph)
+        ):
+            coerced = instance.with_graph(as_bipartite_graph(instance.graph))
+            schedule = run(coerced)
+            return Schedule(instance, schedule.assignment)
+        return run(instance)
 
 
 class AlgorithmRegistry(Mapping):

@@ -46,7 +46,13 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.fastpath import kernels_int, kernels_numpy
 from repro.fastpath.kernels_numpy import FastpathUnavailable, numpy_available
-from repro.fastpath.normalize import IntView, int_view, scaled_speeds
+from repro.fastpath.normalize import (
+    IntView,
+    int_view,
+    scaled_speeds,
+    scaled_speeds_cache_clear,
+    scaled_speeds_cache_stats,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.graphs.bipartite import BipartiteGraph
@@ -57,6 +63,8 @@ __all__ = [
     "IntView",
     "int_view",
     "scaled_speeds",
+    "scaled_speeds_cache_stats",
+    "scaled_speeds_cache_clear",
     "numpy_available",
     "fastpath_mode",
     "enabled",

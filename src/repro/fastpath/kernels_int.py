@@ -24,6 +24,7 @@ Tie-break policy (pinned; the differential tests assert it):
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from fractions import Fraction
 from typing import TYPE_CHECKING, Sequence
@@ -152,29 +153,68 @@ def assign_group_greedy_int(
     one load-min-heap per group — two rational speeds are equal iff
     their scaled integers are, so the grouping matches the reference's
     ``Fraction``-keyed grouping exactly, including insertion order.
+
+    Runs of equal-size jobs (contiguous in LPT order) bypass the
+    per-job group scan and place through a machine-level *event
+    calendar*: with ``L = lcm(distinct scaled speeds)`` the key
+    ``(load + k * p_j) * (L / S_i)`` orders exactly like the rational
+    completion time ``(load + k * p_j) / s_i``, each machine's keys
+    during a run form an arithmetic progression with constant step
+    ``p_j * L / S_i``, and popping the ``(key, rank)``-min heap ``r``
+    times reproduces the one-job-at-a-time choices (the stepwise
+    greedy consumes the run's completion pairs in ascending
+    lexicographic order — a k-way merge of the per-machine
+    progressions).  Group heaps are rebuilt from the load array only
+    when a singleton run follows a batched one.
     """
     if not machines and jobs:
         raise InvalidInstanceError("cannot schedule jobs on an empty machine group")
-    by_speed: dict[int, list[tuple[int, int, int]]] = {}
+    count = len(machines)
+    speed_by_rank = [speeds_scaled[i] for i in machines]
+    loads = [0] * count  # by position ("rank") in `machines`
+    group_ranks: dict[int, list[int]] = {}
     for rank, i in enumerate(machines):
-        by_speed.setdefault(speeds_scaled[i], []).append((0, rank, i))
+        group_ranks.setdefault(speed_by_rank[rank], []).append(rank)
+
+    def build_groups() -> list[tuple[int, list[tuple[int, int, int]]]]:
+        rebuilt: list[tuple[int, list[tuple[int, int, int]]]] = []
+        for speed, ranks in group_ranks.items():
+            heap = [(loads[r], r, machines[r]) for r in ranks]
+            heapq.heapify(heap)
+            rebuilt.append((speed, heap))
+        return rebuilt
+
+    groups = build_groups()
+    groups_stale = False
+    mult: list[int] | None = None  # L / S_i per rank, built on first batch
     result: dict[int, int] = {}
-    if len(by_speed) == 1:
-        # single speed: the best machine is always the heap top, no
-        # cross-group comparison at all
-        ((_, heap),) = by_speed.items()
-        heapq.heapify(heap)
-        for j in lpt_order_int(p, jobs):
-            load, rank, i = heap[0]
-            heapq.heapreplace(heap, (load + p[j], rank, i))
-            result[j] = i
-        return result
-    groups: list[tuple[int, list[tuple[int, int, int]]]] = []
-    for speed, heap in by_speed.items():
-        heapq.heapify(heap)
-        groups.append((speed, heap))
-    for j in lpt_order_int(p, jobs):
-        p_j = p[j]
+    order = lpt_order_int(p, jobs)
+    idx = 0
+    while idx < len(order):
+        p_j = p[order[idx]]
+        end = idx
+        while end < len(order) and p[order[end]] == p_j:
+            end += 1
+        run = order[idx:end]
+        idx = end
+        if len(run) > 1:
+            if mult is None:
+                common = math.lcm(*group_ranks)
+                mult = [common // s for s in speed_by_rank]
+            incs = [p_j * m_r for m_r in mult]
+            calendar = [((loads[r] + p_j) * mult[r], r) for r in range(count)]
+            heapq.heapify(calendar)
+            for j in run:
+                key, r = calendar[0]
+                heapq.heapreplace(calendar, (key + incs[r], r))
+                result[j] = machines[r]
+                loads[r] += p_j
+            groups_stale = True
+            continue
+        if groups_stale:
+            groups = build_groups()
+            groups_stale = False
+        (j,) = run
         # completion of a group = (load + p_j) / S; compare the running
         # best a/S_best against a'/S' by integer cross-multiplication
         best_heap: list[tuple[int, int, int]] | None = None
@@ -195,6 +235,7 @@ def assign_group_greedy_int(
             raise InvalidInstanceError("cannot list-schedule onto zero machine groups")
         load, rank, i = heapq.heappop(best_heap)
         heapq.heappush(best_heap, (load + p_j, rank, i))
+        loads[rank] = load + p_j
         result[j] = i
     return result
 

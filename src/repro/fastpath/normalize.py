@@ -24,9 +24,11 @@ silently truncates (the numpy kernels must *check* their operands fit
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
-from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 from repro.exceptions import InvalidInstanceError
@@ -35,7 +37,13 @@ from repro.utils.rationals import lcm_of_denominators
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.scheduling.instance import UniformInstance
 
-__all__ = ["IntView", "int_view", "scaled_speeds"]
+__all__ = [
+    "IntView",
+    "int_view",
+    "scaled_speeds",
+    "scaled_speeds_cache_stats",
+    "scaled_speeds_cache_clear",
+]
 
 
 @dataclass(frozen=True)
@@ -82,15 +90,94 @@ class IntView:
         return Fraction(load * self.scale, self.speeds_scaled[machine])
 
 
-@lru_cache(maxsize=256)
+class _ScaledSpeedsCache:
+    """Bounded LRU over *content digests* of speed tuples.
+
+    The previous ``functools.lru_cache`` keyed on the speed tuple
+    itself, so the cache held strong references to every distinct
+    ``Fraction`` tuple it ever saw — for the long-running ``repro
+    serve`` tier that is a slow leak of caller objects.  Here the key
+    is a SHA-256 digest of the exact ``numerator/denominator`` content
+    and the stored value is pure machine integers, so nothing a caller
+    passed in is retained.  Hit/miss counters are surfaced by the
+    serving tier's ``{"op": "stats"}`` response.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[bytes, tuple[tuple[int, ...], int]] = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def content_key(speeds: Sequence[Fraction]) -> bytes:
+        digest = hashlib.sha256()
+        for s in speeds:
+            digest.update(b"%d/%d;" % (s.numerator, s.denominator))
+        return digest.digest()
+
+    def lookup(self, key: bytes) -> tuple[tuple[int, ...], int] | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def store(self, key: bytes, value: tuple[tuple[int, ...], int]) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_SPEEDS_CACHE = _ScaledSpeedsCache(maxsize=256)
+
+
+def scaled_speeds_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the ``scaled_speeds`` content cache."""
+    return _SPEEDS_CACHE.stats()
+
+
+def scaled_speeds_cache_clear() -> None:
+    """Drop every cached normalization (tests / leak hunts)."""
+    _SPEEDS_CACHE.clear()
+
+
 def scaled_speeds(speeds: tuple[Fraction, ...]) -> tuple[tuple[int, ...], int]:
     """``(speeds_scaled, scale)`` for a speed tuple, certificate-checked.
 
     Cached: the exact oracle calls the capacity bound with the same
     speed tuple at every search node, and the LCM/verification pass
-    must not be paid per node.  The cache key is the (hashable,
-    immutable) speed tuple itself.
+    must not be paid per node.  The cache is bounded (LRU, 256
+    entries) and keyed by a digest of the speeds' exact content, so it
+    never pins caller objects alive; see :class:`_ScaledSpeedsCache`.
     """
+    key = _ScaledSpeedsCache.content_key(speeds)
+    cached = _SPEEDS_CACHE.lookup(key)
+    if cached is not None:
+        return cached
     scale = lcm_of_denominators(speeds)
     scaled: list[int] = []
     for s in speeds:
@@ -100,7 +187,9 @@ def scaled_speeds(speeds: tuple[Fraction, ...]) -> tuple[tuple[int, ...], int]:
                 f"integer normalization failed for speed {s} at scale {scale}"
             )
         scaled.append(num)
-    return tuple(scaled), scale
+    value = tuple(scaled), scale
+    _SPEEDS_CACHE.store(key, value)
+    return value
 
 
 def int_view(instance: "UniformInstance") -> IntView:

@@ -274,6 +274,24 @@ class CompleteMultipartiteGraph(ConflictGraph):
         parts = [[mapping[v] for v in part] for part in self._parts]
         return CompleteMultipartiteGraph(self._n, parts)
 
+    def induced_subgraph(
+        self, vertices: Iterable[int]
+    ) -> tuple["CompleteMultipartiteGraph", list[int]]:
+        """Subgraph induced by ``vertices`` (still complete multipartite).
+
+        Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is
+        the vertex of ``self`` that became vertex ``i`` of the subgraph;
+        classes are intersected with the kept set and empty ones dropped.
+        """
+        keep = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(keep)}
+        parts = [
+            trimmed
+            for part in self._parts
+            if (trimmed := [index[v] for v in part if v in index])
+        ]
+        return CompleteMultipartiteGraph(len(keep), parts), keep
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sizes = ",".join(str(len(p)) for p in self._parts)
         return f"CompleteMultipartiteGraph(n={self._n}, sizes=[{sizes}])"
@@ -445,6 +463,25 @@ class BlockGraph(ConflictGraph):
             raise InvalidInstanceError("mapping must be a permutation of the vertices")
         blocks = [[mapping[v] for v in blk] for blk in self._blocks]
         return BlockGraph(self._n, blocks)
+
+    def induced_subgraph(
+        self, vertices: Iterable[int]
+    ) -> tuple["BlockGraph", list[int]]:
+        """Subgraph induced by ``vertices`` (still a block graph).
+
+        Returns ``(subgraph, original_ids)``.  Each declared clique is
+        intersected with the kept set; two original blocks share at most
+        one vertex, so the trimmed blocks do too and the block property
+        is preserved by construction.
+        """
+        keep = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(keep)}
+        blocks = [
+            trimmed
+            for blk in self._blocks
+            if (trimmed := [index[v] for v in blk if v in index])
+        ]
+        return BlockGraph(len(keep), blocks), keep
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

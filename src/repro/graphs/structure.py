@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exceptions import NotBipartiteError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.components import connected_components
 from repro.graphs.conflict import ConflictGraph, biconnected_components
@@ -32,6 +33,7 @@ __all__ = [
     "is_cubic",
     "is_bisubquartic",
     "is_bipartite_structure",
+    "as_bipartite_graph",
     "is_block_structure",
     "multipartite_decomposition",
     "classify_conflict_graph",
@@ -123,6 +125,43 @@ def is_bipartite_structure(graph: ConflictGraph) -> bool:
                 elif color[v] == color[u]:
                     return False
     return True
+
+
+def as_bipartite_graph(graph: ConflictGraph) -> BipartiteGraph:
+    """A :class:`BipartiteGraph` view of any 2-colorable conflict graph.
+
+    Bipartite-specific algorithms (Hopcroft–Karp matching, König vertex
+    covers) need the concrete representation with its side witness, but
+    :mod:`repro.engine` gates them *structurally* — a 2-colorable
+    :class:`~repro.graphs.conflict.BlockGraph` (a forest, say) passes the
+    gate.  This converts such a graph by BFS 2-coloring, preserving
+    vertex numbering; isolated vertices land on side 0.  Raises
+    :class:`~repro.exceptions.NotBipartiteError` on an odd cycle.
+
+    ``BipartiteGraph`` inputs are returned unchanged.
+    """
+    if isinstance(graph, BipartiteGraph):
+        return graph
+    color = [-1] * graph.n
+    for start in range(graph.n):
+        if color[start] != -1:
+            continue
+        color[start] = 0
+        queue = [start]
+        while queue:
+            u = queue.pop()
+            for v in graph.neighbors(u):
+                if color[v] == -1:
+                    color[v] = 1 - color[u]
+                    queue.append(v)
+                elif color[v] == color[u]:
+                    raise NotBipartiteError(
+                        f"graph has an odd cycle through vertices {u} and {v}"
+                    )
+    edges = [
+        (u, v) for u in range(graph.n) for v in graph.neighbors(u) if u < v
+    ]
+    return BipartiteGraph(graph.n, edges, side=color)
 
 
 def is_block_structure(graph: ConflictGraph) -> bool:

@@ -59,6 +59,10 @@ class SchedulingInstance(ABC):
     def machine_completion(self, machine: int, jobs: Iterable[int]) -> Fraction:
         """Completion time of ``machine`` running exactly ``jobs``."""
 
+    @abstractmethod
+    def with_graph(self, graph: ConflictGraph) -> "SchedulingInstance":
+        """The same instance data under a different graph representation."""
+
     def allows(self, machine: int, job: int) -> bool:
         """Whether ``job`` may run on ``machine`` at all."""
         return self.processing_time(machine, job) is not None
@@ -193,6 +197,21 @@ class UniformInstance(SchedulingInstance):
         load = sum(self.p[j] for j in jobs)
         return Fraction(load) / self.speeds[machine]
 
+    def with_graph(self, graph: ConflictGraph) -> "UniformInstance":
+        """The same job/machine data under a different graph representation.
+
+        Used by the engine to hand a *structurally* bipartite instance
+        (e.g. a 2-colorable block graph) to an algorithm whose
+        implementation needs a concrete
+        :class:`~repro.graphs.bipartite.BipartiteGraph` with a side
+        witness.  The replacement must describe the same job set.
+        """
+        if graph.n != self.graph.n:
+            raise InvalidInstanceError(
+                f"replacement graph has {graph.n} vertices for {self.graph.n} jobs"
+            )
+        return UniformInstance(graph, self.p, self.speeds, self.eligible)
+
     def to_unrelated(
         self, machines: Sequence[int] | None = None
     ) -> "UnrelatedInstance":
@@ -262,6 +281,16 @@ class UnrelatedInstance(SchedulingInstance):
     @property
     def m(self) -> int:
         return len(self.times)
+
+    def with_graph(self, graph: ConflictGraph) -> "UnrelatedInstance":
+        """The same time matrix under a different graph representation.
+
+        See :meth:`UniformInstance.with_graph`."""
+        if graph.n != self.graph.n:
+            raise InvalidInstanceError(
+                f"replacement graph has {graph.n} vertices for {self.graph.n} jobs"
+            )
+        return UnrelatedInstance(graph, self.times)
 
     def processing_time(self, machine: int, job: int) -> Fraction | None:
         return self.times[machine][job]

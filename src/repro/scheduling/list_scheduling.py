@@ -15,6 +15,7 @@ guarantee and may even fail to complete — experiments record both.
 from __future__ import annotations
 
 import heapq
+import math
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -49,18 +50,25 @@ def assign_group_greedy(
     responsible for ``jobs`` being an independent set — this routine
     never inspects the graph, mirroring the paper's usage.
 
-    Two memoized structures replace the reference's per-(job, machine)
-    exact :class:`~fractions.Fraction` division (kept as
-    :func:`repro.perf.baselines.assign_group_greedy_baseline`): machines
-    are grouped by speed with one load-min-heap per distinct speed (for
-    a fixed speed the best candidate is always the least-loaded,
-    earliest-listed machine), and the surviving ``g``-way comparison of
-    ``(load + p_j) / s`` values is done by integer cross-multiplication
-    on the speeds' cached numerator/denominator pairs — no rational
-    normalisation (gcd) anywhere in the loop.  Selection is exact, so
-    the ``job -> machine`` mapping is identical to the reference: the
-    machine minimising completion time, ties to the earliest position
-    in ``machines``.
+    The single-job step is the speed-grouped structure from PR 4:
+    machines grouped by speed with one load-min-heap per distinct speed
+    (for a fixed speed the best candidate is always the least-loaded,
+    earliest-listed machine), the surviving ``g``-way comparison of
+    ``(load + p_j) / s`` values done by integer cross-multiplication.
+    *Runs* of equal-``p_j`` jobs — which LPT order makes contiguous —
+    are placed through an **event calendar** instead: a heap over the
+    machines keyed by the exact ``(completion, rank)`` pair, where a
+    machine's successive completions during the run form the arithmetic
+    progression ``(load + k * p) / s``.  Popping the calendar ``r``
+    times visits exactly the ``r`` lexicographically smallest
+    ``(completion, rank)`` pairs, which is provably the same sequence
+    the one-job-at-a-time greedy produces (a non-top machine of any
+    speed group is dominated by its group top in this order, so the
+    global calendar minimum always coincides with the per-group-top
+    scan's choice).  Selection is exact either way, so the ``job ->
+    machine`` mapping is identical to the pre-optimization reference:
+    the machine minimising completion time, ties to the earliest
+    position in ``machines``.
 
     Routed through :mod:`repro.fastpath` (scaled-integer/numpy kernels
     over the :class:`~repro.fastpath.normalize.IntView`, differentially
@@ -71,19 +79,65 @@ def assign_group_greedy(
         return fastpath.assign_group_greedy_fast(instance, jobs, machines)
     if not machines and jobs:
         raise InvalidInstanceError("cannot schedule jobs on an empty machine group")
+    count = len(machines)
+    speed_of = [Fraction(instance.speeds[i]) for i in machines]
+    loads = [0] * count  # integer load by position in `machines`
     # speed -> heap of (integer load, position in `machines`, machine id);
     # equal loads within a group tie-break to the earlier position.
-    by_speed: dict[Fraction, list[tuple[int, int, int]]] = {}
+    group_ranks: dict[Fraction, list[int]] = {}
     for rank, i in enumerate(machines):
-        by_speed.setdefault(Fraction(instance.speeds[i]), []).append((0, rank, i))
-    groups: list[tuple[int, int, list[tuple[int, int, int]]]] = []
-    for speed, heap in by_speed.items():
-        heapq.heapify(heap)
-        groups.append((speed.numerator, speed.denominator, heap))
+        group_ranks.setdefault(speed_of[rank], []).append(rank)
+
+    def build_groups() -> list[tuple[int, int, list[tuple[int, int, int]]]]:
+        rebuilt: list[tuple[int, int, list[tuple[int, int, int]]]] = []
+        for speed, ranks in group_ranks.items():
+            heap = [(loads[r], r, machines[r]) for r in ranks]
+            heapq.heapify(heap)
+            rebuilt.append((speed.numerator, speed.denominator, heap))
+        return rebuilt
+
+    groups = build_groups()
+    groups_stale = False
+    weights: list[int] | None = None
     result: dict[int, int] = {}
     p = instance.p
-    for j in lpt_order(instance, jobs):
-        p_j = p[j]
+    order = lpt_order(instance, jobs)
+    idx = 0
+    while idx < len(order):
+        p_j = p[order[idx]]
+        end = idx
+        while end < len(order) and p[order[end]] == p_j:
+            end += 1
+        run = order[idx:end]
+        idx = end
+        if len(run) > 1:
+            # event calendar over machines keyed by the exact integer
+            # (load + k * p_j) * den * (C / num) with C the lcm of the
+            # speed numerators — the same cross-multiplication the
+            # single-job scan below uses, hoisted to a common multiplier
+            # so the keys are totally ordered and advance by a constant
+            # integer step per machine
+            if weights is None:
+                common = math.lcm(*{s.numerator for s in speed_of})
+                weights = [
+                    s.denominator * (common // s.numerator) for s in speed_of
+                ]
+            steps = [p_j * w for w in weights]
+            calendar = [
+                ((loads[r] + p_j) * weights[r], r) for r in range(count)
+            ]
+            heapq.heapify(calendar)
+            for j in run:
+                key, r = calendar[0]
+                heapq.heapreplace(calendar, (key + steps[r], r))
+                result[j] = machines[r]
+                loads[r] += p_j
+            groups_stale = True
+            continue
+        if groups_stale:
+            groups = build_groups()
+            groups_stale = False
+        (j,) = run
         # candidate completion of a group = (load + p_j) * den / num;
         # track the running best as the exact pair (best_a / best_b)
         best_heap: list[tuple[int, int, int]] | None = None
@@ -106,6 +160,7 @@ def assign_group_greedy(
             )
         load, rank, i = heapq.heappop(best_heap)
         heapq.heappush(best_heap, (load + p_j, rank, i))
+        loads[rank] = load + p_j
         result[j] = i
     return result
 

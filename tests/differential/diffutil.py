@@ -154,3 +154,78 @@ def greedy_cases(
         st.lists(st.integers(0, m - 1), unique=True, min_size=1, max_size=m)
     )
     return inst, jobs, machines
+
+
+@st.composite
+def run_heavy_speed_tuples(draw: st.DrawFn) -> tuple[Fraction, ...]:
+    """Speeds forming few contiguous groups of equal values.
+
+    The event-calendar greedy treats each maximal equal-speed group as
+    one arithmetic progression of completion times, so the interesting
+    boundaries are group switches.  This draws the edge cases directly:
+    a single group (all machines equal, including m = 1) and two- or
+    three-group ladders whose switch a long run must straddle.
+    """
+    n_groups = draw(st.sampled_from([1, 1, 2, 3]))
+    values = sorted(
+        draw(
+            st.lists(
+                st.integers(1, 6),
+                min_size=n_groups,
+                max_size=n_groups,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    speeds: list[Fraction] = []
+    for value in values:
+        speeds.extend([Fraction(value)] * draw(st.integers(1, 3)))
+    return tuple(speeds)
+
+
+@st.composite
+def run_heavy_uniform_instances(draw: st.DrawFn) -> UniformInstance:
+    """Instances whose LPT order is dominated by long equal-``p_j`` runs.
+
+    Few distinct job sizes with large multiplicities make the run
+    lengths comparable to *n*, so the batched water-level placement in
+    the kernels (not the one-job heap step) carries most of the work,
+    and runs regularly span the point where the water level crosses a
+    speed-group boundary.
+    """
+    speeds = draw(run_heavy_speed_tuples())
+    n_sizes = draw(st.integers(1, 3))
+    sizes = draw(
+        st.lists(
+            st.integers(1, 9), min_size=n_sizes, max_size=n_sizes, unique=True
+        )
+    )
+    p: list[int] = []
+    for size in sizes:
+        p.extend([size] * draw(st.integers(3, 12)))
+    n = len(p)
+    graph = BipartiteGraph(n, [], side=[0] * n)
+    return UniformInstance(graph, p, speeds)
+
+
+@st.composite
+def run_heavy_greedy_cases(
+    draw: st.DrawFn,
+) -> tuple[UniformInstance, list[int], list[int]]:
+    """Run-heavy (instance, jobs, machines) triples for the greedy tiers.
+
+    Jobs stay near-complete so the equal-``p_j`` runs survive into the
+    subset; machine lists may be permuted because the position-based
+    tie-break is part of the pinned contract.
+    """
+    inst = draw(run_heavy_uniform_instances())
+    n, m = inst.n, inst.m
+    jobs = list(range(n))
+    if draw(st.booleans()):
+        dropped = draw(st.sets(st.integers(0, n - 1), max_size=2))
+        jobs = [j for j in jobs if j not in dropped]
+    machines = list(range(m))
+    if draw(st.booleans()):
+        machines = list(draw(st.permutations(machines)))
+    return inst, jobs, machines

@@ -54,6 +54,9 @@ def test_corpus_shape():
         "uniform-block",
         "eligible-",
         "unrelated-",
+        "runheavy-single-group",
+        "runheavy-two-group",
+        "runheavy-three-group",
         "-unit-",
         "-mixed-",
         "-identical-",

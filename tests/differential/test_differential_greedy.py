@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given
 
-from diffutil import fastpath_mode, greedy_cases
+from diffutil import fastpath_mode, greedy_cases, run_heavy_greedy_cases
 from repro import fastpath
 from repro.exceptions import InvalidInstanceError
 from repro.fastpath import kernels_int, kernels_numpy
@@ -73,6 +73,47 @@ def test_empty_machine_group_error_matches_reference():
             with pytest.raises(InvalidInstanceError):
                 list_scheduling.assign_group_greedy(inst, [0, 1], [])
             assert list_scheduling.assign_group_greedy(inst, [], []) == {}
+
+
+@given(case=run_heavy_greedy_cases())
+def test_run_heavy_tiers_byte_identical(case):
+    """Long equal-p_j runs over grouped speeds — the event-calendar
+    batching inputs — still produce byte-identical assignments."""
+    inst, jobs, machines = case
+    with fastpath_mode("0"):
+        ref = list_scheduling.assign_group_greedy(inst, jobs, machines)
+
+    view = fastpath.int_view(inst)
+    ki = kernels_int.assign_group_greedy_int(
+        view.p, view.speeds_scaled, jobs, machines
+    )
+    assert list(ki.items()) == list(ref.items())
+
+    if kernels_numpy.numpy_available():
+        kn = kernels_numpy.assign_group_greedy_numpy(
+            view.p, view.speeds_scaled, jobs, machines
+        )
+        assert list(kn.items()) == list(ref.items())
+
+
+@given(case=run_heavy_greedy_cases())
+def test_run_heavy_numpy_batch_path_byte_identical(case):
+    """Force the vectorized water-level batch (normally gated behind
+    runs of >= _GREEDY_RUN_MIN jobs) onto hypothesis-sized runs so the
+    np.lexsort placement itself is differentially tested, not just the
+    heap fallback."""
+    if not kernels_numpy.numpy_available():
+        pytest.skip("numpy not importable")
+    inst, jobs, machines = case
+    with fastpath_mode("0"):
+        ref = list_scheduling.assign_group_greedy(inst, jobs, machines)
+    view = fastpath.int_view(inst)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(kernels_numpy, "_GREEDY_RUN_MIN", 2)
+        kn = kernels_numpy.assign_group_greedy_numpy(
+            view.p, view.speeds_scaled, jobs, machines
+        )
+    assert list(kn.items()) == list(ref.items())
 
 
 def test_numpy_round_robin_closed_form_matches():

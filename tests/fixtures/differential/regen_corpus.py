@@ -139,6 +139,44 @@ def build_candidates(rng: random.Random):
             times.append([Fraction(rng.randint(1, 12)) for _ in range(g.n)])
         inst = UnrelatedInstance(g, times)
         yield f"unrelated-{gk}-m{m}-{i}", inst
+    # run-heavy instances: long equal-p_j runs over grouped speeds, the
+    # event-calendar batching inputs.  A fresh generator (SEED + 1) keeps
+    # every earlier record byte-identical across regenerations.
+    yield from build_run_heavy_candidates(random.Random(SEED + 1))
+
+
+def build_run_heavy_candidates(rng: random.Random):
+    """Yield (tag, instance) with few distinct p values in long runs.
+
+    Covers the calendar edge cases: a single speed group, all-equal
+    speeds with all-equal jobs, and a dominant run long enough to span a
+    speed-group switch mid-placement.
+    """
+    # (tag suffix, speed-group widths, distinct speed values drawn below)
+    shapes = [
+        ("single-group", [3]),
+        ("two-group", [2, 2]),
+        ("three-group", [1, 2, 1]),
+        ("wide-single", [5]),
+    ]
+    idx = 0
+    for suffix, widths in shapes:
+        for n_sizes in (1, 2, 3):
+            values = sorted(
+                rng.sample(range(1, 7), len(widths)), reverse=True
+            )
+            speeds: list[Fraction] = []
+            for value, width in zip(values, widths):
+                speeds.extend([Fraction(value)] * width)
+            sizes = sorted(rng.sample(range(1, 10), n_sizes), reverse=True)
+            p: list[int] = []
+            for size in sizes:
+                p.extend([size] * rng.randint(6, 14))
+            n = len(p)
+            g = BipartiteGraph(n, [], side=[0] * n)
+            inst = UniformInstance(g, p, speeds)
+            yield f"runheavy-{suffix}-sizes{n_sizes}-{idx}", inst
+            idx += 1
 
 
 def main() -> None:

@@ -49,6 +49,7 @@ class TestPerfScenarios:
             "BENCH_PERF_hopcroft_karp.json",
             "BENCH_PERF_list_scheduling.json",
             "BENCH_PERF_oracle.json",
+            "BENCH_PERF_oracle_parallel.json",
         ]
 
     def test_profile_flag_prints_hotspots(self, tmp_path, capsys):

@@ -214,3 +214,62 @@ class TestRegistry:
         )
         assert "only_here" in registry
         assert "only_here" not in ALGORITHMS
+
+
+class TestGraphRepresentationCoercion:
+    """Bipartite-gated algorithms must run on *structurally* bipartite
+    graphs stored in other representations (the gate is
+    :func:`is_bipartite_structure`, the implementations need a concrete
+    :class:`BipartiteGraph` side witness)."""
+
+    def _forest_block_instance(self):
+        from repro.graphs.conflict import BlockGraph
+        from repro.scheduling.instance import UniformInstance
+
+        # a path 0-1-2 plus an edge 3-4 plus isolated 5,6: a forest, so
+        # 2-colorable, but stored as a BlockGraph (edges are the blocks)
+        graph = BlockGraph(7, [(0, 1), (1, 2), (3, 4)])
+        return UniformInstance(
+            graph, [3, 1, 4, 1, 5, 2, 6], sorted([F(2), F(1), F(1)], reverse=True)
+        )
+
+    def test_sqrt_approx_runs_on_block_graph(self):
+        inst = self._forest_block_instance()
+        schedule = solve(inst, algorithm="sqrt_approx")
+        assert schedule.instance is inst
+        assert schedule.is_feasible()
+
+    def test_execute_matches_native_bipartite_run(self):
+        from repro.graphs.structure import as_bipartite_graph
+
+        inst = self._forest_block_instance()
+        native = inst.with_graph(as_bipartite_graph(inst.graph))
+        coerced = solve(inst, algorithm="sqrt_approx")
+        direct = solve(native, algorithm="sqrt_approx")
+        assert coerced.assignment == direct.assignment
+
+    def test_as_bipartite_graph_preserves_structure(self):
+        from repro.graphs.bipartite import BipartiteGraph
+        from repro.graphs.conflict import BlockGraph
+        from repro.graphs.structure import as_bipartite_graph
+
+        graph = BlockGraph(5, [(0, 1), (1, 2)])
+        bip = as_bipartite_graph(graph)
+        assert isinstance(bip, BipartiteGraph)
+        assert bip.n == graph.n
+        assert {frozenset(e) for e in bip.edges()} == {
+            frozenset(e) for e in graph.edges()
+        }
+        assert bip.side[0] != bip.side[1]
+        assert bip.side[1] != bip.side[2]
+        # BipartiteGraph inputs pass through unchanged
+        assert as_bipartite_graph(bip) is bip
+
+    def test_as_bipartite_graph_rejects_odd_cycle(self):
+        from repro.exceptions import NotBipartiteError
+        from repro.graphs.conflict import BlockGraph
+        from repro.graphs.structure import as_bipartite_graph
+
+        triangle = BlockGraph(3, [(0, 1, 2)])
+        with pytest.raises(NotBipartiteError):
+            as_bipartite_graph(triangle)
